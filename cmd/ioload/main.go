@@ -1,0 +1,127 @@
+// Command ioload regenerates the I/O-load evaluation of the D-Code paper
+// (§IV): the load balancing factor LF of Figure 4 and the total I/O cost of
+// Figure 5, for the five comparison codes under the three workloads at
+// p ∈ {5, 7, 11, 13}.
+//
+// Usage:
+//
+//	ioload [-ops 2000] [-seed 42] [-p 5,7,11,13] [-metric lf|cost|both]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"dcode/internal/codes"
+	"dcode/internal/ioload"
+	"dcode/internal/workload"
+)
+
+func main() {
+	ops := flag.Int("ops", 2000, "operations per workload (paper: 2000)")
+	seed := flag.Int64("seed", 42, "workload generator seed")
+	primesFlag := flag.String("p", "5,7,11,13", "comma-separated primes")
+	metric := flag.String("metric", "both", "lf, cost or both")
+	traceFile := flag.String("trace", "", "replay a kind,S,L,T trace file instead of the synthetic workloads")
+	flag.Parse()
+
+	primes, err := parseInts(*primesFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ioload:", err)
+		os.Exit(2)
+	}
+
+	var trace []workload.Op
+	profiles := workload.Profiles
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ioload:", err)
+			os.Exit(1)
+		}
+		trace, err = workload.ParseTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ioload:", err)
+			os.Exit(1)
+		}
+		profiles = []workload.Profile{{Name: "trace " + *traceFile}}
+	}
+
+	for _, profile := range profiles {
+		results := make(map[string]map[int]ioload.Result)
+		for _, entry := range codes.Comparison() {
+			results[entry.ID] = make(map[int]ioload.Result)
+			for _, p := range primes {
+				c, err := entry.New(p)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "ioload:", err)
+					os.Exit(1)
+				}
+				run := trace
+				if run == nil {
+					run, err = workload.Generate(workload.Config{
+						Ops: *ops, DataElems: c.DataElems(), Seed: *seed,
+					}, profile)
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "ioload:", err)
+						os.Exit(1)
+					}
+				}
+				results[entry.ID][p] = ioload.Simulate(c, run)
+			}
+		}
+
+		if *metric == "lf" || *metric == "both" {
+			fmt.Printf("Figure 4 — load balancing factor, %s workload (inf plotted as 30 in the paper)\n", profile.Name)
+			printTable(primes, func(id string, p int) string {
+				lf := results[id][p].LF()
+				if math.IsInf(lf, 1) {
+					return "inf"
+				}
+				return fmt.Sprintf("%.2f", lf)
+			})
+		}
+		if *metric == "cost" || *metric == "both" {
+			fmt.Printf("Figure 5 — total I/O cost, %s workload\n", profile.Name)
+			printTable(primes, func(id string, p int) string {
+				return fmt.Sprintf("%d", results[id][p].Cost())
+			})
+		}
+	}
+}
+
+func printTable(primes []int, cell func(id string, p int) string) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	header := "code"
+	for _, p := range primes {
+		header += fmt.Sprintf("\tp=%d", p)
+	}
+	fmt.Fprintln(w, header)
+	for _, entry := range codes.Comparison() {
+		row := entry.Name
+		for _, p := range primes {
+			row += "\t" + cell(entry.ID, p)
+		}
+		fmt.Fprintln(w, row)
+	}
+	w.Flush()
+	fmt.Println()
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

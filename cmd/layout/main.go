@@ -1,0 +1,220 @@
+// Command layout renders stripe layouts and operation footprints of the
+// RAID-6 codes in this repository — the ASCII counterparts of the paper's
+// Figures 1 and 2.
+//
+// Examples:
+//
+//	layout -code dcode -p 7                   # cell map (D=data, H/G/A/P=parity kinds)
+//	layout -code dcode -p 7 -labels horizontal  # Fig. 2(a): horizontal group ids
+//	layout -code dcode -p 7 -labels deployment  # Fig. 2(b): deployment group letters
+//	layout -code xcode -p 7 -write 16,5       # Fig. 1(d): partial-stripe-write footprint
+//	layout -code rdp  -p 7 -degraded 1 -read 8,6  # Fig. 1(a)-style degraded read
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dcode/internal/codes"
+	"dcode/internal/erasure"
+	"dcode/internal/readperf"
+)
+
+func main() {
+	codeID := flag.String("code", "dcode", "code id (rdp, hcode, hdp, xcode, dcode, evenodd)")
+	p := flag.Int("p", 7, "prime parameter")
+	labels := flag.String("labels", "", "label groups of a parity kind: horizontal, deployment, diagonal, anti-diagonal")
+	write := flag.String("write", "", "S,L: show the parity footprint of a partial stripe write")
+	read := flag.String("read", "", "S,L: show a read footprint (with -degraded, the recovery reads too)")
+	degraded := flag.Int("degraded", -1, "failed column for -read")
+	flag.Parse()
+
+	entry, err := codes.ByID(*codeID)
+	fail(err)
+	c, err := entry.New(*p)
+	fail(err)
+
+	fmt.Printf("%s over %d disks (p=%d): %d×%d stripe, %d data + %d parity elements\n",
+		c.Name(), c.Cols(), c.P(), c.Rows(), c.Cols(), c.DataElems(), len(c.Groups()))
+
+	switch {
+	case *labels != "":
+		printLabels(c, erasure.GroupKind(*labels))
+	case *write != "":
+		s, l := parseSL(*write)
+		printWrite(c, s, l)
+	case *read != "":
+		s, l := parseSL(*read)
+		printRead(c, s, l, *degraded)
+	default:
+		printKinds(c)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "layout:", err)
+		os.Exit(1)
+	}
+}
+
+func parseSL(s string) (int, int) {
+	parts := strings.SplitN(s, ",", 2)
+	if len(parts) != 2 {
+		fail(fmt.Errorf("want S,L got %q", s))
+	}
+	a, err := strconv.Atoi(parts[0])
+	fail(err)
+	b, err := strconv.Atoi(parts[1])
+	fail(err)
+	return a, b
+}
+
+func grid(c *erasure.Code, cell func(r, col int) string) {
+	fmt.Print("      ")
+	for col := 0; col < c.Cols(); col++ {
+		fmt.Printf("d%-3d", col)
+	}
+	fmt.Println()
+	for r := 0; r < c.Rows(); r++ {
+		fmt.Printf("r%-4d ", r)
+		for col := 0; col < c.Cols(); col++ {
+			fmt.Printf("%-4s", cell(r, col))
+		}
+		fmt.Println()
+	}
+}
+
+// printKinds shows where each parity kind lives (D = data).
+func printKinds(c *erasure.Code) {
+	short := map[erasure.GroupKind]string{
+		erasure.KindHorizontal:   "H",
+		erasure.KindDiagonal:     "G",
+		erasure.KindAntiDiagonal: "A",
+		erasure.KindDeployment:   "P",
+	}
+	fmt.Println("cell kinds (D data, H horizontal, G diagonal, A anti-diagonal, P deployment):")
+	grid(c, func(r, col int) string {
+		if gi := c.ParityGroup(r, col); gi >= 0 {
+			return short[c.Groups()[gi].Kind]
+		}
+		return "D"
+	})
+}
+
+// printLabels reproduces the paper's Fig. 2 style: each data cell carries the
+// id of the group of the requested kind it belongs to; parity cells carry
+// their own group id in brackets.
+func printLabels(c *erasure.Code, kind erasure.GroupKind) {
+	id := map[int]string{}
+	n := 0
+	for gi, g := range c.Groups() {
+		if g.Kind == kind {
+			if kind == erasure.KindDeployment || kind == erasure.KindAntiDiagonal {
+				id[gi] = string(rune('A' + n%26))
+			} else {
+				id[gi] = strconv.Itoa(n)
+			}
+			n++
+		}
+	}
+	if n == 0 {
+		fail(fmt.Errorf("%s has no %q groups", c.Name(), kind))
+	}
+	fmt.Printf("%s groups (parity cells bracketed):\n", kind)
+	grid(c, func(r, col int) string {
+		if gi := c.ParityGroup(r, col); gi >= 0 {
+			if s, ok := id[gi]; ok {
+				return "[" + s + "]"
+			}
+			return "."
+		}
+		for _, gi := range c.MemberOf(r, col) {
+			if s, ok := id[gi]; ok {
+				return s
+			}
+		}
+		return "?"
+	})
+}
+
+// printWrite reproduces Fig. 1(b)/(d): stars are the written data elements,
+// circles the parity elements that must be read and rewritten.
+func printWrite(c *erasure.Code, s, l int) {
+	written := map[erasure.Coord]bool{}
+	var cells []erasure.Coord
+	for i := 0; i < l; i++ {
+		co := c.DataCoord((s + i) % c.DataElems())
+		written[co] = true
+		cells = append(cells, co)
+	}
+	parity := map[erasure.Coord]bool{}
+	for _, gi := range c.GroupsTouchedBy(cells) {
+		parity[c.Groups()[gi].Parity] = true
+	}
+	fmt.Printf("partial stripe write of %d elements from data element %d (* written, o parity updated):\n", l, s)
+	grid(c, func(r, col int) string {
+		co := erasure.Coord{Row: r, Col: col}
+		switch {
+		case written[co]:
+			return "*"
+		case parity[co]:
+			return "o"
+		default:
+			return "."
+		}
+	})
+	fmt.Printf("I/O cost: %d data accesses + %d parity accesses = %d\n",
+		2*len(written), 2*len(parity), 2*len(written)+2*len(parity))
+}
+
+// printRead reproduces Fig. 1(a)/(c): stars are the requested elements,
+// circles the extra elements a degraded read must fetch.
+func printRead(c *erasure.Code, s, l, failed int) {
+	var wanted []erasure.Coord
+	for i := 0; i < l; i++ {
+		wanted = append(wanted, c.DataCoord((s+i)%c.DataElems()))
+	}
+	want := map[erasure.Coord]bool{}
+	for _, co := range wanted {
+		want[co] = true
+	}
+	if failed < 0 {
+		fmt.Printf("normal read of %d elements from data element %d (*):\n", l, s)
+		grid(c, func(r, col int) string {
+			if want[erasure.Coord{Row: r, Col: col}] {
+				return "*"
+			}
+			return "."
+		})
+		return
+	}
+	fetch, extra, err := readperf.PlanStripeFetch(c, failed, wanted)
+	fail(err)
+	extraSet := map[erasure.Coord]bool{}
+	for _, co := range fetch {
+		if !want[co] {
+			extraSet[co] = true
+		}
+	}
+	fmt.Printf("degraded read of %d elements from data element %d with disk %d failed\n", l, s, failed)
+	fmt.Printf("(* requested, o extra recovery reads, X failed column) — %d extra elements:\n", extra)
+	grid(c, func(r, col int) string {
+		co := erasure.Coord{Row: r, Col: col}
+		switch {
+		case want[co] && col == failed:
+			return "*X"
+		case col == failed:
+			return "X"
+		case want[co]:
+			return "*"
+		case extraSet[co]:
+			return "o"
+		default:
+			return "."
+		}
+	})
+}

@@ -1,0 +1,279 @@
+// Command raidctl manages persistent file-backed RAID-6 arrays: one image
+// file per disk plus an array.json descriptor in a directory.
+//
+//	raidctl create -dir /tmp/a -code dcode -p 7 -elem 4096 -stripes 256
+//	raidctl info   -dir /tmp/a
+//	raidctl write  -dir /tmp/a -off 0 -in file.bin
+//	raidctl read   -dir /tmp/a -off 0 -n 1024 -out out.bin
+//	raidctl fail   -dir /tmp/a -disk 3
+//	raidctl rebuild -dir /tmp/a -disk 3
+//	raidctl scrub  -dir /tmp/a
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"dcode/internal/blockdev"
+	"dcode/internal/codes"
+	"dcode/internal/raid"
+)
+
+type meta struct {
+	Code    string `json:"code"`
+	P       int    `json:"p"`
+	Elem    int    `json:"elem"`
+	Stripes int64  `json:"stripes"`
+	Failed  []int  `json:"failed"`
+	Journal bool   `json:"journal,omitempty"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	dir := fs.String("dir", "", "array directory")
+	codeID := fs.String("code", "dcode", "code id (create)")
+	p := fs.Int("p", 7, "prime parameter (create)")
+	elem := fs.Int("elem", 4096, "element size in bytes (create)")
+	stripes := fs.Int64("stripes", 256, "stripes per disk (create)")
+	journal := fs.Bool("journal", false, "attach a write-intent journal (create)")
+	off := fs.Int64("off", 0, "volume byte offset (read/write)")
+	n := fs.Int("n", 0, "bytes to read (read)")
+	inFile := fs.String("in", "-", "input file for write, - for stdin")
+	outFile := fs.String("out", "-", "output file for read, - for stdout")
+	disk := fs.Int("disk", -1, "disk index (fail/rebuild)")
+	fs.Parse(os.Args[2:])
+	if *dir == "" {
+		fatal(fmt.Errorf("-dir is required"))
+	}
+
+	switch cmd {
+	case "create":
+		create(*dir, *codeID, *p, *elem, *stripes, *journal)
+	case "info":
+		info(*dir)
+	case "write":
+		doWrite(*dir, *off, *inFile)
+	case "read":
+		doRead(*dir, *off, *n, *outFile)
+	case "fail":
+		setFailed(*dir, *disk, true)
+	case "rebuild":
+		rebuild(*dir, *disk)
+	case "scrub":
+		scrub(*dir)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: raidctl create|info|write|read|fail|rebuild|scrub -dir DIR [flags]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "raidctl:", err)
+	os.Exit(1)
+}
+
+func metaPath(dir string) string { return filepath.Join(dir, "array.json") }
+
+func loadMeta(dir string) meta {
+	b, err := os.ReadFile(metaPath(dir))
+	if err != nil {
+		fatal(fmt.Errorf("not an array directory: %w", err))
+	}
+	var m meta
+	if err := json.Unmarshal(b, &m); err != nil {
+		fatal(err)
+	}
+	return m
+}
+
+func saveMeta(dir string, m meta) {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(metaPath(dir), b, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// open assembles the array from the directory's metadata and disk images.
+func open(dir string) (*raid.Array, meta) {
+	m := loadMeta(dir)
+	entry, err := codes.ByID(m.Code)
+	if err != nil {
+		fatal(err)
+	}
+	c, err := entry.New(m.P)
+	if err != nil {
+		fatal(err)
+	}
+	devs := make([]blockdev.Device, c.Cols())
+	size := m.Stripes * int64(c.Rows()) * int64(m.Elem)
+	for i := range devs {
+		d, err := blockdev.OpenFile(filepath.Join(dir, fmt.Sprintf("disk%d.img", i)), size)
+		if err != nil {
+			fatal(err)
+		}
+		devs[i] = d
+	}
+	var a *raid.Array
+	if m.Journal {
+		jdev, jerr := blockdev.OpenFile(filepath.Join(dir, "journal.img"), 64<<10)
+		if jerr != nil {
+			fatal(jerr)
+		}
+		a, err = raid.NewJournaled(c, devs, m.Elem, m.Stripes, jdev)
+	} else {
+		a, err = raid.New(c, devs, m.Elem, m.Stripes)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	for _, f := range m.Failed {
+		if err := a.FailDisk(f); err != nil {
+			fatal(err)
+		}
+	}
+	return a, m
+}
+
+func create(dir, codeID string, p, elem int, stripes int64, journal bool) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	if _, err := os.Stat(metaPath(dir)); err == nil {
+		fatal(fmt.Errorf("array already exists in %s", dir))
+	}
+	m := meta{Code: codeID, P: p, Elem: elem, Stripes: stripes, Journal: journal}
+	saveMeta(dir, m)
+	a, _ := open(dir)
+	// Write zeroes through the array so parity matches the zeroed data.
+	zero := make([]byte, 1<<16)
+	for off := int64(0); off < a.Size(); off += int64(len(zero)) {
+		chunk := zero
+		if rem := a.Size() - off; rem < int64(len(chunk)) {
+			chunk = chunk[:rem]
+		}
+		if _, err := a.WriteAt(chunk, off); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("created %s array: %d disks, %d B elements, %d stripes, %.1f MiB usable\n",
+		a.Code().Name(), a.Code().Cols(), m.Elem, m.Stripes, float64(a.Size())/(1<<20))
+}
+
+func info(dir string) {
+	a, m := open(dir)
+	c := a.Code()
+	metrics := c.ComputeMetrics()
+	fmt.Printf("code:      %s (p=%d, %s)\n", c.Name(), m.P, m.Code)
+	fmt.Printf("disks:     %d (%d×%d elements per stripe)\n", c.Cols(), c.Rows(), c.Cols())
+	fmt.Printf("element:   %d bytes, %d stripes\n", m.Elem, m.Stripes)
+	fmt.Printf("usable:    %.1f MiB (storage efficiency %.3f)\n", float64(a.Size())/(1<<20), metrics.StorageEfficiency)
+	fmt.Printf("journal:   %v\n", m.Journal)
+	fmt.Printf("failed:    %v\n", a.FailedDisks())
+}
+
+func doWrite(dir string, off int64, inFile string) {
+	a, _ := open(dir)
+	var r io.Reader = os.Stdin
+	if inFile != "-" {
+		f, err := os.Open(inFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		fatal(err)
+	}
+	if _, err := a.WriteAt(data, off); err != nil {
+		fatal(err)
+	}
+	persistFailed(dir, a)
+	fmt.Printf("wrote %d bytes at offset %d\n", len(data), off)
+}
+
+func doRead(dir string, off int64, n int, outFile string) {
+	if n <= 0 {
+		fatal(fmt.Errorf("-n must be positive"))
+	}
+	a, _ := open(dir)
+	buf := make([]byte, n)
+	if _, err := a.ReadAt(buf, off); err != nil {
+		fatal(err)
+	}
+	persistFailed(dir, a)
+	var w io.Writer = os.Stdout
+	if outFile != "-" {
+		f, err := os.Create(outFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if _, err := w.Write(buf); err != nil {
+		fatal(err)
+	}
+}
+
+func setFailed(dir string, disk int, failed bool) {
+	a, m := open(dir)
+	if failed {
+		if err := a.FailDisk(disk); err != nil {
+			fatal(err)
+		}
+	}
+	m.Failed = a.FailedDisks()
+	saveMeta(dir, m)
+	fmt.Printf("failed disks now: %v\n", m.Failed)
+}
+
+func rebuild(dir string, disk int) {
+	a, m := open(dir)
+	// Blank the replacement image first, as a swapped drive would be.
+	c := a.Code()
+	size := m.Stripes * int64(c.Rows()) * int64(m.Elem)
+	img := filepath.Join(dir, fmt.Sprintf("disk%d.img", disk))
+	if err := os.WriteFile(img, make([]byte, size), 0o644); err != nil {
+		fatal(err)
+	}
+	a, m = open(dir) // reopen over the fresh image
+	if err := a.Rebuild(disk); err != nil {
+		fatal(err)
+	}
+	m.Failed = a.FailedDisks()
+	saveMeta(dir, m)
+	fmt.Printf("disk %d rebuilt; failed disks now: %v\n", disk, m.Failed)
+}
+
+func scrub(dir string) {
+	a, _ := open(dir)
+	fixed, err := a.Scrub()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("scrub complete: %d stripes repaired\n", fixed)
+}
+
+// persistFailed records failures the array discovered during this run.
+func persistFailed(dir string, a *raid.Array) {
+	m := loadMeta(dir)
+	m.Failed = a.FailedDisks()
+	saveMeta(dir, m)
+}

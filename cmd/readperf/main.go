@@ -1,0 +1,98 @@
+// Command readperf regenerates the read-performance experiments of the
+// D-Code paper (§V) on the disk timing model: normal-mode read speed and
+// average per-disk read speed (Figure 6) and degraded-mode read speed under
+// single data-disk failures (Figure 7).
+//
+// Usage:
+//
+//	readperf [-mode normal|degraded|both] [-ops 2000] [-dops 200] [-seed 42] [-p 5,7,11,13]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"dcode/internal/codes"
+	"dcode/internal/erasure"
+	"dcode/internal/readperf"
+)
+
+func main() {
+	mode := flag.String("mode", "both", "normal, degraded or both")
+	ops := flag.Int("ops", 2000, "operations per normal-mode experiment (paper: 2000)")
+	dops := flag.Int("dops", 200, "operations per degraded failure case (paper: 200)")
+	seed := flag.Int64("seed", 42, "experiment seed")
+	primesFlag := flag.String("p", "5,7,11,13", "comma-separated primes")
+	latency := flag.Bool("latency", false, "also print per-op latency percentiles (p50/p95/p99 ms)")
+	flag.Parse()
+	showLatency = *latency
+
+	primes, err := parseInts(*primesFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "readperf:", err)
+		os.Exit(2)
+	}
+
+	if *mode == "normal" || *mode == "both" {
+		run(primes, "Figure 6 — normal-mode read speed", func(c *erasure.Code) (readperf.Result, error) {
+			return readperf.Normal(c, readperf.Config{Ops: *ops, Seed: *seed}), nil
+		})
+	}
+	if *mode == "degraded" || *mode == "both" {
+		run(primes, "Figure 7 — degraded-mode read speed (all single data-disk failures)", func(c *erasure.Code) (readperf.Result, error) {
+			return readperf.Degraded(c, readperf.Config{Ops: *dops, Seed: *seed})
+		})
+	}
+}
+
+var showLatency bool
+
+func run(primes []int, title string, exp func(*erasure.Code) (readperf.Result, error)) {
+	fmt.Println(title)
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprint(w, "code")
+	for _, p := range primes {
+		fmt.Fprintf(w, "\tp=%d MB/s (avg/disk)", p)
+	}
+	fmt.Fprintln(w)
+	for _, entry := range codes.Comparison() {
+		fmt.Fprint(w, entry.Name)
+		for _, p := range primes {
+			c, err := entry.New(p)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "readperf:", err)
+				os.Exit(1)
+			}
+			r, err := exp(c)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "readperf:", err)
+				os.Exit(1)
+			}
+			if showLatency {
+				fmt.Fprintf(w, "\t%.1f (%.2f) [%.0f/%.0f/%.0f]", r.SpeedMBps, r.AvgSpeedMBps,
+					r.LatencyP50MS, r.LatencyP95MS, r.LatencyP99MS)
+			} else {
+				fmt.Fprintf(w, "\t%.1f (%.2f)", r.SpeedMBps, r.AvgSpeedMBps)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+	fmt.Println()
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

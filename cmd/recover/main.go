@@ -1,0 +1,108 @@
+// Command recover demonstrates and measures failure recovery.
+//
+// Double-failure mode (paper Fig. 3) walks the peeling chains that rebuild
+// two lost disks and verifies the reconstruction on a real stripe:
+//
+//	recover -code dcode -p 7 -fail 2,3
+//
+// Single-failure mode reproduces the §III-D claim that hybrid parity
+// selection saves about 25% of the recovery reads for D-Code and X-Code:
+//
+//	recover -single [-p 5,7,11,13]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"dcode/internal/codes"
+	"dcode/internal/recovery"
+)
+
+func main() {
+	codeID := flag.String("code", "dcode", "code id")
+	p := flag.Int("p", 7, "prime parameter")
+	failCols := flag.String("fail", "2,3", "one or two columns to fail, e.g. 2,3")
+	single := flag.Bool("single", false, "report single-failure recovery savings for all codes")
+	primesFlag := flag.String("primes", "5,7,11,13", "primes for -single")
+	flag.Parse()
+
+	if *single {
+		reportSingle(parseInts(*primesFlag))
+		return
+	}
+
+	entry, err := codes.ByID(*codeID)
+	fail(err)
+	c, err := entry.New(*p)
+	fail(err)
+	cols := parseInts(*failCols)
+
+	xors, chain, err := c.SymbolicDecode(cols...)
+	if err != nil {
+		fmt.Printf("peeling alone stalls (%v); Reconstruct would use the Gaussian fallback\n", err)
+	} else {
+		fmt.Printf("%s p=%d, failed disks %v — recovery chain (%d elements, %d XORs, %.1f per element):\n",
+			c.Name(), *p, cols, len(chain), xors, float64(xors)/float64(len(chain)))
+		for i, co := range chain {
+			sep := " -> "
+			if i == len(chain)-1 {
+				sep = "\n"
+			}
+			fmt.Printf("E%v%s", co, sep)
+		}
+	}
+
+	// Prove it on data.
+	s := c.NewStripe(64)
+	s.Fill(2025)
+	c.Encode(s)
+	want := s.Clone()
+	for _, f := range cols {
+		s.ZeroColumn(f)
+	}
+	err = c.Reconstruct(s, cols...)
+	fail(err)
+	if !s.Equal(want) {
+		fail(fmt.Errorf("reconstruction produced wrong data"))
+	}
+	fmt.Printf("verified: all %d lost elements rebuilt correctly on a %d-byte-element stripe\n",
+		len(cols)*c.Rows(), 64)
+}
+
+func reportSingle(primes []int) {
+	fmt.Println("single-disk-failure recovery reads: optimized (hybrid parity choice) vs conventional")
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "code\tp\tavg reads\tavg conventional\tsaving")
+	for _, entry := range codes.Comparison() {
+		for _, p := range primes {
+			c, err := entry.New(p)
+			fail(err)
+			saving, reads, conv, err := recovery.AverageSaving(c)
+			fail(err)
+			fmt.Fprintf(w, "%s\t%d\t%.1f\t%.1f\t%.1f%%\n", entry.Name, p, reads, conv, saving*100)
+		}
+	}
+	w.Flush()
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "recover:", err)
+		os.Exit(1)
+	}
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		fail(err)
+		out = append(out, v)
+	}
+	return out
+}

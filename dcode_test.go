@@ -1,0 +1,215 @@
+package dcode_test
+
+import (
+	"bytes"
+	"testing"
+
+	"dcode"
+)
+
+func TestFacadeConstructors(t *testing.T) {
+	for name, ctor := range map[string]func(int) (*dcode.Code, error){
+		"New":        dcode.New,
+		"NewXCode":   dcode.NewXCode,
+		"NewRDP":     dcode.NewRDP,
+		"NewHCode":   dcode.NewHCode,
+		"NewHDP":     dcode.NewHDP,
+		"NewEVENODD": dcode.NewEVENODD,
+	} {
+		c, err := ctor(7)
+		if err != nil {
+			t.Fatalf("%s(7): %v", name, err)
+		}
+		if err := dcode.VerifyMDS(c, 8); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := ctor(6); err == nil {
+			t.Fatalf("%s(6) accepted a non-prime", name)
+		}
+	}
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	code, err := dcode.New(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := code.NewStripe(32)
+	s.Fill(1)
+	code.Encode(s)
+	want := s.Clone()
+	s.ZeroColumn(2)
+	s.ZeroColumn(3)
+	if err := code.Reconstruct(s, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Equal(want) {
+		t.Fatal("quickstart reconstruct mismatch")
+	}
+}
+
+func TestFacadeArray(t *testing.T) {
+	code, err := dcode.New(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devs := make([]dcode.Device, code.Cols())
+	mems := make([]*dcode.MemDevice, code.Cols())
+	for i := range devs {
+		mems[i] = dcode.NewMemDevice(int64(code.Rows()) * 64 * 4)
+		devs[i] = mems[i]
+	}
+	a, err := dcode.NewArray(code, devs, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, a.Size())
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	if _, err := a.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	mems[0].Fail()
+	got := make([]byte, len(data))
+	if _, err := a.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("facade array degraded read mismatch")
+	}
+}
+
+func TestFacadeReedSolomon(t *testing.T) {
+	enc, err := dcode.NewReedSolomon(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := make([][]byte, 6)
+	for i := range shards {
+		shards[i] = make([]byte, 16)
+		for j := range shards[i] {
+			shards[i][j] = byte(i + j)
+		}
+	}
+	if err := enc.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	orig := append([]byte(nil), shards[1]...)
+	shards[1] = nil
+	if err := enc.Reconstruct(shards); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(shards[1], orig) {
+		t.Fatal("facade RS reconstruct mismatch")
+	}
+}
+
+func TestFacadeFileDevice(t *testing.T) {
+	d, err := dcode.OpenFileDevice(t.TempDir()+"/dev.img", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.Size() != 256 {
+		t.Fatalf("size = %d", d.Size())
+	}
+}
+
+func TestFacadeExtensionCodes(t *testing.T) {
+	pc, err := dcode.NewPCode(7)
+	if err != nil || pc.Cols() != 6 {
+		t.Fatalf("NewPCode(7): %v, cols=%d", err, pc.Cols())
+	}
+	lib, err := dcode.NewLiberation(5, 7)
+	if err != nil || lib.Cols() != 7 {
+		t.Fatalf("NewLiberation(5,7): %v", err)
+	}
+	br, err := dcode.NewBlaumRoth(4, 7)
+	if err != nil || br.Cols() != 6 {
+		t.Fatalf("NewBlaumRoth(4,7): %v", err)
+	}
+	for _, c := range []*dcode.Code{pc, lib, br} {
+		if err := dcode.VerifyMDS(c, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFacadeCauchyReedSolomon(t *testing.T) {
+	enc, err := dcode.NewCauchyReedSolomon(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := make([][]byte, 6)
+	for i := range shards {
+		shards[i] = make([]byte, 16)
+		for j := range shards[i] {
+			shards[i][j] = byte(i*3 + j)
+		}
+	}
+	if err := enc.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	orig := append([]byte(nil), shards[2]...)
+	shards[2] = nil
+	shards[5] = nil
+	if err := enc.Reconstruct(shards); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(shards[2], orig) {
+		t.Fatal("CRS facade reconstruct mismatch")
+	}
+}
+
+func TestFacadeJournaledArray(t *testing.T) {
+	code, err := dcode.New(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devs := make([]dcode.Device, code.Cols())
+	for i := range devs {
+		devs[i] = dcode.NewMemDevice(int64(code.Rows()) * 64 * 4)
+	}
+	arr, err := dcode.NewJournaledArray(code, devs, 64, 4, dcode.NewMemDevice(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("journaled write")
+	if _, err := arr.WriteAt(payload, 10); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	if _, err := arr.ReadAt(got, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("journaled array round trip mismatch")
+	}
+}
+
+func TestFacadeShortenedRDPViaInternalParity(t *testing.T) {
+	// The facade exposes prime-parameter constructors; shortened RDP is an
+	// internal extension — double-check the facade's RDP matches the
+	// unshortened geometry so users are not surprised.
+	c, err := dcode.NewRDP(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cols() != 8 || c.DataColumns() != 6 {
+		t.Fatalf("RDP facade geometry: %d cols, %d data cols", c.Cols(), c.DataColumns())
+	}
+}
+
+func TestFacadeShortenedRDP(t *testing.T) {
+	c, err := dcode.NewShortenedRDP(4) // p would be 5
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cols() != 6 || c.DataColumns() != 4 {
+		t.Fatalf("shortened geometry: %d cols, %d data", c.Cols(), c.DataColumns())
+	}
+	if err := dcode.VerifyMDS(c, 8); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,22 @@
+// Package dcode is a pure-Go, stdlib-only implementation of D-Code — the
+// RAID-6 MDS array code of Fu & Shu, "D-Code: An Efficient RAID-6 Code to
+// Optimize I/O Loads and Read Performance" (IPDPS 2015) — together with the
+// full set of RAID-6 codes the paper compares against (RDP, X-Code, H-Code,
+// HDP, EVENODD and Reed-Solomon), a software RAID-6 array engine that runs
+// on any of them, and the simulation harnesses that regenerate every figure
+// of the paper's evaluation.
+//
+// # Quick start
+//
+//	code, err := dcode.New(7)               // D-Code over 7 disks
+//	s := code.NewStripe(4096)               // 7×7 stripe of 4 KiB elements
+//	// ... fill the data rows (rows 0..4) ...
+//	code.Encode(s)                          // compute both parity rows
+//	err = code.Reconstruct(s, 2, 3)         // repair any two lost disks
+//
+// For a byte-addressed volume with failure handling, rebuild and scrubbing,
+// see NewArray. For the paper's experiments, see the cmd/ tools and the
+// benchmarks in bench_test.go; DESIGN.md maps every figure to the module and
+// command that regenerates it, and EXPERIMENTS.md records measured results
+// against the paper's.
+package dcode

@@ -1,0 +1,75 @@
+package dcode_test
+
+import (
+	"fmt"
+
+	"dcode"
+)
+
+// Encode a stripe, lose two disks, recover.
+func Example() {
+	code, err := dcode.New(7)
+	if err != nil {
+		panic(err)
+	}
+	s := code.NewStripe(16)
+	copy(s.Elem(0, 0), []byte("hello raid-6"))
+	code.Encode(s)
+
+	s.ZeroColumn(0)
+	s.ZeroColumn(4)
+	if err := code.Reconstruct(s, 0, 4); err != nil {
+		panic(err)
+	}
+	fmt.Println(string(s.Elem(0, 0)[:12]))
+	// Output: hello raid-6
+}
+
+// Inspect D-Code's layout and complexity metrics.
+func ExampleNew() {
+	code, _ := dcode.New(7)
+	m := code.ComputeMetrics()
+	fmt.Printf("%s: %d disks, %d data elements/stripe\n", code.Name(), code.Cols(), code.DataElems())
+	fmt.Printf("encode XORs per data element: %.2f (optimal 2-2/(n-2))\n", m.EncodeXORPerData)
+	fmt.Printf("parity updates per small write: %.0f (optimal)\n", m.UpdateAvg)
+	// Output:
+	// D-Code: 7 disks, 35 data elements/stripe
+	// encode XORs per data element: 1.60 (optimal 2-2/(n-2))
+	// parity updates per small write: 2 (optimal)
+}
+
+// A byte-addressed RAID-6 volume that survives a disk failure.
+func ExampleNewArray() {
+	code, _ := dcode.New(5)
+	devs := make([]dcode.Device, code.Cols())
+	mems := make([]*dcode.MemDevice, code.Cols())
+	for i := range devs {
+		mems[i] = dcode.NewMemDevice(5 * 64 * 8)
+		devs[i] = mems[i]
+	}
+	arr, _ := dcode.NewArray(code, devs, 64, 8)
+
+	arr.WriteAt([]byte("important data"), 100)
+	mems[2].Fail()
+
+	buf := make([]byte, 14)
+	arr.ReadAt(buf, 100)
+	fmt.Println(string(buf))
+	// Output: important data
+}
+
+// Reed-Solomon P+Q as the general-purpose comparison baseline.
+func ExampleNewReedSolomon() {
+	enc, _ := dcode.NewReedSolomon(4, 2)
+	shards := make([][]byte, 6)
+	for i := range shards {
+		shards[i] = make([]byte, 8)
+	}
+	copy(shards[0], "shard-0!")
+	enc.Encode(shards)
+
+	shards[0] = nil // lose a shard
+	enc.Reconstruct(shards)
+	fmt.Println(string(shards[0]))
+	// Output: shard-0!
+}

@@ -1,0 +1,105 @@
+// File system scenario (the paper's read-write evenly mixed workload): a
+// tiny block file store on top of a file-backed D-Code array — data survives
+// process restarts and two pulled disks.
+//
+//	go run ./examples/filesystem
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"dcode"
+)
+
+const (
+	elemSize = 1024
+	stripes  = 32
+	slotSize = 8 * 1024 // fixed-size file slots, like a simple FAT
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "dcode-fs")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	code, err := dcode.New(5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	open := func() *dcode.Array {
+		devs := make([]dcode.Device, code.Cols())
+		for i := range devs {
+			d, err := dcode.OpenFileDevice(
+				filepath.Join(dir, fmt.Sprintf("disk%d.img", i)),
+				int64(code.Rows())*elemSize*stripes)
+			if err != nil {
+				log.Fatal(err)
+			}
+			devs[i] = d
+		}
+		arr, err := dcode.NewArray(code, devs, elemSize, stripes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return arr
+	}
+
+	// Session 1: write some "files".
+	arr := open()
+	files := map[int][]byte{
+		0: []byte("config: replication=raid6 code=dcode p=5\n"),
+		1: bytes.Repeat([]byte("log line about nothing in particular\n"), 100),
+		2: bytes.Repeat([]byte{0xDE, 0xAD, 0xBE, 0xEF}, 1500),
+	}
+	for slot, content := range files {
+		if _, err := arr.WriteAt(content, int64(slot)*slotSize); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("wrote %d files onto %s across %d image files in %s\n",
+		len(files), code.Name(), code.Cols(), dir)
+
+	// Simulate a crash: drop the array struct, "pull" two disks by deleting
+	// their images, and remount.
+	for _, i := range []int{1, 3} {
+		if err := os.Truncate(filepath.Join(dir, fmt.Sprintf("disk%d.img", i)), 0); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("pulled disks 1 and 3 (images truncated); remounting")
+	arr = open()
+	// The truncated images read as zeros — tell the array they are dead so
+	// it reconstructs instead of trusting them.
+	arr.FailDisk(1)
+	arr.FailDisk(3)
+
+	for slot, content := range files {
+		got := make([]byte, len(content))
+		if _, err := arr.ReadAt(got, int64(slot)*slotSize); err != nil {
+			log.Fatalf("file %d: %v", slot, err)
+		}
+		if !bytes.Equal(got, content) {
+			log.Fatalf("file %d corrupted after double disk loss", slot)
+		}
+		fmt.Printf("file %d: %d bytes intact after double disk loss\n", slot, len(content))
+	}
+
+	// Rebuild the replacements in place and verify the array is healthy.
+	for _, i := range []int{1, 3} {
+		if err := arr.Rebuild(i); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fixed, err := arr.Scrub()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rebuilt both disks; scrub found %d inconsistent stripes\n", fixed)
+}

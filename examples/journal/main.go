@@ -1,0 +1,82 @@
+// Write-hole scenario: power fails between a data write and its parity
+// updates. Without a journal the stripe is silently inconsistent; with the
+// write-intent journal, remounting replays the dirty stripe.
+//
+//	go run ./examples/journal
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dcode"
+)
+
+const (
+	elemSize = 1024
+	stripes  = 16
+)
+
+func main() {
+	code, err := dcode.New(5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mems := make([]*dcode.MemDevice, code.Cols())
+	devs := make([]dcode.Device, code.Cols())
+	for i := range devs {
+		mems[i] = dcode.NewMemDevice(int64(code.Rows()) * elemSize * stripes)
+		devs[i] = mems[i]
+	}
+	journal := dcode.NewMemDevice(4096)
+
+	arr, err := dcode.NewJournaledArray(code, devs, elemSize, stripes, journal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	payload := make([]byte, arr.Size())
+	for i := range payload {
+		payload[i] = byte(i * 13)
+	}
+	if _, err := arr.WriteAt(payload, 0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("volume filled; journal attached")
+
+	// Power loss: the parity disks' volatile caches drop every write from
+	// now on, and the journal device persists only the next record (the
+	// intent). Then a small write lands.
+	co := code.DataCoord(0)
+	for _, gi := range code.UpdateGroups(co.Row, co.Col) {
+		p := code.Groups()[gi].Parity
+		mems[p.Col].SetWriteLimit(0)
+	}
+	journal.SetWriteLimit(1)
+	if _, err := arr.WriteAt([]byte("written moments before the crash"), 0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("small write issued; parity updates lost in the crash (write hole)")
+
+	// Power restored.
+	for _, m := range mems {
+		m.SetWriteLimit(-1)
+	}
+	journal.SetWriteLimit(-1)
+
+	// Remount with the journal: the dirty stripe is re-encoded.
+	arr2, err := dcode.NewJournaledArray(code, devs, elemSize, stripes, journal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fixed, err := arr2.Scrub()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after journaled remount: scrub found %d inconsistent stripes\n", fixed)
+
+	buf := make([]byte, 32)
+	if _, err := arr2.ReadAt(buf, 0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("the crashed write survived: %q\n", string(buf))
+}

@@ -1,0 +1,3 @@
+module dcode
+
+go 1.22

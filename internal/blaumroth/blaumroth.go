@@ -1,0 +1,96 @@
+// Package blaumroth implements the Blaum-Roth RAID-6 codes (IEEE Trans. IT
+// 1999), the lowest-density MDS array-code family the D-Code paper's related
+// work cites alongside Liberation.
+//
+// A Blaum-Roth code works over the ring R_p = GF(2)[x]/M_p(x) with
+// M_p(x) = 1 + x + ... + x^(p-1) for a prime p: each disk element is a ring
+// element of w = p-1 packet rows. Data disks 0..k-1 (k ≤ p-1) carry
+// coefficients 1, x, x², ... in the Q parity:
+//
+//	P = Σ D_i            (packet-wise XOR)
+//	Q = Σ x^i · D_i      (multiplication in R_p)
+//
+// Multiplication by x^i is a w×w bit matrix, so the whole code is XOR-only
+// and maps onto the generic erasure engine with w rows and k+2 columns, the
+// same way Liberation does.
+package blaumroth
+
+import (
+	"fmt"
+
+	"dcode/internal/erasure"
+)
+
+// Name is the code's display name.
+const Name = "Blaum-Roth"
+
+// New constructs a Blaum-Roth code with k data disks over the ring R_p;
+// p must be prime and k ≤ p-1.
+func New(k, p int) (*erasure.Code, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("blaumroth: need at least 2 data disks, got %d", k)
+	}
+	if !erasure.IsPrime(p) || k > p-1 {
+		return nil, fmt.Errorf("blaumroth: p = %d must be prime with k = %d ≤ p-1", p, k)
+	}
+	w := p - 1
+	cols := k + 2
+	groups := make([]erasure.Group, 0, 2*w)
+
+	// P parity: packet-wise XOR.
+	for j := 0; j < w; j++ {
+		row := make([]erasure.Coord, 0, k)
+		for i := 0; i < k; i++ {
+			row = append(row, erasure.Coord{Row: j, Col: i})
+		}
+		groups = append(groups, erasure.Group{
+			Kind:    erasure.KindHorizontal,
+			Parity:  erasure.Coord{Row: j, Col: k},
+			Members: row,
+		})
+	}
+
+	// Q parity: packet j covers data packet (s, i) when coefficient j of
+	// x^(i+s) mod M_p(x) is set. Precompute x^t for t = 0..(k-1)+(w-1).
+	powers := xPowers(w, k+w-1)
+	for j := 0; j < w; j++ {
+		var members []erasure.Coord
+		for i := 0; i < k; i++ {
+			for s := 0; s < w; s++ {
+				if powers[i+s][j] {
+					members = append(members, erasure.Coord{Row: s, Col: i})
+				}
+			}
+		}
+		groups = append(groups, erasure.Group{
+			Kind:    erasure.KindDiagonal,
+			Parity:  erasure.Coord{Row: j, Col: k + 1},
+			Members: members,
+		})
+	}
+	return erasure.New(Name, p, w, cols, groups)
+}
+
+// NewFull constructs the maximal-width configuration: p-1 data disks.
+func NewFull(p int) (*erasure.Code, error) { return New(p-1, p) }
+
+// xPowers returns the coefficient vectors of x^0 .. x^max in
+// GF(2)[x]/M_p(x) with basis x^0..x^(w-1): multiplying by x shifts the
+// coefficients up and reduces x^(p-1) to 1 + x + ... + x^(p-2).
+func xPowers(w, max int) [][]bool {
+	out := make([][]bool, max+1)
+	cur := make([]bool, w)
+	cur[0] = true
+	out[0] = append([]bool(nil), cur...)
+	for t := 1; t <= max; t++ {
+		next := make([]bool, w)
+		carry := cur[w-1]
+		next[0] = carry
+		for j := 1; j < w; j++ {
+			next[j] = cur[j-1] != carry
+		}
+		cur = next
+		out[t] = append([]bool(nil), cur...)
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package blaumroth
+
+import (
+	"testing"
+
+	"dcode/internal/erasure"
+)
+
+func TestNewRejectsBadParameters(t *testing.T) {
+	for _, kp := range [][2]int{{1, 5}, {5, 5}, {5, 6}, {7, 7}, {3, 4}} {
+		if _, err := New(kp[0], kp[1]); err == nil {
+			t.Errorf("New(%d,%d) accepted", kp[0], kp[1])
+		}
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	c, err := New(4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rows() != 6 || c.Cols() != 6 {
+		t.Fatalf("geometry %d×%d, want 6×6 (w = p-1 rows, k+2 cols)", c.Rows(), c.Cols())
+	}
+	if c.DataElems() != 4*6 {
+		t.Fatalf("data packets = %d, want 24", c.DataElems())
+	}
+	if c.DataColumns() != 4 {
+		t.Fatalf("DataColumns = %d", c.DataColumns())
+	}
+}
+
+// Disk 0's Q coefficient is x^0 = 1: identity pattern.
+func TestX0IsIdentity(t *testing.T) {
+	c, err := New(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 4; j++ {
+		g := c.Groups()[c.ParityGroup(j, 4)]
+		count := 0
+		for _, m := range g.Members {
+			if m.Col == 0 {
+				count++
+				if m.Row != j {
+					t.Fatalf("x^0 not identity at packet %d", j)
+				}
+			}
+		}
+		if count != 1 {
+			t.Fatalf("disk-0 column weight %d at packet %d", count, j)
+		}
+	}
+}
+
+// The ring powers must satisfy x^(p-1) = 1 + x + ... + x^(p-2) and
+// x^p = x^0 (order p in the quotient by M_p | x^p - 1... x^p ≡ 1).
+func TestRingPowers(t *testing.T) {
+	p := 7
+	w := p - 1
+	pw := xPowers(w, p)
+	for j := 0; j < w; j++ {
+		if !pw[p-1][j] {
+			t.Fatalf("x^(p-1) coefficient %d not 1 (all-ones reduction)", j)
+		}
+	}
+	for j := 0; j < w; j++ {
+		want := j == 0
+		if pw[p][j] != want {
+			t.Fatalf("x^p != 1 at coefficient %d", j)
+		}
+	}
+}
+
+func TestMDS(t *testing.T) {
+	cases := [][2]int{{2, 5}, {4, 5}, {4, 7}, {6, 7}, {10, 11}, {12, 13}}
+	if testing.Short() {
+		cases = [][2]int{{4, 5}, {6, 7}}
+	}
+	for _, kp := range cases {
+		c, err := New(kp[0], kp[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := erasure.VerifyMDS(c, 8); err != nil {
+			t.Fatalf("k=%d p=%d: %v", kp[0], kp[1], err)
+		}
+	}
+}
+
+// Blaum-Roth is denser than Liberation but still near the minimum: the Q
+// matrices average just above w ones per column for small i.
+func TestEncodeDensityReasonable(t *testing.T) {
+	c, err := NewFull(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.ComputeMetrics()
+	if m.EncodeXORPerData >= 3 || m.EncodeXORPerData <= 1.5 {
+		t.Fatalf("encode XOR/data = %v, outside the plausible band", m.EncodeXORPerData)
+	}
+}

@@ -1,0 +1,202 @@
+// Package blockdev provides the block-device abstraction the RAID engine
+// stores columns on: an in-memory device with fault injection for tests and
+// simulations, and a file-backed device for real use.
+package blockdev
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// ErrFailed is returned by a device that has been failed (by fault injection
+// or a detected error); the RAID layer treats it as a dead disk.
+var ErrFailed = errors.New("blockdev: device failed")
+
+// ErrBadSector is returned when a read touches an injected bad sector.
+var ErrBadSector = errors.New("blockdev: unreadable sector")
+
+// Device is a fixed-size random-access block device.
+type Device interface {
+	// ReadAt fills p from the device starting at off.
+	ReadAt(p []byte, off int64) (int, error)
+	// WriteAt stores p to the device starting at off.
+	WriteAt(p []byte, off int64) (int, error)
+	// Size returns the device capacity in bytes.
+	Size() int64
+	// Close releases the device.
+	Close() error
+}
+
+// Stats counts device accesses; useful to check I/O claims experimentally.
+type Stats struct {
+	Reads, Writes           int64
+	BytesRead, BytesWritten int64
+}
+
+// MemDevice is an in-memory Device with fault injection. It is safe for
+// concurrent use.
+type MemDevice struct {
+	mu         sync.Mutex
+	buf        []byte
+	failed     bool
+	bad        map[int64]bool // offsets (byte granularity ranges rounded by caller) marked unreadable
+	writeLimit int64          // -1: unlimited; otherwise remaining persisted writes
+	stats      Stats
+}
+
+// NewMem allocates a zeroed in-memory device of the given size.
+func NewMem(size int64) *MemDevice {
+	if size < 0 {
+		panic(fmt.Sprintf("blockdev: negative size %d", size))
+	}
+	return &MemDevice{buf: make([]byte, size), bad: make(map[int64]bool), writeLimit: -1}
+}
+
+// SetWriteLimit models a power loss with a volatile write cache: the next n
+// WriteAt calls persist normally, and every call after that reports success
+// without persisting anything. Pass a negative n to lift the limit.
+func (d *MemDevice) SetWriteLimit(n int64) {
+	d.mu.Lock()
+	d.writeLimit = n
+	d.mu.Unlock()
+}
+
+func (d *MemDevice) checkRange(p []byte, off int64) error {
+	if off < 0 || off+int64(len(p)) > int64(len(d.buf)) {
+		return fmt.Errorf("blockdev: range [%d,%d) outside device of %d bytes", off, off+int64(len(p)), len(d.buf))
+	}
+	return nil
+}
+
+// ReadAt implements Device.
+func (d *MemDevice) ReadAt(p []byte, off int64) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failed {
+		return 0, ErrFailed
+	}
+	if err := d.checkRange(p, off); err != nil {
+		return 0, err
+	}
+	for b := range d.bad {
+		if b >= off && b < off+int64(len(p)) {
+			return 0, ErrBadSector
+		}
+	}
+	copy(p, d.buf[off:])
+	d.stats.Reads++
+	d.stats.BytesRead += int64(len(p))
+	return len(p), nil
+}
+
+// WriteAt implements Device. Writing over a bad sector heals it, as
+// rewriting a real sector remaps it.
+func (d *MemDevice) WriteAt(p []byte, off int64) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failed {
+		return 0, ErrFailed
+	}
+	if err := d.checkRange(p, off); err != nil {
+		return 0, err
+	}
+	if d.writeLimit == 0 {
+		// Lost in the volatile cache: report success, persist nothing.
+		d.stats.Writes++
+		d.stats.BytesWritten += int64(len(p))
+		return len(p), nil
+	}
+	if d.writeLimit > 0 {
+		d.writeLimit--
+	}
+	copy(d.buf[off:], p)
+	for b := range d.bad {
+		if b >= off && b < off+int64(len(p)) {
+			delete(d.bad, b)
+		}
+	}
+	d.stats.Writes++
+	d.stats.BytesWritten += int64(len(p))
+	return len(p), nil
+}
+
+// Size implements Device.
+func (d *MemDevice) Size() int64 { return int64(len(d.buf)) }
+
+// Close implements Device.
+func (d *MemDevice) Close() error { return nil }
+
+// Fail makes every subsequent access return ErrFailed.
+func (d *MemDevice) Fail() {
+	d.mu.Lock()
+	d.failed = true
+	d.mu.Unlock()
+}
+
+// Replace swaps in fresh zeroed media (a replacement disk) and clears the
+// failure state; contents are lost.
+func (d *MemDevice) Replace() {
+	d.mu.Lock()
+	d.buf = make([]byte, len(d.buf))
+	d.failed = false
+	d.bad = make(map[int64]bool)
+	d.stats = Stats{}
+	d.mu.Unlock()
+}
+
+// InjectBadSector marks the byte at off unreadable until it is rewritten.
+func (d *MemDevice) InjectBadSector(off int64) {
+	d.mu.Lock()
+	d.bad[off] = true
+	d.mu.Unlock()
+}
+
+// Stats returns a snapshot of the access counters.
+func (d *MemDevice) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// Corrupt flips a byte in place without going through WriteAt, simulating
+// silent media corruption for scrub tests.
+func (d *MemDevice) Corrupt(off int64) {
+	d.mu.Lock()
+	if off >= 0 && off < int64(len(d.buf)) {
+		d.buf[off] ^= 0xFF
+	}
+	d.mu.Unlock()
+}
+
+// FileDevice is a Device backed by a file.
+type FileDevice struct {
+	f    *os.File
+	size int64
+}
+
+// OpenFile creates (truncating to size) or opens a file-backed device.
+func OpenFile(path string, size int64) (*FileDevice, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &FileDevice{f: f, size: size}, nil
+}
+
+// ReadAt implements Device.
+func (d *FileDevice) ReadAt(p []byte, off int64) (int, error) { return d.f.ReadAt(p, off) }
+
+// WriteAt implements Device.
+func (d *FileDevice) WriteAt(p []byte, off int64) (int, error) { return d.f.WriteAt(p, off) }
+
+// Size implements Device.
+func (d *FileDevice) Size() int64 { return d.size }
+
+// Close implements Device.
+func (d *FileDevice) Close() error { return d.f.Close() }

@@ -1,0 +1,164 @@
+package blockdev
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+func TestMemReadWriteRoundTrip(t *testing.T) {
+	d := NewMem(64)
+	if d.Size() != 64 {
+		t.Fatalf("size = %d", d.Size())
+	}
+	data := []byte("hello block device")
+	if n, err := d.WriteAt(data, 8); err != nil || n != len(data) {
+		t.Fatalf("WriteAt = %d, %v", n, err)
+	}
+	got := make([]byte, len(data))
+	if n, err := d.ReadAt(got, 8); err != nil || n != len(data) {
+		t.Fatalf("ReadAt = %d, %v", n, err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemRangeChecks(t *testing.T) {
+	d := NewMem(16)
+	if _, err := d.ReadAt(make([]byte, 8), 10); err == nil {
+		t.Fatal("overlong read accepted")
+	}
+	if _, err := d.WriteAt(make([]byte, 8), -1); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+}
+
+func TestMemNegativeSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMem(-1) did not panic")
+		}
+	}()
+	NewMem(-1)
+}
+
+func TestMemFailAndReplace(t *testing.T) {
+	d := NewMem(16)
+	d.WriteAt([]byte{1, 2, 3}, 0)
+	d.Fail()
+	if _, err := d.ReadAt(make([]byte, 1), 0); !errors.Is(err, ErrFailed) {
+		t.Fatalf("read after Fail: %v", err)
+	}
+	if _, err := d.WriteAt([]byte{1}, 0); !errors.Is(err, ErrFailed) {
+		t.Fatalf("write after Fail: %v", err)
+	}
+	d.Replace()
+	got := make([]byte, 3)
+	if _, err := d.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{0, 0, 0}) {
+		t.Fatal("Replace did not blank the media")
+	}
+}
+
+func TestMemBadSector(t *testing.T) {
+	d := NewMem(32)
+	d.InjectBadSector(5)
+	if _, err := d.ReadAt(make([]byte, 8), 0); !errors.Is(err, ErrBadSector) {
+		t.Fatal("bad sector not reported")
+	}
+	// A read that avoids the sector succeeds.
+	if _, err := d.ReadAt(make([]byte, 4), 8); err != nil {
+		t.Fatal(err)
+	}
+	// Rewriting heals it.
+	if _, err := d.WriteAt(make([]byte, 8), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ReadAt(make([]byte, 8), 0); err != nil {
+		t.Fatalf("sector still bad after rewrite: %v", err)
+	}
+}
+
+func TestMemStats(t *testing.T) {
+	d := NewMem(32)
+	d.WriteAt(make([]byte, 8), 0)
+	d.ReadAt(make([]byte, 4), 0)
+	d.ReadAt(make([]byte, 4), 4)
+	s := d.Stats()
+	if s.Writes != 1 || s.Reads != 2 || s.BytesWritten != 8 || s.BytesRead != 8 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestMemCorrupt(t *testing.T) {
+	d := NewMem(8)
+	d.WriteAt([]byte{0xAA}, 3)
+	d.Corrupt(3)
+	got := make([]byte, 1)
+	d.ReadAt(got, 3)
+	if got[0] != 0x55 {
+		t.Fatalf("corrupt byte = %x, want flipped 0x55", got[0])
+	}
+	d.Corrupt(100) // out of range: no-op, no panic
+}
+
+func TestFileDevice(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dev.img")
+	d, err := OpenFile(path, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.Size() != 1024 {
+		t.Fatalf("size = %d", d.Size())
+	}
+	data := []byte("persisted")
+	if _, err := d.WriteAt(data, 100); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := d.ReadAt(got, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("file device round trip mismatch")
+	}
+}
+
+func TestOpenFileBadPath(t *testing.T) {
+	if _, err := OpenFile(filepath.Join(t.TempDir(), "no", "such", "dir", "x"), 16); err == nil {
+		t.Fatal("bad path accepted")
+	}
+}
+
+func TestSetWriteLimit(t *testing.T) {
+	d := NewMem(16)
+	d.SetWriteLimit(1)
+	if _, err := d.WriteAt([]byte{1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Second write reports success but must not persist (volatile cache).
+	if _, err := d.WriteAt([]byte{2}, 1); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 2)
+	d.ReadAt(got, 0)
+	if got[0] != 1 || got[1] != 0 {
+		t.Fatalf("persistence = %v, want [1 0]", got)
+	}
+	d.SetWriteLimit(-1)
+	if _, err := d.WriteAt([]byte{3}, 1); err != nil {
+		t.Fatal(err)
+	}
+	d.ReadAt(got, 0)
+	if got[1] != 3 {
+		t.Fatal("lifting the limit did not restore persistence")
+	}
+}

@@ -1,0 +1,106 @@
+// Package codes is the registry of every RAID-6 array code in this
+// repository. The simulators, command-line tools, benchmarks and the public
+// facade all enumerate codes through it, so adding a code here makes it show
+// up everywhere.
+package codes
+
+import (
+	"fmt"
+	"sort"
+
+	"dcode/internal/blaumroth"
+	"dcode/internal/core"
+	"dcode/internal/erasure"
+	"dcode/internal/evenodd"
+	"dcode/internal/hcode"
+	"dcode/internal/hdp"
+	"dcode/internal/liberation"
+	"dcode/internal/pcode"
+	"dcode/internal/rdp"
+	"dcode/internal/xcode"
+)
+
+// Constructor builds a code instance for a prime parameter p.
+type Constructor func(p int) (*erasure.Code, error)
+
+// Entry describes one registered code.
+type Entry struct {
+	// ID is the short lower-case identifier used on command lines.
+	ID string
+	// Name is the display name used in tables (matches the papers).
+	Name string
+	// New constructs the code for a prime p.
+	New Constructor
+	// Paper is the primary citation.
+	Paper string
+}
+
+// registry holds the comparison set of the D-Code paper first, in the order
+// its figures list them, then the extension baselines.
+var registry = []Entry{
+	{ID: "rdp", Name: rdp.Name, New: rdp.New, Paper: "Corbett et al., FAST 2004"},
+	{ID: "hcode", Name: hcode.Name, New: hcode.New, Paper: "Wu et al., IPDPS 2011"},
+	{ID: "hdp", Name: hdp.Name, New: hdp.New, Paper: "Wu et al., DSN 2011"},
+	{ID: "xcode", Name: xcode.Name, New: xcode.New, Paper: "Xu & Bruck, IEEE Trans. IT 1999"},
+	{ID: "dcode", Name: core.Name, New: core.New, Paper: "Fu & Shu, IPDPS 2015"},
+	{ID: "evenodd", Name: evenodd.Name, New: evenodd.New, Paper: "Blaum, Bruck & Menon, 1995"},
+	{ID: "pcode", Name: pcode.Name, New: pcode.New, Paper: "Jin, Jiang & Zhou, 2009"},
+	{ID: "liberation", Name: liberation.Name, New: liberation.NewFull, Paper: "Plank, FAST 2008"},
+	{ID: "blaumroth", Name: blaumroth.Name, New: blaumroth.NewFull, Paper: "Blaum & Roth, IEEE Trans. IT 1999"},
+}
+
+// PaperPrimes are the prime parameters the paper evaluates at.
+var PaperPrimes = []int{5, 7, 11, 13}
+
+// All returns every registered code, paper comparison set first.
+func All() []Entry {
+	out := make([]Entry, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// comparisonIDs are the codes of the paper's evaluation, in legend order.
+var comparisonIDs = []string{"rdp", "hcode", "hdp", "xcode", "dcode"}
+
+// Comparison returns the five codes of the paper's evaluation (Figures 4-7):
+// RDP, H-Code, HDP, X-Code and D-Code, in the figures' legend order.
+func Comparison() []Entry {
+	out := make([]Entry, 0, len(comparisonIDs))
+	for _, id := range comparisonIDs {
+		e, err := ByID(id)
+		if err != nil {
+			panic(err) // registry and comparison list are compile-time data
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// ByID looks a code up by its short identifier.
+func ByID(id string) (Entry, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0, len(registry))
+	for _, e := range registry {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Entry{}, fmt.Errorf("codes: unknown code %q (have %v)", id, ids)
+}
+
+// MustNew builds a code and panics on error; for tests, benchmarks and
+// examples where the parameters are compile-time constants.
+func MustNew(id string, p int) *erasure.Code {
+	e, err := ByID(id)
+	if err != nil {
+		panic(err)
+	}
+	c, err := e.New(p)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

@@ -1,0 +1,108 @@
+package codes
+
+import (
+	"testing"
+
+	"dcode/internal/erasure"
+)
+
+func TestAllConstructible(t *testing.T) {
+	for _, e := range All() {
+		for _, p := range PaperPrimes {
+			c, err := e.New(p)
+			if err != nil {
+				t.Fatalf("%s p=%d: %v", e.ID, p, err)
+			}
+			if c.Name() != e.Name {
+				t.Fatalf("%s: name %q != registry %q", e.ID, c.Name(), e.Name)
+			}
+		}
+	}
+}
+
+func TestComparisonSet(t *testing.T) {
+	cmp := Comparison()
+	if len(cmp) != 5 {
+		t.Fatalf("comparison set has %d codes, want 5", len(cmp))
+	}
+	wantOrder := []string{"rdp", "hcode", "hdp", "xcode", "dcode"}
+	for i, e := range cmp {
+		if e.ID != wantOrder[i] {
+			t.Fatalf("comparison[%d] = %s, want %s", i, e.ID, wantOrder[i])
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("dcode")
+	if err != nil || e.Name != "D-Code" {
+		t.Fatalf("ByID(dcode) = %v, %v", e, err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("ByID(nope) did not error")
+	}
+}
+
+func TestMustNew(t *testing.T) {
+	c := MustNew("xcode", 7)
+	if c.Cols() != 7 {
+		t.Fatalf("MustNew(xcode,7).Cols = %d", c.Cols())
+	}
+	for _, bad := range []func(){
+		func() { MustNew("nope", 7) },
+		func() { MustNew("dcode", 6) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("MustNew did not panic on bad input")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+// Disk counts per code, as the paper's §IV-A states them.
+func TestDiskCounts(t *testing.T) {
+	p := 11
+	want := map[string]int{
+		"rdp":        p + 1,
+		"hcode":      p + 1,
+		"hdp":        p - 1,
+		"xcode":      p,
+		"dcode":      p,
+		"evenodd":    p + 2,
+		"pcode":      p - 1,
+		"liberation": p + 2,
+		"blaumroth":  p + 1,
+	}
+	for _, e := range All() {
+		c, err := e.New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Cols() != want[e.ID] {
+			t.Fatalf("%s: %d disks, want %d", e.ID, c.Cols(), want[e.ID])
+		}
+	}
+}
+
+// The registry-wide MDS sweep at the paper's primes; the per-package tests
+// cover details, this is the cross-cutting guarantee.
+func TestRegistryMDS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive MDS sweep skipped in -short mode")
+	}
+	for _, e := range All() {
+		for _, p := range PaperPrimes {
+			c, err := e.New(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := erasure.VerifyMDS(c, 8); err != nil {
+				t.Fatalf("%s p=%d: %v", e.ID, p, err)
+			}
+		}
+	}
+}

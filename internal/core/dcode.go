@@ -1,0 +1,142 @@
+// Package core implements D-Code, the RAID-6 MDS array code of Fu & Shu
+// (IPDPS 2015), the primary contribution this repository reproduces.
+//
+// A D-Code stripe is an n×n matrix, n prime. Rows 0..n-3 hold data, row n-2
+// holds the horizontal parities and row n-1 the deployment parities:
+//
+//   - Horizontal parity groups are runs of n-2 *consecutive* data elements in
+//     row-major order (wrapping from the end of one row to the start of the
+//     next); consecutive logical data therefore shares parities, which is
+//     what drives the paper's low partial-write I/O cost and fast degraded
+//     reads.
+//   - Deployment parity groups are runs of n-2 consecutive elements along the
+//     "deployment walk" (below-left steps with the row index taken mod n-2,
+//     jumping from column 0 to the end of the same row), a special diagonal
+//     that lets all parities land evenly in the last two rows.
+//
+// The package exposes the procedural construction (the four-step rules of
+// paper §III-A), the closed forms of Eqs. (1) and (2), and the column
+// reordering of Theorem 1 relating D-Code to X-Code; the test suite checks
+// all three against each other.
+package core
+
+import (
+	"fmt"
+
+	"dcode/internal/erasure"
+)
+
+// Name is the code's display name.
+const Name = "D-Code"
+
+// New constructs the D-Code over n disks. n must be a prime ≥ 5 (the paper's
+// construction needs at least one data row and an odd prime so that the
+// deployment walk is a single cycle).
+func New(n int) (*erasure.Code, error) {
+	if !erasure.IsPrime(n) || n < 5 {
+		return nil, fmt.Errorf("dcode: n = %d is not a prime ≥ 5", n)
+	}
+	groups := make([]erasure.Group, 0, 2*n)
+
+	// Horizontal groups (paper §III-A steps 1-4): walk data cells row-major,
+	// cut into n runs of n-2; the run whose last cell is (x, y) stores its
+	// parity at (n-2, <y+1>_n).
+	hw := HorizontalWalk(n)
+	for g := 0; g < n; g++ {
+		run := hw[g*(n-2) : (g+1)*(n-2)]
+		last := run[len(run)-1]
+		groups = append(groups, erasure.Group{
+			Kind:    erasure.KindHorizontal,
+			Parity:  erasure.Coord{Row: n - 2, Col: erasure.Mod(last.Col+1, n)},
+			Members: append([]erasure.Coord(nil), run...),
+		})
+	}
+
+	// Deployment groups: walk data cells along the deployment order, cut into
+	// n runs of n-2; run g stores its parity at (n-1, <2(g+1)>_n).
+	dw := DeploymentWalk(n)
+	for g := 0; g < n; g++ {
+		run := dw[g*(n-2) : (g+1)*(n-2)]
+		groups = append(groups, erasure.Group{
+			Kind:    erasure.KindDeployment,
+			Parity:  erasure.Coord{Row: n - 1, Col: erasure.Mod(2*(g+1), n)},
+			Members: append([]erasure.Coord(nil), run...),
+		})
+	}
+
+	return erasure.New(Name, n, n, n, groups)
+}
+
+// HorizontalWalk returns the n(n-2) data coordinates in the paper's
+// "next horizontal element" order: row-major over the data rows, wrapping
+// from (i, n-1) to (i+1, 0).
+func HorizontalWalk(n int) []erasure.Coord {
+	walk := make([]erasure.Coord, 0, n*(n-2))
+	for r := 0; r < n-2; r++ {
+		for c := 0; c < n; c++ {
+			walk = append(walk, erasure.Coord{Row: r, Col: c})
+		}
+	}
+	return walk
+}
+
+// DeploymentWalk returns the n(n-2) data coordinates in the paper's
+// "next deployment element" order starting from (0,0): from (i, 0) the next
+// element is (i, n-1); otherwise it is (<i+1>_{n-2}, j-1).
+// The walk is a single cycle over all data cells for prime n; the constructor
+// relies on that and the tests assert it.
+func DeploymentWalk(n int) []erasure.Coord {
+	total := n * (n - 2)
+	walk := make([]erasure.Coord, 0, total)
+	cur := erasure.Coord{Row: 0, Col: 0}
+	for len(walk) < total {
+		walk = append(walk, cur)
+		if cur.Col == 0 {
+			cur = erasure.Coord{Row: cur.Row, Col: n - 1}
+		} else {
+			cur = erasure.Coord{Row: erasure.Mod(cur.Row+1, n-2), Col: cur.Col - 1}
+		}
+	}
+	return walk
+}
+
+// ClosedFormHorizontalMembers returns the member set of the horizontal
+// parity stored at column i of row n-2, straight from Eq. (1) of the paper:
+//
+//	P(n-2, i) = XOR_{j=0}^{n-3} D( <(n-3)/2 · (<i+j+2>_n - j)>_{n-2}, <i+j+2>_n )
+//
+// It exists so the tests can check the procedural construction against the
+// paper's algebra; New uses the procedural walk.
+func ClosedFormHorizontalMembers(n, i int) []erasure.Coord {
+	members := make([]erasure.Coord, 0, n-2)
+	for j := 0; j <= n-3; j++ {
+		col := erasure.Mod(i+j+2, n)
+		row := erasure.Mod((n-3)/2*(col-j), n-2)
+		members = append(members, erasure.Coord{Row: row, Col: col})
+	}
+	return members
+}
+
+// ClosedFormDeploymentMembers returns the member set of the deployment
+// parity stored at column i of row n-1, straight from Eq. (2) of the paper:
+//
+//	P(n-1, i) = XOR_{j=0}^{n-3} D( <(n-3)/2 · (<i-j-2>_n - j)>_{n-2}, <i-j-2>_n )
+func ClosedFormDeploymentMembers(n, i int) []erasure.Coord {
+	members := make([]erasure.Coord, 0, n-2)
+	for j := 0; j <= n-3; j++ {
+		col := erasure.Mod(i-j-2, n)
+		row := erasure.Mod((n-3)/2*(col-j), n-2)
+		members = append(members, erasure.Coord{Row: row, Col: col})
+	}
+	return members
+}
+
+// XCodeRowFor implements the reordering of Theorem 1: data cell (i, j) of
+// X-Code corresponds to data cell (<(n-3)/2 · (j-i)>_{n-2}, j) of D-Code.
+// Parity rows (n-2 and n-1) map to themselves.
+func XCodeRowFor(n, i, j int) int {
+	if i >= n-2 {
+		return i
+	}
+	return erasure.Mod((n-3)/2*(j-i), n-2)
+}

@@ -1,0 +1,357 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dcode/internal/erasure"
+	"dcode/internal/xcode"
+)
+
+var testPrimes = []int{5, 7, 11, 13}
+
+func mustNew(t *testing.T, n int) *erasure.Code {
+	t.Helper()
+	c, err := New(n)
+	if err != nil {
+		t.Fatalf("New(%d): %v", n, err)
+	}
+	return c
+}
+
+func TestNewRejectsBadParameters(t *testing.T) {
+	for _, n := range []int{-1, 0, 1, 2, 3, 4, 6, 9, 15, 21} {
+		if _, err := New(n); err == nil {
+			t.Errorf("New(%d) accepted; want error (prime ≥ 5 required)", n)
+		}
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	for _, n := range testPrimes {
+		c := mustNew(t, n)
+		if c.Rows() != n || c.Cols() != n {
+			t.Fatalf("n=%d: geometry %d×%d, want %d×%d", n, c.Rows(), c.Cols(), n, n)
+		}
+		if c.DataElems() != n*(n-2) {
+			t.Fatalf("n=%d: data elements = %d, want %d", n, c.DataElems(), n*(n-2))
+		}
+		if len(c.Groups()) != 2*n {
+			t.Fatalf("n=%d: groups = %d, want %d", n, len(c.Groups()), 2*n)
+		}
+		// Parities confined to the last two rows; data in the rest.
+		for r := 0; r < n; r++ {
+			for col := 0; col < n; col++ {
+				isParity := c.IsParity(r, col)
+				if (r >= n-2) != isParity {
+					t.Fatalf("n=%d: cell (%d,%d) parity=%v, want parity exactly in last 2 rows", n, r, col, isParity)
+				}
+			}
+		}
+		if c.DataColumns() != n {
+			t.Fatalf("n=%d: DataColumns = %d, want %d (all disks serve reads)", n, c.DataColumns(), n)
+		}
+	}
+}
+
+func TestDeploymentWalkIsSingleCycleCoveringAllData(t *testing.T) {
+	for _, n := range testPrimes {
+		walk := DeploymentWalk(n)
+		if len(walk) != n*(n-2) {
+			t.Fatalf("n=%d: walk length = %d, want %d", n, len(walk), n*(n-2))
+		}
+		seen := make(map[erasure.Coord]bool, len(walk))
+		for _, co := range walk {
+			if co.Row < 0 || co.Row > n-3 || co.Col < 0 || co.Col > n-1 {
+				t.Fatalf("n=%d: walk leaves the data area at %v", n, co)
+			}
+			if seen[co] {
+				t.Fatalf("n=%d: walk revisits %v", n, co)
+			}
+			seen[co] = true
+		}
+	}
+}
+
+func TestDeploymentWalkMatchesPaperExample(t *testing.T) {
+	// Paper §III-A: for n=7 the 0th..4th deployment elements are
+	// D0,0 D0,6 D1,5 D2,4 D3,3.
+	want := []erasure.Coord{{Row: 0, Col: 0}, {Row: 0, Col: 6}, {Row: 1, Col: 5}, {Row: 2, Col: 4}, {Row: 3, Col: 3}}
+	walk := DeploymentWalk(7)
+	for i, w := range want {
+		if walk[i] != w {
+			t.Fatalf("deployment element %d = %v, want %v", i, walk[i], w)
+		}
+	}
+}
+
+func TestHorizontalGroupMatchesPaperExample(t *testing.T) {
+	// Paper §III-A: for n=7, the 10th..14th horizontal elements
+	// D1,3 D1,4 D1,5 D1,6 D2,0 share parity P(5,1).
+	c := mustNew(t, 7)
+	gi := c.ParityGroup(5, 1)
+	if gi < 0 {
+		t.Fatal("no parity at (5,1)")
+	}
+	g := c.Groups()[gi]
+	want := []erasure.Coord{{Row: 1, Col: 3}, {Row: 1, Col: 4}, {Row: 1, Col: 5}, {Row: 1, Col: 6}, {Row: 2, Col: 0}}
+	if len(g.Members) != len(want) {
+		t.Fatalf("P(5,1) has %d members, want %d", len(g.Members), len(want))
+	}
+	for i, m := range g.Members {
+		if m != want[i] {
+			t.Fatalf("P(5,1) member %d = %v, want %v", i, m, want[i])
+		}
+	}
+	if g.Kind != erasure.KindHorizontal {
+		t.Fatalf("P(5,1) kind = %v", g.Kind)
+	}
+}
+
+func TestDeploymentGroupMatchesPaperExample(t *testing.T) {
+	// Paper §III-A: for n=7, letter 'A' = D0,0 D0,6 D1,5 D2,4 D3,3 with
+	// parity P(6,2).
+	c := mustNew(t, 7)
+	gi := c.ParityGroup(6, 2)
+	if gi < 0 {
+		t.Fatal("no parity at (6,2)")
+	}
+	g := c.Groups()[gi]
+	want := []erasure.Coord{{Row: 0, Col: 0}, {Row: 0, Col: 6}, {Row: 1, Col: 5}, {Row: 2, Col: 4}, {Row: 3, Col: 3}}
+	if len(g.Members) != len(want) {
+		t.Fatalf("P(6,2) has %d members, want %d", len(g.Members), len(want))
+	}
+	for i, m := range g.Members {
+		if m != want[i] {
+			t.Fatalf("P(6,2) member %d = %v, want %v", i, m, want[i])
+		}
+	}
+	if g.Kind != erasure.KindDeployment {
+		t.Fatalf("P(6,2) kind = %v", g.Kind)
+	}
+}
+
+// The procedural four-step construction must agree with the closed forms of
+// Eqs. (1) and (2).
+func TestProceduralMatchesClosedForm(t *testing.T) {
+	for _, n := range testPrimes {
+		c := mustNew(t, n)
+		for i := 0; i < n; i++ {
+			hg := c.Groups()[c.ParityGroup(n-2, i)]
+			assertSameSet(t, n, "horizontal", i, hg.Members, ClosedFormHorizontalMembers(n, i))
+			dg := c.Groups()[c.ParityGroup(n-1, i)]
+			assertSameSet(t, n, "deployment", i, dg.Members, ClosedFormDeploymentMembers(n, i))
+		}
+	}
+}
+
+func assertSameSet(t *testing.T, n int, kind string, i int, got, want []erasure.Coord) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("n=%d %s parity %d: %d members, closed form has %d", n, kind, i, len(got), len(want))
+	}
+	set := make(map[erasure.Coord]bool, len(got))
+	for _, m := range got {
+		set[m] = true
+	}
+	for _, m := range want {
+		if !set[m] {
+			t.Fatalf("n=%d %s parity %d: closed-form member %v missing from procedural group", n, kind, i, m)
+		}
+	}
+}
+
+// Every data element belongs to exactly one horizontal and one deployment
+// group — the optimal update complexity of §III-D.
+func TestEachDataElementInExactlyTwoGroups(t *testing.T) {
+	for _, n := range testPrimes {
+		c := mustNew(t, n)
+		for idx := 0; idx < c.DataElems(); idx++ {
+			co := c.DataCoord(idx)
+			gs := c.MemberOf(co.Row, co.Col)
+			if len(gs) != 2 {
+				t.Fatalf("n=%d: data %v in %d groups, want 2", n, co, len(gs))
+			}
+			kinds := map[erasure.GroupKind]bool{}
+			for _, gi := range gs {
+				kinds[c.Groups()[gi].Kind] = true
+			}
+			if !kinds[erasure.KindHorizontal] || !kinds[erasure.KindDeployment] {
+				t.Fatalf("n=%d: data %v not in one group of each kind", n, co)
+			}
+		}
+	}
+}
+
+// Each group must touch each column at most once — the property that
+// guarantees the peeling decoder always finds a starting equation.
+func TestGroupsTouchEachColumnOnce(t *testing.T) {
+	for _, n := range testPrimes {
+		c := mustNew(t, n)
+		for gi, g := range c.Groups() {
+			cols := map[int]bool{g.Parity.Col: true}
+			for _, m := range g.Members {
+				if cols[m.Col] {
+					t.Fatalf("n=%d: group %d touches column %d twice", n, gi, m.Col)
+				}
+				cols[m.Col] = true
+			}
+		}
+	}
+}
+
+// Theorem 1: reordering each column of X-Code with
+// E(i,j) -> N(<(n-3)/2·(j-i)>_{n-2}, j) yields D-Code. We check it
+// behaviourally: fill a D-Code stripe, build the X-Code stripe whose cell
+// (i,j) holds the D-Code data at the mapped coordinate, encode both, and
+// require identical parity rows.
+func TestTheorem1XCodeReordering(t *testing.T) {
+	for _, n := range testPrimes {
+		dc := mustNew(t, n)
+		xc, err := xcode.New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds := dc.NewStripe(8)
+		ds.Fill(uint64(n))
+		xs := xc.NewStripe(8)
+		for i := 0; i < n-2; i++ {
+			for j := 0; j < n; j++ {
+				copy(xs.Elem(i, j), ds.Elem(XCodeRowFor(n, i, j), j))
+			}
+		}
+		dc.Encode(ds)
+		xc.Encode(xs)
+		for r := n - 2; r < n; r++ {
+			for j := 0; j < n; j++ {
+				de, xe := ds.Elem(r, j), xs.Elem(r, j)
+				for b := range de {
+					if de[b] != xe[b] {
+						t.Fatalf("n=%d: parity (%d,%d) differs between D-Code and reordered X-Code", n, r, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMDS(t *testing.T) {
+	for _, n := range testPrimes {
+		if testing.Short() && n > 7 {
+			continue
+		}
+		if err := erasure.VerifyMDS(mustNew(t, n), 16); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Paper Fig. 3: recovering disks 2 and 3 at n=7 starts from parities that
+// avoid both failed columns and proceeds in two chains; the full chain
+// recovers all 14 lost elements, and the first recovered element is D(1,3)
+// via P(5,1) per the paper's walk-through.
+func TestRecoveryChainFigure3(t *testing.T) {
+	c := mustNew(t, 7)
+	xors, chain, err := c.SymbolicDecode(2, 3)
+	if err != nil {
+		t.Fatalf("peeling stalled: %v", err)
+	}
+	if len(chain) != 14 {
+		t.Fatalf("chain recovered %d elements, want 14", len(chain))
+	}
+	found := false
+	for _, co := range chain[:4] {
+		if co == (erasure.Coord{Row: 1, Col: 3}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("D(1,3) not among the first recovered elements: %v", chain[:4])
+	}
+	// Optimal decode complexity: n-3 XORs per lost element (paper §III-D).
+	if want := 14 * (7 - 3); xors != want {
+		t.Fatalf("decode cost = %d XORs, want %d", xors, want)
+	}
+}
+
+// §III-D: optimal encoding complexity 2 - 2/(n-2) XORs per data element and
+// optimal update complexity of exactly 2 parity updates per data element.
+func TestFeatureMetrics(t *testing.T) {
+	for _, n := range testPrimes {
+		c := mustNew(t, n)
+		m := c.ComputeMetrics()
+		want := 2.0 - 2.0/float64(n-2)
+		if diff := m.EncodeXORPerData - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("n=%d: encode XOR/data = %v, want %v", n, m.EncodeXORPerData, want)
+		}
+		if m.UpdateAvg != 2 || m.UpdateMax != 2 {
+			t.Fatalf("n=%d: update complexity avg=%v max=%d, want exactly 2", n, m.UpdateAvg, m.UpdateMax)
+		}
+		if m.StorageEfficiency != float64(n-2)/float64(n) {
+			t.Fatalf("n=%d: storage efficiency = %v", n, m.StorageEfficiency)
+		}
+		avg, stalled := c.DecodeXORPerLost()
+		if stalled != 0 {
+			t.Fatalf("n=%d: %d column pairs stalled peeling", n, stalled)
+		}
+		if want := float64(n - 3); avg != want {
+			t.Fatalf("n=%d: decode XOR/lost = %v, want %v", n, avg, want)
+		}
+	}
+}
+
+// Property test: random double erasures round-trip at a larger prime.
+func TestReconstructQuick(t *testing.T) {
+	c := mustNew(t, 11)
+	f := func(seed uint64, a, b uint8) bool {
+		f1 := int(a) % c.Cols()
+		f2 := int(b) % c.Cols()
+		s := c.NewStripe(8)
+		s.Fill(seed)
+		c.Encode(s)
+		want := s.Clone()
+		failed := []int{f1}
+		if f2 != f1 {
+			failed = append(failed, f2)
+		}
+		for _, col := range failed {
+			for r := 0; r < c.Rows(); r++ {
+				e := s.Elem(r, col)
+				for i := range e {
+					e[i] = 0x5C
+				}
+			}
+		}
+		if err := c.Reconstruct(s, failed...); err != nil {
+			return false
+		}
+		return s.Equal(want)
+	}
+	cfg := &quick.Config{MaxCount: 100}
+	if testing.Short() {
+		cfg.MaxCount = 20
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property test: single random element updates keep the stripe consistent.
+func TestUpdateDataQuick(t *testing.T) {
+	c := mustNew(t, 7)
+	s := c.NewStripe(8)
+	s.Fill(123)
+	c.Encode(s)
+	f := func(idx uint16, val uint64) bool {
+		co := c.DataCoord(int(idx) % c.DataElems())
+		nv := make([]byte, 8)
+		for i := range nv {
+			nv[i] = byte(val >> (8 * i))
+		}
+		c.UpdateData(s, co.Row, co.Col, nv)
+		return c.Verify(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

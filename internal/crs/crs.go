@@ -1,0 +1,253 @@
+// Package crs implements Cauchy Reed-Solomon coding (Blömer et al. 1995),
+// the second general-purpose baseline from the D-Code paper's related work:
+// the same MDS guarantees as classic Reed-Solomon, but with encoding
+// converted to pure XOR through bit matrices, the technique at the heart of
+// Jerasure.
+//
+// Each GF(2^8) coefficient c becomes an 8×8 bit matrix M(c) with
+// M[r][s] = bit r of c·2^s; each shard is viewed as w = 8 packets; parity
+// packet r of parity shard p is the XOR of the data packets selected by row
+// r of the matrices along generator row p. Decoding inverts the surviving
+// generator submatrix over GF(2^8) (as rs does) — the bit-matrix form only
+// changes how encoding is computed, not what it computes.
+package crs
+
+import (
+	"fmt"
+
+	"dcode/internal/gf"
+	"dcode/internal/stripe"
+)
+
+// W is the number of bit rows (packets per shard); the field is GF(2^8).
+const W = 8
+
+// Encoder encodes and reconstructs shard sets for a fixed (k, m) geometry
+// using XOR-only encoding. It is safe for concurrent use after construction.
+type Encoder struct {
+	k, m int
+	// cauchy is the m×k generator over GF(2^8) (systematic: data shards are
+	// stored verbatim, so only the parity rows are materialized).
+	cauchy *gf.Matrix
+	// plan[p][r] lists, for parity shard p's packet r, the (dataShard,
+	// packet) pairs to XOR together.
+	plan [][][]packetRef
+	// xorCount is the total XOR-of-packet operations per encoded stripe —
+	// the density figure Cauchy-coding papers optimize.
+	xorCount int
+	// schedule and scheduledXORs back EncodeScheduled (see schedule.go).
+	schedule      [][]scheduleOp
+	scheduledXORs int
+}
+
+type packetRef struct{ shard, packet int }
+
+// New constructs a Cauchy Reed-Solomon encoder with k data and m parity
+// shards; k+m must be at most 256.
+func New(k, m int) (*Encoder, error) {
+	if k <= 0 || m <= 0 {
+		return nil, fmt.Errorf("crs: need k > 0 and m > 0, got k=%d m=%d", k, m)
+	}
+	if k+m > 256 {
+		return nil, fmt.Errorf("crs: k+m = %d exceeds field size 256", k+m)
+	}
+	e := &Encoder{k: k, m: m, cauchy: gf.Cauchy(m, k)}
+	e.plan = make([][][]packetRef, m)
+	for p := 0; p < m; p++ {
+		e.plan[p] = make([][]packetRef, W)
+		for d := 0; d < k; d++ {
+			c := e.cauchy.At(p, d)
+			for s := 0; s < W; s++ {
+				col := gf.Mul(c, 1<<s) // c · 2^s: column s of the bit matrix
+				for r := 0; r < W; r++ {
+					if col>>r&1 == 1 {
+						e.plan[p][r] = append(e.plan[p][r], packetRef{shard: d, packet: s})
+						e.xorCount++
+					}
+				}
+			}
+		}
+	}
+	e.buildSchedule()
+	return e, nil
+}
+
+// NewRAID6 is the two-parity configuration.
+func NewRAID6(k int) (*Encoder, error) { return New(k, 2) }
+
+// DataShards returns k.
+func (e *Encoder) DataShards() int { return e.k }
+
+// ParityShards returns m.
+func (e *Encoder) ParityShards() int { return e.m }
+
+// XORsPerStripe returns the packet-XOR operations one Encode performs — the
+// bit-matrix density.
+func (e *Encoder) XORsPerStripe() int { return e.xorCount }
+
+// checkShards validates the shard slice; sizes must be equal and divisible
+// by W so packets line up.
+func (e *Encoder) checkShards(shards [][]byte, allowNil bool) (int, error) {
+	if len(shards) != e.k+e.m {
+		return 0, fmt.Errorf("crs: got %d shards, want %d", len(shards), e.k+e.m)
+	}
+	size := -1
+	for i, s := range shards {
+		if s == nil {
+			if !allowNil {
+				return 0, fmt.Errorf("crs: shard %d is nil", i)
+			}
+			continue
+		}
+		if size < 0 {
+			size = len(s)
+		} else if len(s) != size {
+			return 0, fmt.Errorf("crs: shard %d has length %d, want %d", i, len(s), size)
+		}
+	}
+	if size <= 0 {
+		return 0, fmt.Errorf("crs: no non-empty shards")
+	}
+	if size%W != 0 {
+		return 0, fmt.Errorf("crs: shard size %d not a multiple of w=%d", size, W)
+	}
+	return size, nil
+}
+
+// packet returns packet idx of a shard.
+func packet(shard []byte, idx int) []byte {
+	n := len(shard) / W
+	return shard[idx*n : (idx+1)*n]
+}
+
+// mulAddBitmatrix computes dst ^= M(c)·src in packet space: the CRS field
+// equations hold on the bit-transposed symbol view, so every coefficient —
+// encoding or decoding — must be applied through its bit matrix, never
+// byte-wise.
+func mulAddBitmatrix(c byte, dst, src []byte) {
+	if c == 0 {
+		return
+	}
+	for s := 0; s < W; s++ {
+		col := gf.Mul(c, 1<<s)
+		for r := 0; r < W; r++ {
+			if col>>r&1 == 1 {
+				stripe.XOR(packet(dst, r), packet(src, s))
+			}
+		}
+	}
+}
+
+// Encode computes the m parity shards from the k data shards in place using
+// only XORs.
+func (e *Encoder) Encode(shards [][]byte) error {
+	if _, err := e.checkShards(shards, false); err != nil {
+		return err
+	}
+	for p := 0; p < e.m; p++ {
+		out := shards[e.k+p]
+		for i := range out {
+			out[i] = 0
+		}
+		for r := 0; r < W; r++ {
+			dst := packet(out, r)
+			for _, ref := range e.plan[p][r] {
+				stripe.XOR(dst, packet(shards[ref.shard], ref.packet))
+			}
+		}
+	}
+	return nil
+}
+
+// Verify reports whether the parity shards match the data.
+func (e *Encoder) Verify(shards [][]byte) (bool, error) {
+	size, err := e.checkShards(shards, false)
+	if err != nil {
+		return false, err
+	}
+	buf := make([]byte, size)
+	for p := 0; p < e.m; p++ {
+		for i := range buf {
+			buf[i] = 0
+		}
+		for r := 0; r < W; r++ {
+			dst := packet(buf, r)
+			for _, ref := range e.plan[p][r] {
+				stripe.XOR(dst, packet(shards[ref.shard], ref.packet))
+			}
+		}
+		for i := range buf {
+			if buf[i] != shards[e.k+p][i] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// Reconstruct rebuilds every nil shard in place (up to m of them), by
+// inverting the surviving generator rows over GF(2^8).
+func (e *Encoder) Reconstruct(shards [][]byte) error {
+	size, err := e.checkShards(shards, true)
+	if err != nil {
+		return err
+	}
+	var missing, present []int
+	for i, s := range shards {
+		if s == nil {
+			missing = append(missing, i)
+		} else {
+			present = append(present, i)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	if len(missing) > e.m {
+		return fmt.Errorf("crs: %d shards missing, can tolerate at most %d", len(missing), e.m)
+	}
+
+	// Full generator: identity on top, Cauchy below.
+	genRow := func(i int) []byte {
+		row := make([]byte, e.k)
+		if i < e.k {
+			row[i] = 1
+		} else {
+			copy(row, e.cauchy.Row(i-e.k))
+		}
+		return row
+	}
+	sub := gf.NewMatrix(e.k, e.k)
+	for r := 0; r < e.k; r++ {
+		copy(sub.Row(r), genRow(present[r]))
+	}
+	inv, err := sub.Invert()
+	if err != nil {
+		return fmt.Errorf("crs: decode matrix singular: %w", err)
+	}
+	recoverRow := func(coeffs []byte, dst []byte) {
+		for r := 0; r < e.k; r++ {
+			mulAddBitmatrix(coeffs[r], dst, shards[present[r]])
+		}
+	}
+	for _, idx := range missing {
+		if idx >= e.k {
+			continue
+		}
+		dst := make([]byte, size)
+		recoverRow(inv.Row(idx), dst)
+		shards[idx] = dst
+	}
+	for _, idx := range missing {
+		if idx < e.k {
+			continue
+		}
+		dst := make([]byte, size)
+		coeffs := e.cauchy.Row(idx - e.k)
+		for d := 0; d < e.k; d++ {
+			mulAddBitmatrix(coeffs[d], dst, shards[d])
+		}
+		shards[idx] = dst
+	}
+	return nil
+}

@@ -1,0 +1,283 @@
+package crs
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"dcode/internal/gf"
+)
+
+func fillShards(k, m, size int, seed byte) [][]byte {
+	shards := make([][]byte, k+m)
+	for i := range shards {
+		shards[i] = make([]byte, size)
+		if i < k {
+			for j := range shards[i] {
+				shards[i][j] = byte(j)*5 + byte(i)*11 + seed
+			}
+		}
+	}
+	return shards
+}
+
+func TestNewRejectsBadParameters(t *testing.T) {
+	for _, km := range [][2]int{{0, 2}, {2, 0}, {255, 2}} {
+		if _, err := New(km[0], km[1]); err == nil {
+			t.Errorf("New(%d,%d) accepted", km[0], km[1])
+		}
+	}
+}
+
+func TestShardValidation(t *testing.T) {
+	e, _ := NewRAID6(3)
+	if err := e.Encode(make([][]byte, 4)); err == nil {
+		t.Fatal("wrong shard count accepted")
+	}
+	shards := fillShards(3, 2, 16, 0)
+	shards[1] = make([]byte, 8)
+	if err := e.Encode(shards); err == nil {
+		t.Fatal("ragged shards accepted")
+	}
+	// Shard size must be a multiple of W.
+	odd := fillShards(3, 2, 12, 0)
+	if err := e.Encode(odd); err == nil {
+		t.Fatal("size not divisible by w accepted")
+	}
+}
+
+// The bit-matrix XOR encoding must compute exactly the GF(2^8) Cauchy
+// products. For every packet byte index i and bit position b, the bits
+// (bit b of data packet s, byte i) assemble a field symbol X_d; the encoded
+// parity bits at the same position must assemble Σ c_{p,d}·X_d.
+func TestBitmatrixMatchesFieldArithmetic(t *testing.T) {
+	for _, k := range []int{3, 5, 10} {
+		e, err := NewRAID6(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const size = 64
+		shards := fillShards(k, 2, size, byte(k))
+		if err := e.Encode(shards); err != nil {
+			t.Fatal(err)
+		}
+		n := size / W
+		symbol := func(shard []byte, i, b int) byte {
+			var sym byte
+			for s := 0; s < W; s++ {
+				sym |= (packet(shard, s)[i] >> b & 1) << s
+			}
+			return sym
+		}
+		for p := 0; p < 2; p++ {
+			for i := 0; i < n; i++ {
+				for b := 0; b < 8; b++ {
+					var want byte
+					for d := 0; d < k; d++ {
+						want ^= gf.Mul(e.cauchy.At(p, d), symbol(shards[d], i, b))
+					}
+					if got := symbol(shards[e.k+p], i, b); got != want {
+						t.Fatalf("k=%d parity %d position (%d,%d): got %#x want %#x",
+							k, p, i, b, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEncodeVerifyDetectsCorruption(t *testing.T) {
+	e, _ := NewRAID6(5)
+	shards := fillShards(5, 2, 80, 1)
+	if err := e.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	ok, _ := e.Verify(shards)
+	if !ok {
+		t.Fatal("fresh encode does not verify")
+	}
+	shards[2][7] ^= 4
+	ok, _ = e.Verify(shards)
+	if ok {
+		t.Fatal("Verify missed corruption")
+	}
+}
+
+func TestReconstructAllPairs(t *testing.T) {
+	for _, k := range []int{3, 5, 11} {
+		e, err := NewRAID6(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig := fillShards(k, 2, 48, byte(k))
+		if err := e.Encode(orig); err != nil {
+			t.Fatal(err)
+		}
+		n := k + 2
+		for a := 0; a < n; a++ {
+			for b := a; b < n; b++ {
+				shards := make([][]byte, n)
+				for i := range shards {
+					shards[i] = append([]byte(nil), orig[i]...)
+				}
+				shards[a], shards[b] = nil, nil
+				if err := e.Reconstruct(shards); err != nil {
+					t.Fatalf("k=%d reconstruct(%d,%d): %v", k, a, b, err)
+				}
+				for i := range shards {
+					if !bytes.Equal(shards[i], orig[i]) {
+						t.Fatalf("k=%d reconstruct(%d,%d): shard %d wrong", k, a, b, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestReconstructTooMany(t *testing.T) {
+	e, _ := NewRAID6(4)
+	shards := fillShards(4, 2, 16, 2)
+	if err := e.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	shards[0], shards[1], shards[2] = nil, nil, nil
+	if err := e.Reconstruct(shards); err == nil {
+		t.Fatal("three erasures accepted")
+	}
+}
+
+func TestHigherParity(t *testing.T) {
+	e, err := New(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := fillShards(5, 3, 40, 9)
+	if err := e.Encode(orig); err != nil {
+		t.Fatal(err)
+	}
+	shards := make([][]byte, 8)
+	for i := range shards {
+		shards[i] = append([]byte(nil), orig[i]...)
+	}
+	shards[1], shards[4], shards[6] = nil, nil, nil
+	if err := e.Reconstruct(shards); err != nil {
+		t.Fatal(err)
+	}
+	for i := range shards {
+		if !bytes.Equal(shards[i], orig[i]) {
+			t.Fatalf("shard %d wrong", i)
+		}
+	}
+}
+
+func TestXORsPerStripePositiveAndStable(t *testing.T) {
+	e, _ := NewRAID6(6)
+	if e.XORsPerStripe() <= 0 {
+		t.Fatal("no XOR plan built")
+	}
+	e2, _ := NewRAID6(6)
+	if e.XORsPerStripe() != e2.XORsPerStripe() {
+		t.Fatal("plan not deterministic")
+	}
+	if e.DataShards() != 6 || e.ParityShards() != 2 {
+		t.Fatal("accessors wrong")
+	}
+}
+
+// Cross-check against the plain Reed-Solomon package: both are MDS, so
+// reconstructing the same data through either must round-trip (parities
+// differ — different generators — but data recovery must agree).
+func TestQuickRoundTrip(t *testing.T) {
+	e, _ := NewRAID6(6)
+	f := func(seed uint8, a, b uint8) bool {
+		shards := fillShards(6, 2, 32, seed)
+		if err := e.Encode(shards); err != nil {
+			return false
+		}
+		orig := make([][]byte, 8)
+		for i := range shards {
+			orig[i] = append([]byte(nil), shards[i]...)
+		}
+		shards[int(a)%8] = nil
+		shards[int(b)%8] = nil
+		if err := e.Reconstruct(shards); err != nil {
+			return false
+		}
+		for i := range shards {
+			if !bytes.Equal(shards[i], orig[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The bit matrix of coefficient c must represent multiplication by c:
+// M(c)·bits(v) == bits(c·v) for every v.
+func TestBitMatrixSemantics(t *testing.T) {
+	for _, c := range []byte{1, 2, 3, 7, 0x53, 0xFF} {
+		// Columns of M(c) are c·2^s.
+		var cols [W]byte
+		for s := 0; s < W; s++ {
+			cols[s] = gf.Mul(c, 1<<s)
+		}
+		for v := 0; v < 256; v++ {
+			var got byte
+			for s := 0; s < W; s++ {
+				if v>>s&1 == 1 {
+					got ^= cols[s]
+				}
+			}
+			if got != gf.Mul(c, byte(v)) {
+				t.Fatalf("bit matrix of %#x wrong at v=%#x", c, v)
+			}
+		}
+	}
+}
+
+func TestEncodeScheduledMatchesEncode(t *testing.T) {
+	for _, k := range []int{3, 6, 11} {
+		e, err := NewRAID6(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := fillShards(k, 2, 64, byte(k))
+		b := fillShards(k, 2, 64, byte(k))
+		if err := e.Encode(a); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.EncodeScheduled(b); err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if !bytes.Equal(a[i], b[i]) {
+				t.Fatalf("k=%d: scheduled encode differs on shard %d", k, i)
+			}
+		}
+	}
+}
+
+func TestScheduleNeverWorse(t *testing.T) {
+	for _, k := range []int{2, 5, 8, 13, 20} {
+		e, err := NewRAID6(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.ScheduledXORs() > e.XORsPerStripe() {
+			t.Fatalf("k=%d: schedule %d ops above plain %d", k, e.ScheduledXORs(), e.XORsPerStripe())
+		}
+		if e.ScheduledXORs() <= 0 {
+			t.Fatalf("k=%d: no schedule built", k)
+		}
+	}
+}
+
+func TestEncodeScheduledValidates(t *testing.T) {
+	e, _ := NewRAID6(3)
+	if err := e.EncodeScheduled(make([][]byte, 2)); err == nil {
+		t.Fatal("bad shard count accepted")
+	}
+}

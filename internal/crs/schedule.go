@@ -1,0 +1,92 @@
+package crs
+
+import "dcode/internal/stripe"
+
+// scheduleOp encodes one packet of one parity shard: start from a previously
+// computed packet of the same parity (base ≥ 0) or from zero (base < 0),
+// then XOR the listed packets in.
+type scheduleOp struct {
+	row  int // destination packet
+	base int // packet of the same parity to start from, or -1
+	xors []packetRef
+}
+
+// buildSchedule derives, per parity shard, an XOR schedule in the spirit of
+// Jerasure's "smart scheduling": packet r may be computed as a copy of an
+// already computed packet r' plus the symmetric difference of their
+// reference sets, which is cheaper whenever the bit-matrix rows overlap.
+// Greedy choice per row over all previously scheduled rows.
+func (e *Encoder) buildSchedule() {
+	e.schedule = make([][]scheduleOp, e.m)
+	for p := 0; p < e.m; p++ {
+		refSets := make([]map[packetRef]bool, W)
+		for r := 0; r < W; r++ {
+			set := make(map[packetRef]bool, len(e.plan[p][r]))
+			for _, ref := range e.plan[p][r] {
+				set[ref] = true
+			}
+			refSets[r] = set
+		}
+		var ops []scheduleOp
+		for r := 0; r < W; r++ {
+			// Baseline: from scratch.
+			best := scheduleOp{row: r, base: -1, xors: e.plan[p][r]}
+			bestCost := len(e.plan[p][r])
+			for _, prev := range ops {
+				delta := symmetricDiff(refSets[r], refSets[prev.row])
+				// A copy costs about one XOR's worth of memory traffic.
+				if cost := len(delta) + 1; cost < bestCost {
+					bestCost = cost
+					best = scheduleOp{row: r, base: prev.row, xors: delta}
+				}
+			}
+			ops = append(ops, best)
+			e.scheduledXORs += bestCost
+		}
+		e.schedule[p] = ops
+	}
+}
+
+func symmetricDiff(a, b map[packetRef]bool) []packetRef {
+	var out []packetRef
+	for ref := range a {
+		if !b[ref] {
+			out = append(out, ref)
+		}
+	}
+	for ref := range b {
+		if !a[ref] {
+			out = append(out, ref)
+		}
+	}
+	return out
+}
+
+// ScheduledXORs returns the packet operations one EncodeScheduled performs;
+// at worst equal to XORsPerStripe.
+func (e *Encoder) ScheduledXORs() int { return e.scheduledXORs }
+
+// EncodeScheduled computes the parity shards like Encode but follows the
+// difference schedule, reusing previously computed packets.
+func (e *Encoder) EncodeScheduled(shards [][]byte) error {
+	if _, err := e.checkShards(shards, false); err != nil {
+		return err
+	}
+	for p := 0; p < e.m; p++ {
+		out := shards[e.k+p]
+		for _, op := range e.schedule[p] {
+			dst := packet(out, op.row)
+			if op.base >= 0 {
+				copy(dst, packet(out, op.base))
+			} else {
+				for i := range dst {
+					dst[i] = 0
+				}
+			}
+			for _, ref := range op.xors {
+				stripe.XOR(dst, packet(shards[ref.shard], ref.packet))
+			}
+		}
+	}
+	return nil
+}

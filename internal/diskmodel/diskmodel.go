@@ -1,0 +1,107 @@
+// Package diskmodel is the discrete timing model that substitutes for the
+// paper's physical 16-disk Seagate Savvio array (see DESIGN.md §1).
+//
+// Each disk pays one positioning cost (seek + rotational latency) when it
+// starts serving a request, a transfer cost per element, and a bridging cost
+// for holes inside the accessed range: a small gap is cheaper to pass over at
+// media speed than to re-position across, so each gap costs
+// min(gap·transfer, position). The disks of a RAID array work in parallel,
+// so over a long run the array's throughput is limited by the busiest disk —
+// the accounting the read-performance simulator uses.
+package diskmodel
+
+import "sort"
+
+// Params models one disk. The defaults approximate the paper's 10k-rpm
+// Savvio drives with 1 MiB elements: ~6.9 ms positioning (4 ms average seek
+// plus half a 10k-rpm revolution) and ~6.7 ms per element at 150 MB/s.
+type Params struct {
+	// PositionMS is the cost of moving the head to a new location
+	// (seek + rotational latency), in milliseconds.
+	PositionMS float64
+	// TransferMS is the cost of transferring one element, in milliseconds.
+	TransferMS float64
+	// ElemBytes is the element size used to convert counts to bytes.
+	ElemBytes int
+}
+
+// DefaultParams returns the drive model described above.
+func DefaultParams() Params {
+	return Params{
+		PositionMS: 6.9,
+		TransferMS: 6.7, // 1 MiB / (150 MB/s) ≈ 6.7 ms
+		ElemBytes:  1 << 20,
+	}
+}
+
+// ServiceTime returns the time in milliseconds one disk needs to serve the
+// elements at the given positions (row indices on that disk) within one
+// request: one positioning cost, one transfer per distinct element, and a
+// bridging cost of min(gap·transfer, position) per hole between runs.
+func ServiceTime(positions []int, p Params) float64 {
+	if len(positions) == 0 {
+		return 0
+	}
+	sorted := append([]int(nil), positions...)
+	sort.Ints(sorted)
+	t := p.PositionMS + p.TransferMS
+	for i := 1; i < len(sorted); i++ {
+		gap := sorted[i] - sorted[i-1]
+		switch {
+		case gap == 0:
+			// Duplicate request for the same element: already in cache.
+		case gap == 1:
+			t += p.TransferMS
+		default:
+			bridge := float64(gap-1) * p.TransferMS
+			if bridge > p.PositionMS {
+				bridge = p.PositionMS
+			}
+			t += bridge + p.TransferMS
+		}
+	}
+	return t
+}
+
+// RequestLatency returns the latency in milliseconds of one parallel request
+// whose per-disk position lists are given: the maximum service time.
+func RequestLatency(perDisk [][]int, p Params) float64 {
+	var max float64
+	for _, positions := range perDisk {
+		if t := ServiceTime(positions, p); t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// BusyAccumulator tracks per-disk accumulated busy time across many
+// requests; the array's sustained read speed is payload divided by the
+// busiest disk's total (the bottleneck), which is how the read-performance
+// experiments aggregate.
+type BusyAccumulator struct {
+	BusyMS []float64
+}
+
+// NewBusyAccumulator returns an accumulator for n disks.
+func NewBusyAccumulator(n int) *BusyAccumulator {
+	return &BusyAccumulator{BusyMS: make([]float64, n)}
+}
+
+// Add charges each disk for its part of one request.
+func (b *BusyAccumulator) Add(perDisk [][]int, p Params) {
+	for d, positions := range perDisk {
+		b.BusyMS[d] += ServiceTime(positions, p)
+	}
+}
+
+// MaxMS returns the bottleneck disk's accumulated busy time.
+func (b *BusyAccumulator) MaxMS() float64 {
+	var max float64
+	for _, v := range b.BusyMS {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}

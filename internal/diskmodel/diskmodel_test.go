@@ -1,0 +1,124 @@
+package diskmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+var tp = Params{PositionMS: 10, TransferMS: 2, ElemBytes: 1024}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestServiceTimeEmpty(t *testing.T) {
+	if ServiceTime(nil, tp) != 0 {
+		t.Fatal("empty position list should be free")
+	}
+}
+
+func TestServiceTimeSingleElement(t *testing.T) {
+	if got := ServiceTime([]int{4}, tp); !almost(got, 12) {
+		t.Fatalf("got %v, want position+transfer = 12", got)
+	}
+}
+
+func TestServiceTimeContiguousRun(t *testing.T) {
+	// 4 contiguous elements: one positioning + 4 transfers.
+	if got := ServiceTime([]int{3, 4, 5, 6}, tp); !almost(got, 10+4*2) {
+		t.Fatalf("got %v, want 18", got)
+	}
+}
+
+func TestServiceTimeUnsortedInputAndDuplicates(t *testing.T) {
+	a := ServiceTime([]int{6, 3, 5, 4}, tp)
+	b := ServiceTime([]int{3, 4, 5, 6}, tp)
+	if !almost(a, b) {
+		t.Fatalf("order sensitivity: %v != %v", a, b)
+	}
+	withDup := ServiceTime([]int{3, 3, 4}, tp)
+	noDup := ServiceTime([]int{3, 4}, tp)
+	if !almost(withDup, noDup) {
+		t.Fatalf("duplicate positions charged twice: %v != %v", withDup, noDup)
+	}
+}
+
+func TestServiceTimeSmallGapBridged(t *testing.T) {
+	// Gap of 2 missing elements costs 2 transfers (4) < position (10).
+	got := ServiceTime([]int{0, 1, 4}, tp)
+	want := 10 + 2*2 + /*bridge rows 2,3*/ 2*2 + /*elem 4*/ 2.0
+	if !almost(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestServiceTimeLargeGapRepositions(t *testing.T) {
+	// Gap of 100 elements: bridging at transfer cost (200) would exceed a
+	// reposition (10), so the model repositions.
+	got := ServiceTime([]int{0, 101}, tp)
+	want := 10 + 2 + 10 + 2.0
+	if !almost(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestRequestLatencyIsMax(t *testing.T) {
+	perDisk := [][]int{{0, 1}, {0}, nil}
+	got := RequestLatency(perDisk, tp)
+	if !almost(got, 14) { // slowest disk: position + 2 transfers
+		t.Fatalf("got %v, want 14", got)
+	}
+	if RequestLatency(nil, tp) != 0 {
+		t.Fatal("no disks should be free")
+	}
+}
+
+func TestBusyAccumulator(t *testing.T) {
+	acc := NewBusyAccumulator(3)
+	acc.Add([][]int{{0}, {0, 1}, nil}, tp)
+	acc.Add([][]int{{5}, nil, nil}, tp)
+	if !almost(acc.BusyMS[0], 12+12) {
+		t.Fatalf("disk 0 busy %v", acc.BusyMS[0])
+	}
+	if !almost(acc.BusyMS[1], 14) {
+		t.Fatalf("disk 1 busy %v", acc.BusyMS[1])
+	}
+	if acc.BusyMS[2] != 0 {
+		t.Fatal("idle disk accrued busy time")
+	}
+	if !almost(acc.MaxMS(), 24) {
+		t.Fatalf("bottleneck %v, want 24", acc.MaxMS())
+	}
+}
+
+func TestDefaultParamsSane(t *testing.T) {
+	p := DefaultParams()
+	if p.PositionMS <= 0 || p.TransferMS <= 0 || p.ElemBytes <= 0 {
+		t.Fatalf("defaults not positive: %+v", p)
+	}
+}
+
+// Properties: service time is positive for non-empty input, monotone under
+// adding elements, and never better than the pure-transfer lower bound.
+func TestServiceTimeQuick(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		pos := make([]int, len(raw))
+		uniq := map[int]bool{}
+		for i, v := range raw {
+			pos[i] = int(v)
+			uniq[int(v)] = true
+		}
+		got := ServiceTime(pos, tp)
+		lower := tp.PositionMS + float64(len(uniq))*tp.TransferMS
+		if got < lower-1e-9 {
+			return false
+		}
+		// Adding one more element never reduces the time.
+		return ServiceTime(append(pos, 300), tp) >= got-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

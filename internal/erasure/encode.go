@@ -1,0 +1,83 @@
+package erasure
+
+import (
+	"fmt"
+
+	"dcode/internal/stripe"
+)
+
+// NewStripe allocates a zeroed stripe with this code's geometry.
+func (c *Code) NewStripe(elemSize int) *stripe.Stripe {
+	return stripe.New(c.rows, c.cols, elemSize)
+}
+
+// checkStripe panics if s does not match the code's geometry; mixing a stripe
+// across codes is a programming error, not a runtime condition.
+func (c *Code) checkStripe(s *stripe.Stripe) {
+	if s.Rows() != c.rows || s.Cols() != c.cols {
+		panic(fmt.Sprintf("erasure: %s: stripe %d×%d does not match code %d×%d",
+			c.name, s.Rows(), s.Cols(), c.rows, c.cols))
+	}
+}
+
+// Encode computes every parity element of the stripe in dependency order,
+// overwriting whatever the parity cells previously held.
+func (c *Code) Encode(s *stripe.Stripe) {
+	c.checkStripe(s)
+	for _, gi := range c.encodeOrder {
+		c.EncodeGroup(s, gi)
+	}
+}
+
+// EncodeGroup recomputes the parity of a single group. Any parity members
+// must already be up to date.
+func (c *Code) EncodeGroup(s *stripe.Stripe, gi int) {
+	g := c.groups[gi]
+	dst := s.Elem(g.Parity.Row, g.Parity.Col)
+	first := g.Members[0]
+	copy(dst, s.Elem(first.Row, first.Col))
+	for _, m := range g.Members[1:] {
+		stripe.XOR(dst, s.Elem(m.Row, m.Col))
+	}
+}
+
+// UpdateData applies a read-modify-write style small write: it stores
+// newData into the data cell at (r, col) and patches every parity whose
+// value depends on it with (old XOR new), without touching any other data
+// element. The patch set is the flattened update closure, so parities that
+// cover other parities (RDP, HDP) stay consistent too. For D-Code the set
+// always has exactly two entries — the "optimal update complexity" of the
+// paper's §III-D.
+func (c *Code) UpdateData(s *stripe.Stripe, r, col int, newData []byte) {
+	c.checkStripe(s)
+	if c.dataIndex[r][col] < 0 {
+		panic(fmt.Sprintf("erasure: %s: UpdateData on parity cell (%d,%d)", c.name, r, col))
+	}
+	old := s.Elem(r, col)
+	delta := make([]byte, len(old))
+	stripe.XORInto(delta, old, newData)
+	copy(old, newData)
+	for _, gi := range c.updateOf[r][col] {
+		p := c.groups[gi].Parity
+		stripe.XOR(s.Elem(p.Row, p.Col), delta)
+	}
+}
+
+// Verify reports whether every parity equation holds on the stripe.
+func (c *Code) Verify(s *stripe.Stripe) bool {
+	c.checkStripe(s)
+	buf := make([]byte, s.ElemSize())
+	for _, g := range c.groups {
+		for i := range buf {
+			buf[i] = 0
+		}
+		for _, m := range g.Members {
+			stripe.XOR(buf, s.Elem(m.Row, m.Col))
+		}
+		stripe.XOR(buf, s.Elem(g.Parity.Row, g.Parity.Col))
+		if !stripe.IsZero(buf) {
+			return false
+		}
+	}
+	return true
+}

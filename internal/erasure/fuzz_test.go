@@ -1,0 +1,58 @@
+package erasure
+
+import "testing"
+
+// FuzzReconstruct drives D-Code-shaped reconstruction with arbitrary stripe
+// contents and failure pairs: whatever the bytes, encode → erase → decode
+// must round-trip and never panic.
+func FuzzReconstruct(f *testing.F) {
+	c := fuzzCode(f)
+	f.Add(uint64(1), uint8(0), uint8(1))
+	f.Add(uint64(42), uint8(3), uint8(3))
+	f.Add(^uint64(0), uint8(200), uint8(117))
+	f.Fuzz(func(t *testing.T, seed uint64, a, b uint8) {
+		s := c.NewStripe(16)
+		s.Fill(seed)
+		c.Encode(s)
+		want := s.Clone()
+		f1 := int(a) % c.Cols()
+		f2 := int(b) % c.Cols()
+		failed := []int{f1}
+		if f2 != f1 {
+			failed = append(failed, f2)
+		}
+		for _, col := range failed {
+			s.ZeroColumn(col)
+		}
+		if err := c.Reconstruct(s, failed...); err != nil {
+			t.Fatalf("reconstruct%v: %v", failed, err)
+		}
+		if !s.Equal(want) {
+			t.Fatalf("reconstruct%v returned wrong data", failed)
+		}
+	})
+}
+
+// fuzzCode builds an X-Code over p = 5 inline (the equations of the D-Code
+// paper's Theorem 1 proof), a known MDS construction.
+func fuzzCode(f *testing.F) *Code {
+	f.Helper()
+	const p = 5
+	var groups []Group
+	for i := 0; i < p; i++ {
+		var diag, anti []Coord
+		for j := 0; j <= p-3; j++ {
+			diag = append(diag, Coord{Row: j, Col: Mod(i+j+2, p)})
+			anti = append(anti, Coord{Row: j, Col: Mod(i-j-2, p)})
+		}
+		groups = append(groups,
+			Group{Kind: KindDiagonal, Parity: Coord{Row: p - 2, Col: i}, Members: diag},
+			Group{Kind: KindAntiDiagonal, Parity: Coord{Row: p - 1, Col: i}, Members: anti},
+		)
+	}
+	c, err := New("fuzz-xcode", p, p, p, groups)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return c
+}

@@ -1,0 +1,75 @@
+package erasure
+
+// Metrics carries the analytic complexity figures of the paper's §III-D
+// feature discussion, derived directly from the parity-group structure.
+type Metrics struct {
+	DataElems   int // data elements per stripe
+	ParityElems int // parity elements per stripe
+	// StorageEfficiency is data/(data+parity); 1 - 2/cols is optimal for a
+	// code whose parity occupies exactly two disks' worth of space.
+	StorageEfficiency float64
+	// EncodeXORTotal is the XOR operations needed to compute all parities of
+	// one stripe; EncodeXORPerData divides by the data elements (the paper's
+	// optimum is 2 - 2/(n-2) for D-Code and X-Code).
+	EncodeXORTotal   int
+	EncodeXORPerData float64
+	// UpdateAvg / UpdateMax are the number of parity elements that must be
+	// updated when one data element changes, including parity-through-parity
+	// propagation (optimal is exactly 2; RDP and HDP sit near 3).
+	UpdateAvg float64
+	UpdateMax int
+}
+
+// ComputeMetrics derives the feature-table metrics from the group structure.
+func (c *Code) ComputeMetrics() Metrics {
+	m := Metrics{
+		DataElems:   len(c.dataCoords),
+		ParityElems: len(c.groups),
+	}
+	total := m.DataElems + m.ParityElems
+	if total > 0 {
+		m.StorageEfficiency = float64(m.DataElems) / float64(total)
+	}
+	for _, g := range c.groups {
+		m.EncodeXORTotal += len(g.Members) - 1
+	}
+	if m.DataElems > 0 {
+		m.EncodeXORPerData = float64(m.EncodeXORTotal) / float64(m.DataElems)
+	}
+	sum := 0
+	for _, co := range c.dataCoords {
+		n := len(c.updateOf[co.Row][co.Col])
+		sum += n
+		if n > m.UpdateMax {
+			m.UpdateMax = n
+		}
+	}
+	if m.DataElems > 0 {
+		m.UpdateAvg = float64(sum) / float64(m.DataElems)
+	}
+	return m
+}
+
+// DecodeXORPerLost returns the average XOR operations per lost element over
+// every double-column erasure the peeling decoder can finish, and the number
+// of column pairs where peeling stalled (those fall back to Gaussian
+// elimination and are excluded from the average). For D-Code and X-Code the
+// result is n-3 per lost element, the paper's optimal decoding complexity.
+func (c *Code) DecodeXORPerLost() (avg float64, stalled int) {
+	totalXORs, totalLost := 0, 0
+	for f1 := 0; f1 < c.cols; f1++ {
+		for f2 := f1 + 1; f2 < c.cols; f2++ {
+			x, chain, err := c.SymbolicDecode(f1, f2)
+			if err != nil {
+				stalled++
+				continue
+			}
+			totalXORs += x
+			totalLost += len(chain)
+		}
+	}
+	if totalLost == 0 {
+		return 0, stalled
+	}
+	return float64(totalXORs) / float64(totalLost), stalled
+}

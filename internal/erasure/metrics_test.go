@@ -1,0 +1,36 @@
+package erasure
+
+import (
+	"math"
+	"testing"
+)
+
+func TestComputeMetricsMini(t *testing.T) {
+	c := miniCode(t)
+	m := c.ComputeMetrics()
+	if m.DataElems != 6 || m.ParityElems != 3 {
+		t.Fatalf("elems = %d/%d, want 6/3", m.DataElems, m.ParityElems)
+	}
+	if math.Abs(m.StorageEfficiency-6.0/9.0) > 1e-12 {
+		t.Fatalf("storage efficiency = %v", m.StorageEfficiency)
+	}
+	// Each group of 2 members costs 1 XOR: 3 total, 0.5 per data element.
+	if m.EncodeXORTotal != 3 {
+		t.Fatalf("encode XOR total = %d", m.EncodeXORTotal)
+	}
+	if math.Abs(m.EncodeXORPerData-0.5) > 1e-12 {
+		t.Fatalf("encode XOR per data = %v", m.EncodeXORPerData)
+	}
+	// Every data element is in exactly one group here.
+	if m.UpdateAvg != 1 || m.UpdateMax != 1 {
+		t.Fatalf("update = %v/%d, want 1/1", m.UpdateAvg, m.UpdateMax)
+	}
+}
+
+func TestDecodeXORPerLostCountsStalls(t *testing.T) {
+	c := gaussOnly(t)
+	_, stalled := c.DecodeXORPerLost()
+	if stalled == 0 {
+		t.Fatal("gaussOnly should stall peeling for at least one pair")
+	}
+}

@@ -1,0 +1,67 @@
+package erasure
+
+import (
+	"runtime"
+	"sync"
+
+	"dcode/internal/stripe"
+)
+
+// minParallelBytes is the element size below which the goroutine fan-out
+// costs more than it saves.
+const minParallelBytes = 1024
+
+// EncodeParallel computes every parity of the stripe like Encode, splitting
+// the element byte range across workers: XOR is independent per byte, so
+// worker w encodes bytes [lo_w, hi_w) of every element. workers ≤ 0 uses
+// GOMAXPROCS. Small elements fall back to the serial path.
+func (c *Code) EncodeParallel(s *stripe.Stripe, workers int) {
+	c.checkStripe(s)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	size := s.ElemSize()
+	if workers == 1 || size < minParallelBytes {
+		c.Encode(s)
+		return
+	}
+	if workers > size/128 {
+		workers = size / 128
+	}
+	// Chunk boundaries aligned to 8 bytes so the XOR kernel stays word-wide.
+	bounds := make([]int, workers+1)
+	for w := 0; w <= workers; w++ {
+		b := size * w / workers
+		b &^= 7
+		bounds[w] = b
+	}
+	bounds[workers] = size
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := bounds[w], bounds[w+1]
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			c.encodeRange(s, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// encodeRange runs the dependency-ordered encode restricted to the byte
+// sub-range [lo, hi) of every element.
+func (c *Code) encodeRange(s *stripe.Stripe, lo, hi int) {
+	for _, gi := range c.encodeOrder {
+		g := &c.groups[gi]
+		dst := s.Elem(g.Parity.Row, g.Parity.Col)[lo:hi]
+		first := g.Members[0]
+		copy(dst, s.Elem(first.Row, first.Col)[lo:hi])
+		for _, m := range g.Members[1:] {
+			stripe.XOR(dst, s.Elem(m.Row, m.Col)[lo:hi])
+		}
+	}
+}

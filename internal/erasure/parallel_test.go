@@ -1,0 +1,56 @@
+package erasure
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeParallelMatchesSerial(t *testing.T) {
+	c := xorPair(t)
+	for _, elemSize := range []int{64, 1024, 4096, 4097, 8191} {
+		for _, workers := range []int{0, 1, 2, 3, 8, 64} {
+			serial := c.NewStripe(elemSize)
+			serial.Fill(uint64(elemSize))
+			parallel := serial.Clone()
+			c.Encode(serial)
+			c.EncodeParallel(parallel, workers)
+			if !serial.Equal(parallel) {
+				t.Fatalf("elemSize=%d workers=%d: parallel encode differs", elemSize, workers)
+			}
+		}
+	}
+}
+
+// The parallel path must also respect parity-in-parity dependency order
+// within each byte range.
+func TestEncodeParallelWithDependencies(t *testing.T) {
+	groups := []Group{
+		{Parity: Coord{0, 1}, Members: []Coord{{0, 0}, {1, 0}}},
+		{Parity: Coord{1, 1}, Members: []Coord{{0, 1}, {0, 0}}}, // depends on (0,1)
+	}
+	c, err := New("dep", 3, 2, 2, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.NewStripe(4096)
+	s.Fill(9)
+	c.EncodeParallel(s, 4)
+	if !c.Verify(s) {
+		t.Fatal("parallel encode broke a dependent parity")
+	}
+}
+
+func TestEncodeParallelQuick(t *testing.T) {
+	c := gaussOnly(t)
+	f := func(seed uint64, workers uint8) bool {
+		s := c.NewStripe(2048)
+		s.Fill(seed)
+		want := s.Clone()
+		c.Encode(want)
+		c.EncodeParallel(s, int(workers%16))
+		return s.Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

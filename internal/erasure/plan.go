@@ -1,0 +1,132 @@
+package erasure
+
+import "fmt"
+
+// DegradedStep recovers one lost cell by XORing every other cell of Group.
+type DegradedStep struct {
+	Target Coord
+	Group  int
+}
+
+// DegradedPlan is the minimal fetch-and-recover schedule for serving a read
+// while one column is failed: read Fetch from the surviving disks, then
+// execute Steps in order (later steps may consume earlier targets).
+type DegradedPlan struct {
+	// Fetch lists the cells to read: the surviving wanted cells plus the
+	// recovery cells, deduplicated, none on the failed column.
+	Fetch []Coord
+	// Extra counts the fetched cells beyond the surviving wanted ones.
+	Extra int
+	// Steps recover the lost wanted cells in execution order.
+	Steps []DegradedStep
+}
+
+// PlanDegraded computes the fetch schedule for a degraded read of the wanted
+// cells with the given failed column. For each lost cell it picks, greedily
+// and in order, the covering parity group that minimizes cells not already
+// being fetched — D-Code's "continuous data elements share a horizontal
+// parity" effect falls out of this choice. kinds restricts the candidate
+// groups (nil allows all; used by ablation studies).
+//
+// The plan is valid for a single failed column; lost cells whose groups all
+// touch another lost-but-not-yet-recovered cell are ordered after the cell
+// they depend on, which for the codes in this repository always succeeds.
+func (c *Code) PlanDegraded(failed int, wanted []Coord, kinds []GroupKind) (DegradedPlan, error) {
+	if failed < 0 || failed >= c.cols {
+		return DegradedPlan{}, fmt.Errorf("erasure: %s: failed column %d out of range [0,%d)", c.name, failed, c.cols)
+	}
+	allowed := func(k GroupKind) bool { return true }
+	if len(kinds) > 0 {
+		set := make(map[GroupKind]bool, len(kinds))
+		for _, k := range kinds {
+			set[k] = true
+		}
+		allowed = func(k GroupKind) bool { return set[k] }
+	}
+
+	var plan DegradedPlan
+	have := make(map[Coord]bool, len(wanted))
+	var lost []Coord
+	for _, co := range wanted {
+		if co.Col == failed {
+			lost = append(lost, co)
+			continue
+		}
+		if !have[co] {
+			have[co] = true
+			plan.Fetch = append(plan.Fetch, co)
+		}
+	}
+	recovered := make(map[Coord]bool, len(lost))
+	for _, lo := range lost {
+		if recovered[lo] {
+			continue
+		}
+		bestCost, bestGroup := -1, -1
+		candidates := c.memberOf[lo.Row][lo.Col]
+		if gi, isParity := c.parityIdx[lo]; isParity {
+			// A lost parity cell is re-encoded from its own group's members.
+			candidates = append(append([]int{}, candidates...), gi)
+		}
+		for _, gi := range candidates {
+			if !allowed(c.groups[gi].Kind) {
+				continue
+			}
+			cost, ok := c.degradedGroupCost(gi, lo, failed, have, recovered)
+			if !ok {
+				continue
+			}
+			if bestGroup < 0 || cost < bestCost {
+				bestCost, bestGroup = cost, gi
+			}
+		}
+		if bestGroup < 0 {
+			return DegradedPlan{}, fmt.Errorf("erasure: %s: no usable parity group for %v with column %d failed",
+				c.name, lo, failed)
+		}
+		g := &c.groups[bestGroup]
+		for _, cell := range append(append([]Coord{}, g.Members...), g.Parity) {
+			if cell == lo || cell.Col == failed {
+				continue
+			}
+			if !have[cell] {
+				have[cell] = true
+				plan.Fetch = append(plan.Fetch, cell)
+				plan.Extra++
+			}
+		}
+		plan.Steps = append(plan.Steps, DegradedStep{Target: lo, Group: bestGroup})
+		recovered[lo] = true
+	}
+	return plan, nil
+}
+
+// degradedGroupCost returns how many new fetches recovering target through
+// group gi costs, and whether the group is usable (its other cells on the
+// failed column must already be recovered).
+func (c *Code) degradedGroupCost(gi int, target Coord, failed int,
+	have, recovered map[Coord]bool) (int, bool) {
+	g := &c.groups[gi]
+	cost := 0
+	consider := func(cell Coord) bool {
+		if cell == target {
+			return true
+		}
+		if cell.Col == failed {
+			return recovered[cell]
+		}
+		if !have[cell] {
+			cost++
+		}
+		return true
+	}
+	for _, m := range g.Members {
+		if !consider(m) {
+			return 0, false
+		}
+	}
+	if !consider(g.Parity) {
+		return 0, false
+	}
+	return cost, true
+}

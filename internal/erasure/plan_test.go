@@ -1,0 +1,134 @@
+package erasure
+
+import "testing"
+
+// planCode is a 3×4 two-parity-column code whose groups mix both kinds so
+// PlanDegraded's choice and restriction logic can be exercised without
+// importing a real code package:
+//
+//	col 2: "horizontal" parity of each row; col 3: "diagonal" parities.
+func planCode(t *testing.T) *Code {
+	t.Helper()
+	groups := []Group{
+		{Kind: KindHorizontal, Parity: Coord{0, 2}, Members: []Coord{{0, 0}, {0, 1}}},
+		{Kind: KindHorizontal, Parity: Coord{1, 2}, Members: []Coord{{1, 0}, {1, 1}}},
+		{Kind: KindHorizontal, Parity: Coord{2, 2}, Members: []Coord{{2, 0}, {2, 1}}},
+		{Kind: KindDiagonal, Parity: Coord{0, 3}, Members: []Coord{{0, 0}, {1, 1}}},
+		{Kind: KindDiagonal, Parity: Coord{1, 3}, Members: []Coord{{1, 0}, {2, 1}}},
+		{Kind: KindDiagonal, Parity: Coord{2, 3}, Members: []Coord{{2, 0}, {0, 1}}},
+	}
+	c, err := New("plan", 3, 3, 4, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPlanDegradedValidation(t *testing.T) {
+	c := planCode(t)
+	if _, err := c.PlanDegraded(-1, nil, nil); err == nil {
+		t.Fatal("negative column accepted")
+	}
+	if _, err := c.PlanDegraded(4, nil, nil); err == nil {
+		t.Fatal("out-of-range column accepted")
+	}
+}
+
+func TestPlanDegradedNoLoss(t *testing.T) {
+	c := planCode(t)
+	plan, err := c.PlanDegraded(1, []Coord{{0, 0}, {1, 0}, {0, 0}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Extra != 0 || len(plan.Steps) != 0 {
+		t.Fatalf("plan for surviving cells has extras: %+v", plan)
+	}
+	// Duplicates in wanted must be deduplicated.
+	if len(plan.Fetch) != 2 {
+		t.Fatalf("fetch = %v, want 2 distinct cells", plan.Fetch)
+	}
+}
+
+func TestPlanDegradedPrefersOverlap(t *testing.T) {
+	c := planCode(t)
+	// Reading (0,0) and (0,1) with column 0 failed: the horizontal group of
+	// row 0 already contains (0,1), so only P(0,2) is extra; the diagonal
+	// group would need (1,1) AND P(0,3).
+	plan, err := c.PlanDegraded(0, []Coord{{0, 0}, {0, 1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Extra != 1 {
+		t.Fatalf("extra = %d, want 1 (the shared horizontal parity)", plan.Extra)
+	}
+	if len(plan.Steps) != 1 || plan.Steps[0].Target != (Coord{0, 0}) {
+		t.Fatalf("steps = %+v", plan.Steps)
+	}
+	if g := c.Groups()[plan.Steps[0].Group]; g.Kind != KindHorizontal {
+		t.Fatalf("chose %v group, want horizontal", g.Kind)
+	}
+}
+
+func TestPlanDegradedKindRestriction(t *testing.T) {
+	c := planCode(t)
+	plan, err := c.PlanDegraded(0, []Coord{{0, 0}, {0, 1}}, []GroupKind{KindDiagonal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := c.Groups()[plan.Steps[0].Group]; g.Kind != KindDiagonal {
+		t.Fatalf("restriction ignored: chose %v", g.Kind)
+	}
+	if plan.Extra != 2 { // (1,1) and P(0,3)
+		t.Fatalf("diagonal-only extra = %d, want 2", plan.Extra)
+	}
+	// Restricting to a kind that covers nothing must fail.
+	if _, err := c.PlanDegraded(0, []Coord{{0, 0}}, []GroupKind{KindDeployment}); err == nil {
+		t.Fatal("unusable kind restriction accepted")
+	}
+}
+
+func TestPlanDegradedParityCellWanted(t *testing.T) {
+	// Asking for a lost parity cell: its own group recovers it.
+	c := planCode(t)
+	plan, err := c.PlanDegraded(2, []Coord{{0, 2}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Steps) != 1 || plan.Extra != 2 {
+		t.Fatalf("plan = %+v, want the two row members fetched", plan)
+	}
+}
+
+func TestUpdateGroupsFlattening(t *testing.T) {
+	// A chain: g0's parity is a member of g1, so updating the data cell must
+	// touch both parities; a cell reached twice cancels out.
+	groups := []Group{
+		{Parity: Coord{0, 1}, Members: []Coord{{0, 0}}},
+		{Parity: Coord{0, 2}, Members: []Coord{{0, 1}, {1, 0}}},
+		// g2 covers the data cell directly AND via g0's parity: the support
+		// cancels, so (0,0) must NOT appear in g2's update set.
+		{Parity: Coord{0, 3}, Members: []Coord{{0, 0}, {0, 1}}},
+	}
+	c, err := New("flat", 3, 2, 4, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := c.UpdateGroups(0, 0)
+	want := map[int]bool{0: true, 1: true}
+	if len(got) != 2 {
+		t.Fatalf("UpdateGroups(0,0) = %v, want exactly groups 0 and 1", got)
+	}
+	for _, gi := range got {
+		if !want[gi] {
+			t.Fatalf("UpdateGroups(0,0) = %v includes cancelled group", got)
+		}
+	}
+	// Behavioural cross-check: UpdateData must keep Verify green.
+	s := c.NewStripe(8)
+	s.Fill(4)
+	c.Encode(s)
+	c.UpdateData(s, 0, 0, []byte{9, 9, 9, 9, 9, 9, 9, 9})
+	if !c.Verify(s) {
+		t.Fatal("UpdateData with cancelling closure broke parity")
+	}
+}

@@ -1,0 +1,67 @@
+// Package evenodd implements the EVENODD code (Blaum, Bruck & Menon, 1995),
+// the classic horizontal RAID-6 code discussed in the D-Code paper's related
+// work, included here as an extension baseline.
+//
+// A stripe is a (p-1)×(p+2) matrix, p prime. Columns 0..p-1 hold data,
+// column p the row parities and column p+1 the diagonal parities:
+//
+//   - Row parity:      P(i, p)   = XOR_{c=0}^{p-1} D(i, c)
+//   - Diagonal parity: P(i, p+1) = S ⊕ XOR{ D(r, c) : <r+c>_p = i }
+//     where the adjuster S = XOR{ D(r, c) : <r+c>_p = p-1 }.
+//
+// Substituting S gives each diagonal parity a flat XOR equation over two
+// disjoint data diagonals, which is how the group is expressed to the
+// erasure engine; the engine's Gaussian fallback handles the S-coupled
+// erasure patterns peeling cannot finish.
+package evenodd
+
+import (
+	"fmt"
+
+	"dcode/internal/erasure"
+)
+
+// Name is the code's display name.
+const Name = "EVENODD"
+
+// New constructs EVENODD over p+2 disks; p must be a prime ≥ 5.
+func New(p int) (*erasure.Code, error) {
+	if !erasure.IsPrime(p) || p < 5 {
+		return nil, fmt.Errorf("evenodd: p = %d is not a prime ≥ 5", p)
+	}
+	rows, cols := p-1, p+2
+
+	diagCells := func(d int) []erasure.Coord {
+		var cells []erasure.Coord
+		for c := 0; c <= p-1; c++ {
+			r := erasure.Mod(d-c, p)
+			if r <= p-2 {
+				cells = append(cells, erasure.Coord{Row: r, Col: c})
+			}
+		}
+		return cells
+	}
+	adjuster := diagCells(p - 1)
+
+	groups := make([]erasure.Group, 0, 2*rows)
+	for i := 0; i < rows; i++ {
+		var row []erasure.Coord
+		for c := 0; c <= p-1; c++ {
+			row = append(row, erasure.Coord{Row: i, Col: c})
+		}
+		groups = append(groups, erasure.Group{
+			Kind:    erasure.KindHorizontal,
+			Parity:  erasure.Coord{Row: i, Col: p},
+			Members: row,
+		})
+	}
+	for i := 0; i < rows; i++ {
+		members := append(diagCells(i), adjuster...)
+		groups = append(groups, erasure.Group{
+			Kind:    erasure.KindDiagonal,
+			Parity:  erasure.Coord{Row: i, Col: p + 1},
+			Members: members,
+		})
+	}
+	return erasure.New(Name, p, rows, cols, groups)
+}

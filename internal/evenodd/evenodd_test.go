@@ -1,0 +1,111 @@
+package evenodd
+
+import (
+	"testing"
+
+	"dcode/internal/erasure"
+	"dcode/internal/stripe"
+)
+
+var testPrimes = []int{5, 7, 11, 13}
+
+func mustNew(t *testing.T, p int) *erasure.Code {
+	t.Helper()
+	c, err := New(p)
+	if err != nil {
+		t.Fatalf("New(%d): %v", p, err)
+	}
+	return c
+}
+
+func TestNewRejectsBadParameters(t *testing.T) {
+	for _, p := range []int{0, 1, 4, 6, 8} {
+		if _, err := New(p); err == nil {
+			t.Errorf("New(%d) accepted", p)
+		}
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	for _, p := range testPrimes {
+		c := mustNew(t, p)
+		if c.Rows() != p-1 || c.Cols() != p+2 {
+			t.Fatalf("p=%d: geometry %d×%d", p, c.Rows(), c.Cols())
+		}
+		if c.DataElems() != (p-1)*p {
+			t.Fatalf("p=%d: data = %d, want %d", p, c.DataElems(), (p-1)*p)
+		}
+		if c.DataColumns() != p {
+			t.Fatalf("p=%d: DataColumns = %d, want %d", p, c.DataColumns(), p)
+		}
+	}
+}
+
+// The diagonal parity must equal S XOR diagonal-i, with
+// S = XOR of diagonal p-1 — the classic EVENODD adjuster semantics, checked
+// behaviourally against the flattened group representation.
+func TestAdjusterSemantics(t *testing.T) {
+	p := 5
+	c := mustNew(t, p)
+	s := c.NewStripe(8)
+	s.Fill(21)
+	c.Encode(s)
+
+	diagXOR := func(d int) []byte {
+		acc := make([]byte, 8)
+		for col := 0; col <= p-1; col++ {
+			r := erasure.Mod(d-col, p)
+			if r <= p-2 {
+				stripe.XOR(acc, s.Elem(r, col))
+			}
+		}
+		return acc
+	}
+	adj := diagXOR(p - 1)
+	for i := 0; i < p-1; i++ {
+		want := diagXOR(i)
+		stripe.XOR(want, adj)
+		got := s.Elem(i, p+1)
+		for b := range want {
+			if got[b] != want[b] {
+				t.Fatalf("diagonal parity %d does not equal S ^ diag", i)
+			}
+		}
+	}
+}
+
+func TestRowParity(t *testing.T) {
+	p := 5
+	c := mustNew(t, p)
+	for i := 0; i < p-1; i++ {
+		g := c.Groups()[c.ParityGroup(i, p)]
+		if g.Kind != erasure.KindHorizontal || len(g.Members) != p {
+			t.Fatalf("row parity %d: kind %v, %d members", i, g.Kind, len(g.Members))
+		}
+	}
+}
+
+// EVENODD's update complexity is not optimal: elements on diagonal p-1
+// appear in every diagonal parity.
+func TestAdjusterElementsHaveHighUpdateCost(t *testing.T) {
+	p := 7
+	c := mustNew(t, p)
+	m := c.ComputeMetrics()
+	if m.UpdateMax != p-1+1 {
+		t.Fatalf("update max = %d, want %d (row + every diagonal)", m.UpdateMax, p)
+	}
+	if m.UpdateAvg <= 2 {
+		t.Fatalf("update avg = %v, expected above the optimal 2", m.UpdateAvg)
+	}
+}
+
+func TestMDS(t *testing.T) {
+	for _, p := range testPrimes {
+		if testing.Short() && p > 7 {
+			continue
+		}
+		if err := erasure.VerifyMDS(mustNew(t, p), 16); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

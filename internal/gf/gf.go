@@ -1,0 +1,107 @@
+// Package gf implements arithmetic over the finite field GF(2^8) with the
+// primitive polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D), the field Jerasure
+// and every practical Reed-Solomon RAID-6 implementation use. The XOR array
+// codes never need it; it backs the Reed-Solomon comparison baseline.
+package gf
+
+// Poly is the primitive polynomial generating the field (0x11D).
+const Poly = 0x11D
+
+var (
+	expTable [512]byte // doubled so Mul can skip a mod on the exponent sum
+	logTable [256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		expTable[i] = byte(x)
+		logTable[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= Poly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		expTable[i] = expTable[i-255]
+	}
+}
+
+// Add returns a + b. Addition in GF(2^8) is XOR; subtraction is identical.
+func Add(a, b byte) byte { return a ^ b }
+
+// Mul returns a · b.
+func Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+int(logTable[b])]
+}
+
+// Div returns a / b. It panics on division by zero (a programming error in
+// matrix code, never a data-dependent condition).
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic("gf: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])-int(logTable[b])+255]
+}
+
+// Inv returns the multiplicative inverse of a; it panics on zero.
+func Inv(a byte) byte {
+	if a == 0 {
+		panic("gf: zero has no inverse")
+	}
+	return expTable[255-int(logTable[a])]
+}
+
+// Exp returns the generator (0x02) raised to the n-th power.
+func Exp(n int) byte {
+	n %= 255
+	if n < 0 {
+		n += 255
+	}
+	return expTable[n]
+}
+
+// MulSlice computes dst[i] = c · src[i] for every i. dst and src must have
+// equal length; dst may alias src.
+func MulSlice(c byte, dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("gf: MulSlice length mismatch")
+	}
+	if c == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	logC := int(logTable[c])
+	for i, v := range src {
+		if v == 0 {
+			dst[i] = 0
+		} else {
+			dst[i] = expTable[logC+int(logTable[v])]
+		}
+	}
+}
+
+// MulSliceAdd computes dst[i] ^= c · src[i] for every i — the inner loop of
+// Reed-Solomon encoding.
+func MulSliceAdd(c byte, dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("gf: MulSliceAdd length mismatch")
+	}
+	if c == 0 {
+		return
+	}
+	logC := int(logTable[c])
+	for i, v := range src {
+		if v != 0 {
+			dst[i] ^= expTable[logC+int(logTable[v])]
+		}
+	}
+}

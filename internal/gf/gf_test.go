@@ -1,0 +1,181 @@
+package gf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTablesConsistent(t *testing.T) {
+	// exp(log(x)) == x for all non-zero x, and log(exp(i)) == i mod 255.
+	for x := 1; x < 256; x++ {
+		if expTable[logTable[x]] != byte(x) {
+			t.Fatalf("exp(log(%d)) = %d", x, expTable[logTable[x]])
+		}
+	}
+	for i := 0; i < 255; i++ {
+		if logTable[expTable[i]] != byte(i) {
+			t.Fatalf("log(exp(%d)) = %d", i, logTable[expTable[i]])
+		}
+	}
+}
+
+func TestMulBySchoolbook(t *testing.T) {
+	// Carry-less "Russian peasant" multiplication as the oracle.
+	oracle := func(a, b byte) byte {
+		var prod int
+		x, y := int(a), int(b)
+		for y > 0 {
+			if y&1 == 1 {
+				prod ^= x
+			}
+			x <<= 1
+			if x&0x100 != 0 {
+				x ^= Poly
+			}
+			y >>= 1
+		}
+		return byte(prod)
+	}
+	f := func(a, b byte) bool { return Mul(a, b) == oracle(a, b) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFieldAxioms(t *testing.T) {
+	assoc := func(a, b, c byte) bool { return Mul(Mul(a, b), c) == Mul(a, Mul(b, c)) }
+	comm := func(a, b byte) bool { return Mul(a, b) == Mul(b, a) }
+	dist := func(a, b, c byte) bool { return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c)) }
+	ident := func(a byte) bool { return Mul(a, 1) == a && Add(a, 0) == a }
+	for name, f := range map[string]interface{}{
+		"associativity":  assoc,
+		"commutativity":  comm,
+		"distributivity": dist,
+		"identity":       ident,
+	} {
+		if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestInvAndDiv(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		if Mul(byte(a), Inv(byte(a))) != 1 {
+			t.Fatalf("a·a⁻¹ ≠ 1 for a=%d", a)
+		}
+	}
+	f := func(a, b byte) bool {
+		if b == 0 {
+			return true
+		}
+		return Mul(Div(a, b), b) == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	if Div(0, 5) != 0 {
+		t.Fatal("0/x != 0")
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div by zero did not panic")
+		}
+	}()
+	Div(1, 0)
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) did not panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestExp(t *testing.T) {
+	if Exp(0) != 1 || Exp(1) != 2 {
+		t.Fatalf("Exp(0)=%d Exp(1)=%d", Exp(0), Exp(1))
+	}
+	if Exp(255) != 1 {
+		t.Fatal("generator order is not 255")
+	}
+	if Exp(-1) != Exp(254) {
+		t.Fatal("negative exponent not wrapped")
+	}
+	// The generator's powers must enumerate all 255 non-zero elements.
+	seen := map[byte]bool{}
+	for i := 0; i < 255; i++ {
+		seen[Exp(i)] = true
+	}
+	if len(seen) != 255 {
+		t.Fatalf("generator enumerates %d elements, want 255", len(seen))
+	}
+}
+
+func TestMulSlice(t *testing.T) {
+	src := []byte{0, 1, 2, 3, 100, 200, 255}
+	dst := make([]byte, len(src))
+	MulSlice(7, dst, src)
+	for i, v := range src {
+		if dst[i] != Mul(7, v) {
+			t.Fatalf("MulSlice mismatch at %d", i)
+		}
+	}
+	MulSlice(0, dst, src)
+	for i := range dst {
+		if dst[i] != 0 {
+			t.Fatal("MulSlice by 0 not zeroing")
+		}
+	}
+	// Aliasing: dst == src.
+	buf := append([]byte(nil), src...)
+	MulSlice(9, buf, buf)
+	for i, v := range src {
+		if buf[i] != Mul(9, v) {
+			t.Fatal("aliased MulSlice wrong")
+		}
+	}
+}
+
+func TestMulSliceAdd(t *testing.T) {
+	src := []byte{1, 2, 3, 0, 255}
+	dst := []byte{10, 20, 30, 40, 50}
+	want := make([]byte, len(dst))
+	for i := range want {
+		want[i] = dst[i] ^ Mul(5, src[i])
+	}
+	MulSliceAdd(5, dst, src)
+	for i := range dst {
+		if dst[i] != want[i] {
+			t.Fatalf("MulSliceAdd mismatch at %d", i)
+		}
+	}
+	before := append([]byte(nil), dst...)
+	MulSliceAdd(0, dst, src)
+	for i := range dst {
+		if dst[i] != before[i] {
+			t.Fatal("MulSliceAdd by 0 modified dst")
+		}
+	}
+}
+
+func TestSliceLengthMismatchPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { MulSlice(1, make([]byte, 2), make([]byte, 3)) },
+		func() { MulSliceAdd(1, make([]byte, 2), make([]byte, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("length mismatch did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,157 @@
+package gf
+
+import "fmt"
+
+// Matrix is a dense matrix over GF(2^8), the linear-algebra substrate for
+// the Reed-Solomon family (Vandermonde and Cauchy constructions).
+type Matrix struct {
+	rows, cols int
+	data       []byte
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("gf: invalid matrix dims %d×%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]byte, rows*cols)}
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Vandermonde builds the rows×cols matrix with entry (r, c) = g^(r·c);
+// every square submatrix formed from distinct rows is invertible.
+func Vandermonde(rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			m.Set(r, c, Exp(r*c))
+		}
+	}
+	return m
+}
+
+// Cauchy builds the rows×cols matrix with entry (r, c) = 1/(x_r ⊕ y_c) for
+// x_r = r and y_c = rows+c; with all x and y distinct, every square
+// submatrix is invertible — the generator Cauchy Reed-Solomon uses.
+// rows+cols must not exceed 256.
+func Cauchy(rows, cols int) *Matrix {
+	if rows+cols > 256 {
+		panic(fmt.Sprintf("gf: Cauchy %d+%d exceeds field size", rows, cols))
+	}
+	m := NewMatrix(rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			m.Set(r, c, Inv(byte(r)^byte(rows+c)))
+		}
+	}
+	return m
+}
+
+// Rows returns the row count.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the column count.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns entry (r, c).
+func (m *Matrix) At(r, c int) byte { return m.data[r*m.cols+c] }
+
+// Set stores v at entry (r, c).
+func (m *Matrix) Set(r, c int, v byte) { m.data[r*m.cols+c] = v }
+
+// Row returns row r aliasing the matrix storage.
+func (m *Matrix) Row(r int) []byte { return m.data[r*m.cols : (r+1)*m.cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// Mul returns m·o.
+func (m *Matrix) Mul(o *Matrix) *Matrix {
+	if m.cols != o.rows {
+		panic(fmt.Sprintf("gf: matrix dims %dx%d · %dx%d", m.rows, m.cols, o.rows, o.cols))
+	}
+	out := NewMatrix(m.rows, o.cols)
+	for r := 0; r < m.rows; r++ {
+		for k := 0; k < m.cols; k++ {
+			a := m.At(r, k)
+			if a == 0 {
+				continue
+			}
+			for c := 0; c < o.cols; c++ {
+				out.data[r*o.cols+c] ^= Mul(a, o.At(k, c))
+			}
+		}
+	}
+	return out
+}
+
+// SubMatrix returns rows [r0,r1) × cols [c0,c1) as a copy.
+func (m *Matrix) SubMatrix(r0, r1, c0, c1 int) *Matrix {
+	out := NewMatrix(r1-r0, c1-c0)
+	for r := r0; r < r1; r++ {
+		for c := c0; c < c1; c++ {
+			out.Set(r-r0, c-c0, m.At(r, c))
+		}
+	}
+	return out
+}
+
+// Invert returns m⁻¹ by Gauss-Jordan elimination, or an error if m is
+// singular or not square.
+func (m *Matrix) Invert() (*Matrix, error) {
+	if m.rows != m.cols {
+		return nil, fmt.Errorf("gf: cannot invert %dx%d matrix", m.rows, m.cols)
+	}
+	n := m.rows
+	work := m.Clone()
+	out := Identity(n)
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if work.At(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, fmt.Errorf("gf: singular matrix")
+		}
+		if pivot != col {
+			swapRows(work.Row(pivot), work.Row(col))
+			swapRows(out.Row(pivot), out.Row(col))
+		}
+		if d := work.At(col, col); d != 1 {
+			inv := Inv(d)
+			MulSlice(inv, work.Row(col), work.Row(col))
+			MulSlice(inv, out.Row(col), out.Row(col))
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			if f := work.At(r, col); f != 0 {
+				MulSliceAdd(f, work.Row(r), work.Row(col))
+				MulSliceAdd(f, out.Row(r), out.Row(col))
+			}
+		}
+	}
+	return out, nil
+}
+
+func swapRows(a, b []byte) {
+	for i := range a {
+		a[i], b[i] = b[i], a[i]
+	}
+}

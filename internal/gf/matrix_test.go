@@ -1,0 +1,122 @@
+package gf
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestIdentityAndAccessors(t *testing.T) {
+	m := Identity(3)
+	if m.Rows() != 3 || m.Cols() != 3 {
+		t.Fatalf("dims %dx%d", m.Rows(), m.Cols())
+	}
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			want := byte(0)
+			if r == c {
+				want = 1
+			}
+			if m.At(r, c) != want {
+				t.Fatalf("identity At(%d,%d) = %d", r, c, m.At(r, c))
+			}
+		}
+	}
+	m.Set(1, 2, 9)
+	if m.At(1, 2) != 9 || m.Row(1)[2] != 9 {
+		t.Fatal("Set/Row broken")
+	}
+}
+
+func TestNewMatrixPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMatrix(0,1) did not panic")
+		}
+	}()
+	NewMatrix(0, 1)
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := Vandermonde(3, 3)
+	c := m.Clone()
+	c.Set(0, 0, 0xFF)
+	if m.At(0, 0) == 0xFF {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	m := Vandermonde(4, 4)
+	prod := m.Mul(Identity(4))
+	if !bytes.Equal(prod.data, m.data) {
+		t.Fatal("m · I != m")
+	}
+}
+
+func TestMulDimensionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched Mul did not panic")
+		}
+	}()
+	NewMatrix(2, 3).Mul(NewMatrix(2, 3))
+}
+
+func TestInvertRoundTrip(t *testing.T) {
+	for _, m := range []*Matrix{Vandermonde(5, 5), Cauchy(4, 4), Cauchy(7, 7)} {
+		inv, err := m.Invert()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(m.Mul(inv).data, Identity(m.Rows()).data) {
+			t.Fatal("m · m⁻¹ != I")
+		}
+	}
+}
+
+func TestInvertSingularAndNonSquare(t *testing.T) {
+	if _, err := NewMatrix(3, 3).Invert(); err == nil {
+		t.Fatal("all-zero matrix inverted")
+	}
+	if _, err := NewMatrix(2, 3).Invert(); err == nil {
+		t.Fatal("non-square matrix inverted")
+	}
+}
+
+func TestCauchyEverySquareSubmatrixInvertible(t *testing.T) {
+	// The MDS property of Cauchy coding: pick the 2×2 submatrix at any row
+	// and column pair of a 2×6 Cauchy matrix — all must invert.
+	m := Cauchy(2, 6)
+	for c1 := 0; c1 < 6; c1++ {
+		for c2 := c1 + 1; c2 < 6; c2++ {
+			sub := NewMatrix(2, 2)
+			for r := 0; r < 2; r++ {
+				sub.Set(r, 0, m.At(r, c1))
+				sub.Set(r, 1, m.At(r, c2))
+			}
+			if _, err := sub.Invert(); err != nil {
+				t.Fatalf("Cauchy 2×2 submatrix (cols %d,%d) singular", c1, c2)
+			}
+		}
+	}
+}
+
+func TestCauchyPanicsBeyondField(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized Cauchy did not panic")
+		}
+	}()
+	Cauchy(200, 100)
+}
+
+func TestSubMatrix(t *testing.T) {
+	m := Vandermonde(4, 4)
+	s := m.SubMatrix(1, 3, 2, 4)
+	if s.Rows() != 2 || s.Cols() != 2 {
+		t.Fatalf("submatrix dims %dx%d", s.Rows(), s.Cols())
+	}
+	if s.At(0, 0) != m.At(1, 2) || s.At(1, 1) != m.At(2, 3) {
+		t.Fatal("submatrix entries wrong")
+	}
+}

@@ -1,0 +1,122 @@
+package hcode
+
+import (
+	"testing"
+
+	"dcode/internal/erasure"
+)
+
+var testPrimes = []int{5, 7, 11, 13}
+
+func mustNew(t *testing.T, p int) *erasure.Code {
+	t.Helper()
+	c, err := New(p)
+	if err != nil {
+		t.Fatalf("New(%d): %v", p, err)
+	}
+	return c
+}
+
+func TestNewRejectsBadParameters(t *testing.T) {
+	for _, p := range []int{0, 2, 3, 4, 6, 10} {
+		if _, err := New(p); err == nil {
+			t.Errorf("New(%d) accepted", p)
+		}
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	for _, p := range testPrimes {
+		c := mustNew(t, p)
+		if c.Rows() != p-1 || c.Cols() != p+1 {
+			t.Fatalf("p=%d: geometry %d×%d", p, c.Rows(), c.Cols())
+		}
+		if c.DataElems() != (p-1)*(p-1) {
+			t.Fatalf("p=%d: data = %d, want %d", p, c.DataElems(), (p-1)*(p-1))
+		}
+		// Column p is a dedicated parity disk; the anti-diagonal parities sit
+		// at (i, i+1), the "middle of the stripe" the D-Code paper mentions.
+		for i := 0; i < p-1; i++ {
+			if !c.IsParity(i, p) {
+				t.Fatalf("p=%d: (%d,%d) not parity", p, i, p)
+			}
+			if !c.IsParity(i, i+1) {
+				t.Fatalf("p=%d: (%d,%d) not parity", p, i, i+1)
+			}
+		}
+		// p disks carry data (all but column p).
+		if c.DataColumns() != p {
+			t.Fatalf("p=%d: DataColumns = %d, want %d", p, c.DataColumns(), p)
+		}
+	}
+}
+
+func TestHorizontalParityCoversRowData(t *testing.T) {
+	p := 7
+	c := mustNew(t, p)
+	for i := 0; i < p-1; i++ {
+		g := c.Groups()[c.ParityGroup(i, p)]
+		if g.Kind != erasure.KindHorizontal || len(g.Members) != p-1 {
+			t.Fatalf("horizontal %d: kind %v, %d members", i, g.Kind, len(g.Members))
+		}
+		for _, m := range g.Members {
+			if m.Row != i || m.Col == i+1 || m.Col > p-1 {
+				t.Fatalf("horizontal %d covers %v", i, m)
+			}
+		}
+	}
+}
+
+// The anti-diagonal group of parity (i, i+1) is D(r, <i+r+2>_p) over all data
+// rows; it covers every column except p and its own column i+1, exactly once.
+func TestAntiDiagonalStructure(t *testing.T) {
+	for _, p := range testPrimes {
+		c := mustNew(t, p)
+		for i := 0; i < p-1; i++ {
+			g := c.Groups()[c.ParityGroup(i, i+1)]
+			if g.Kind != erasure.KindAntiDiagonal || len(g.Members) != p-1 {
+				t.Fatalf("p=%d anti %d: kind %v, %d members", p, i, g.Kind, len(g.Members))
+			}
+			cols := map[int]bool{}
+			for r, m := range g.Members {
+				want := erasure.Coord{Row: r, Col: erasure.Mod(i+r+2, p)}
+				if m != want {
+					t.Fatalf("p=%d anti %d member %d = %v, want %v", p, i, r, m, want)
+				}
+				if c.IsParity(m.Row, m.Col) {
+					t.Fatalf("p=%d anti %d member %v is a parity cell", p, i, m)
+				}
+				if cols[m.Col] {
+					t.Fatalf("p=%d anti %d repeats column %d", p, i, m.Col)
+				}
+				cols[m.Col] = true
+			}
+			if cols[i+1] || cols[p] {
+				t.Fatalf("p=%d anti %d covers its own or the horizontal parity column", p, i)
+			}
+		}
+	}
+}
+
+func TestEachDataElementInExactlyTwoGroups(t *testing.T) {
+	for _, p := range testPrimes {
+		c := mustNew(t, p)
+		for idx := 0; idx < c.DataElems(); idx++ {
+			co := c.DataCoord(idx)
+			if got := len(c.MemberOf(co.Row, co.Col)); got != 2 {
+				t.Fatalf("p=%d: %v in %d groups", p, co, got)
+			}
+		}
+	}
+}
+
+func TestMDS(t *testing.T) {
+	for _, p := range testPrimes {
+		if testing.Short() && p > 7 {
+			continue
+		}
+		if err := erasure.VerifyMDS(mustNew(t, p), 16); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Package hdp implements the HDP code (Wu et al., DSN 2011), the
+// well-balanced vertical baseline of the D-Code paper that distributes its
+// parities over the two diagonals of the stripe matrix.
+//
+// A stripe is a (p-1)×(p-1) matrix, p prime. The horizontal-diagonal parity
+// of row i sits at (i, i); the anti-diagonal parity of row i sits at
+// (i, p-2-i).
+//
+//   - Horizontal-diagonal parity: P(i, i) = XOR of every other cell of row i
+//     (its p-3 data cells plus the row's anti-diagonal parity element).
+//   - Anti-diagonal parity: P(i, p-2-i) covers the data cells (r, c) of the
+//     mod-p diagonal <r-c>_p = <2(i+1)>_p.
+//
+// The anti-diagonal parities are computed from data only; the horizontal
+// parities fold them in, which is the "horizontal-diagonal" coupling that
+// lets HDP stay MDS with only p-1 columns. The construction is checked MDS
+// for every column pair at p ∈ {5,7,11,13} by the package tests
+// (see DESIGN.md §4).
+package hdp
+
+import (
+	"fmt"
+
+	"dcode/internal/erasure"
+)
+
+// Name is the code's display name.
+const Name = "HDP"
+
+// New constructs the HDP code over p-1 disks; p must be a prime ≥ 5.
+func New(p int) (*erasure.Code, error) {
+	if !erasure.IsPrime(p) || p < 5 {
+		return nil, fmt.Errorf("hdp: p = %d is not a prime ≥ 5", p)
+	}
+	rows, cols := p-1, p-1
+	isParity := func(r, c int) bool { return c == r || c == p-2-r }
+	groups := make([]erasure.Group, 0, 2*rows)
+
+	for i := 0; i < rows; i++ {
+		var anti []erasure.Coord
+		d := erasure.Mod(2*(i+1), p)
+		for r := 0; r < rows; r++ {
+			c := erasure.Mod(r-d, p)
+			if c > p-2 || isParity(r, c) {
+				continue
+			}
+			anti = append(anti, erasure.Coord{Row: r, Col: c})
+		}
+		groups = append(groups, erasure.Group{
+			Kind:    erasure.KindAntiDiagonal,
+			Parity:  erasure.Coord{Row: i, Col: p - 2 - i},
+			Members: anti,
+		})
+	}
+	for i := 0; i < rows; i++ {
+		var row []erasure.Coord
+		for c := 0; c <= p-2; c++ {
+			if c == i {
+				continue
+			}
+			row = append(row, erasure.Coord{Row: i, Col: c})
+		}
+		groups = append(groups, erasure.Group{
+			Kind:    erasure.KindHorizontal,
+			Parity:  erasure.Coord{Row: i, Col: i},
+			Members: row,
+		})
+	}
+	return erasure.New(Name, p, rows, cols, groups)
+}

@@ -1,0 +1,122 @@
+package hdp
+
+import (
+	"testing"
+
+	"dcode/internal/erasure"
+)
+
+var testPrimes = []int{5, 7, 11, 13}
+
+func mustNew(t *testing.T, p int) *erasure.Code {
+	t.Helper()
+	c, err := New(p)
+	if err != nil {
+		t.Fatalf("New(%d): %v", p, err)
+	}
+	return c
+}
+
+func TestNewRejectsBadParameters(t *testing.T) {
+	for _, p := range []int{0, 2, 4, 6, 8, 9} {
+		if _, err := New(p); err == nil {
+			t.Errorf("New(%d) accepted", p)
+		}
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	for _, p := range testPrimes {
+		c := mustNew(t, p)
+		if c.Rows() != p-1 || c.Cols() != p-1 {
+			t.Fatalf("p=%d: geometry %d×%d", p, c.Rows(), c.Cols())
+		}
+		if c.DataElems() != (p-1)*(p-3) {
+			t.Fatalf("p=%d: data = %d, want %d", p, c.DataElems(), (p-1)*(p-3))
+		}
+		// Parities on the two matrix diagonals.
+		for i := 0; i < p-1; i++ {
+			if !c.IsParity(i, i) {
+				t.Fatalf("p=%d: (%d,%d) not parity", p, i, i)
+			}
+			if !c.IsParity(i, p-2-i) {
+				t.Fatalf("p=%d: (%d,%d) not parity", p, i, p-2-i)
+			}
+		}
+		// Every disk carries data (the load-balancing property).
+		if c.DataColumns() != p-1 {
+			t.Fatalf("p=%d: DataColumns = %d, want %d", p, c.DataColumns(), p-1)
+		}
+	}
+}
+
+// The horizontal-diagonal parity at (i,i) covers everything else in row i,
+// including the row's anti-diagonal parity element.
+func TestHorizontalCoversRowIncludingAntiParity(t *testing.T) {
+	p := 7
+	c := mustNew(t, p)
+	for i := 0; i < p-1; i++ {
+		g := c.Groups()[c.ParityGroup(i, i)]
+		if g.Kind != erasure.KindHorizontal || len(g.Members) != p-2 {
+			t.Fatalf("horizontal %d: kind %v, %d members", i, g.Kind, len(g.Members))
+		}
+		coversAnti := false
+		for _, m := range g.Members {
+			if m.Row != i || m.Col == i {
+				t.Fatalf("horizontal %d covers %v", i, m)
+			}
+			if m.Col == p-2-i {
+				coversAnti = true
+			}
+		}
+		if !coversAnti {
+			t.Fatalf("horizontal %d does not fold in the anti-diagonal parity", i)
+		}
+	}
+}
+
+// Anti-diagonal groups are data-only and follow the mod-p diagonal
+// <r-c>_p = <2(i+1)>_p.
+func TestAntiDiagonalStructure(t *testing.T) {
+	for _, p := range testPrimes {
+		c := mustNew(t, p)
+		for i := 0; i < p-1; i++ {
+			g := c.Groups()[c.ParityGroup(i, p-2-i)]
+			if g.Kind != erasure.KindAntiDiagonal {
+				t.Fatalf("p=%d anti %d kind %v", p, i, g.Kind)
+			}
+			d := erasure.Mod(2*(i+1), p)
+			for _, m := range g.Members {
+				if erasure.Mod(m.Row-m.Col, p) != d {
+					t.Fatalf("p=%d anti %d member %v off its diagonal", p, i, m)
+				}
+				if c.IsParity(m.Row, m.Col) {
+					t.Fatalf("p=%d anti %d member %v is a parity cell", p, i, m)
+				}
+			}
+		}
+	}
+}
+
+func TestEachDataElementInExactlyTwoGroups(t *testing.T) {
+	for _, p := range testPrimes {
+		c := mustNew(t, p)
+		for idx := 0; idx < c.DataElems(); idx++ {
+			co := c.DataCoord(idx)
+			if got := len(c.MemberOf(co.Row, co.Col)); got != 2 {
+				t.Fatalf("p=%d: %v in %d groups", p, co, got)
+			}
+		}
+	}
+}
+
+func TestMDS(t *testing.T) {
+	for _, p := range testPrimes {
+		if testing.Short() && p > 7 {
+			continue
+		}
+		if err := erasure.VerifyMDS(mustNew(t, p), 16); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

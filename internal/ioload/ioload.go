@@ -1,0 +1,151 @@
+// Package ioload simulates the per-disk I/O access counts of an array code
+// under an <S, L, T> workload and reports the two metrics of the D-Code
+// paper's §IV-B: the load balancing factor LF = Lmax/Lmin and the total I/O
+// cost ΣL(i). It regenerates Figures 4 and 5.
+//
+// Accounting model (see DESIGN.md §5):
+//
+//   - The logical data address space is row-major over the data cells of each
+//     stripe, stripes concatenated; stripe layouts repeat without rotation
+//     (the paper argues rotation cannot balance accesses within a stripe).
+//   - A read touches each requested data element once per execution.
+//   - A write is a read-modify-write: per execution, read-old + write-new on
+//     every requested data element (2 accesses each) and read-old + write-new
+//     on every distinct parity element covering any of them (2 accesses each,
+//     per stripe).
+package ioload
+
+import (
+	"math"
+
+	"dcode/internal/erasure"
+	"dcode/internal/workload"
+)
+
+// StripeSpan is the portion of an element range that falls into one stripe.
+type StripeSpan struct {
+	Stripe int             // stripe index
+	Coords []erasure.Coord // data cells touched within the stripe, in logical order
+}
+
+// SplitRange maps the L continuous logical data elements starting at S onto
+// per-stripe coordinate lists.
+func SplitRange(c *erasure.Code, s, l int) []StripeSpan {
+	if l <= 0 {
+		return nil
+	}
+	d := c.DataElems()
+	var spans []StripeSpan
+	for l > 0 {
+		stripe := s / d
+		idx := s % d
+		n := d - idx
+		if n > l {
+			n = l
+		}
+		span := StripeSpan{Stripe: stripe, Coords: make([]erasure.Coord, 0, n)}
+		for i := 0; i < n; i++ {
+			span.Coords = append(span.Coords, c.DataCoord(idx+i))
+		}
+		spans = append(spans, span)
+		s += n
+		l -= n
+	}
+	return spans
+}
+
+// Result aggregates per-disk access counts for one code under one workload.
+type Result struct {
+	Code    string
+	PerDisk []int64
+}
+
+// Lmax returns the largest per-disk access count.
+func (r Result) Lmax() int64 {
+	var m int64
+	for _, v := range r.PerDisk {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Lmin returns the smallest per-disk access count.
+func (r Result) Lmin() int64 {
+	if len(r.PerDisk) == 0 {
+		return 0
+	}
+	m := r.PerDisk[0]
+	for _, v := range r.PerDisk[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// LF returns the load balancing factor Lmax/Lmin (Eq. 8). A completely idle
+// disk yields +Inf, which the paper plots as 30.
+func (r Result) LF() float64 {
+	min := r.Lmin()
+	if min == 0 {
+		return math.Inf(1)
+	}
+	return float64(r.Lmax()) / float64(min)
+}
+
+// Cost returns the total number of I/O accesses ΣL(i) (Eq. 9).
+func (r Result) Cost() int64 {
+	var sum int64
+	for _, v := range r.PerDisk {
+		sum += v
+	}
+	return sum
+}
+
+// Simulate runs the workload against the code and counts per-disk accesses,
+// with the identity stripe-to-disk mapping the paper assumes.
+func Simulate(c *erasure.Code, ops []workload.Op) Result {
+	return SimulateMapped(c, ops, func(stripeIdx, col int) int { return col })
+}
+
+// SimulateRotated runs the workload with the RAID-5-style rotation the
+// paper's §I discusses: the logical column of stripe s maps to physical disk
+// (col + s) mod disks. Rotation equalizes aggregate load only when stripes
+// are accessed uniformly; with per-stripe frequency skew (hotspot workloads)
+// the imbalance persists — the paper's argument for balancing *within* the
+// stripe, as D-Code does.
+func SimulateRotated(c *erasure.Code, ops []workload.Op) Result {
+	return SimulateMapped(c, ops, func(stripeIdx, col int) int {
+		return (col + stripeIdx) % c.Cols()
+	})
+}
+
+// SimulateMapped runs the workload with an arbitrary per-stripe
+// logical-column-to-physical-disk mapping.
+func SimulateMapped(c *erasure.Code, ops []workload.Op, disk func(stripeIdx, col int) int) Result {
+	res := Result{Code: c.Name(), PerDisk: make([]int64, c.Cols())}
+	for _, op := range ops {
+		t := int64(op.T)
+		for _, span := range SplitRange(c, op.S, op.L) {
+			switch op.Kind {
+			case workload.Read:
+				for _, co := range span.Coords {
+					res.PerDisk[disk(span.Stripe, co.Col)] += t
+				}
+			case workload.Write:
+				// Read-modify-write: old data read + new data write.
+				for _, co := range span.Coords {
+					res.PerDisk[disk(span.Stripe, co.Col)] += 2 * t
+				}
+				// Each distinct parity: old parity read + new parity write.
+				for _, gi := range c.GroupsTouchedBy(span.Coords) {
+					p := c.Groups()[gi].Parity
+					res.PerDisk[disk(span.Stripe, p.Col)] += 2 * t
+				}
+			}
+		}
+	}
+	return res
+}

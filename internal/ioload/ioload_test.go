@@ -1,0 +1,243 @@
+package ioload
+
+import (
+	"math"
+	"testing"
+
+	"dcode/internal/codes"
+	"dcode/internal/workload"
+)
+
+func TestSplitRangeSingleStripe(t *testing.T) {
+	c := codes.MustNew("dcode", 7) // 35 data elements per stripe
+	spans := SplitRange(c, 3, 5)
+	if len(spans) != 1 || spans[0].Stripe != 0 || len(spans[0].Coords) != 5 {
+		t.Fatalf("spans = %+v", spans)
+	}
+	// Data index 3 of a 7-disk D-Code is (0,3).
+	if spans[0].Coords[0] != c.DataCoord(3) {
+		t.Fatalf("first coord %v", spans[0].Coords[0])
+	}
+}
+
+func TestSplitRangeCrossesStripes(t *testing.T) {
+	c := codes.MustNew("dcode", 5) // 15 data elements per stripe
+	spans := SplitRange(c, 12, 8)  // 12..14 in stripe 0, 15..19 in stripe 1
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Stripe != 0 || len(spans[0].Coords) != 3 {
+		t.Fatalf("span 0 = %+v", spans[0])
+	}
+	if spans[1].Stripe != 1 || len(spans[1].Coords) != 5 {
+		t.Fatalf("span 1 = %+v", spans[1])
+	}
+	if spans[1].Coords[0] != c.DataCoord(0) {
+		t.Fatal("stripe 1 does not restart at data element 0")
+	}
+}
+
+func TestSplitRangeEmpty(t *testing.T) {
+	c := codes.MustNew("dcode", 5)
+	if SplitRange(c, 0, 0) != nil {
+		t.Fatal("zero-length range produced spans")
+	}
+}
+
+func TestReadAccounting(t *testing.T) {
+	c := codes.MustNew("dcode", 5)
+	// One read of 5 elements starting at 0, once: row 0 of each disk.
+	res := Simulate(c, []workload.Op{{Kind: workload.Read, S: 0, L: 5, T: 3}})
+	for d := 0; d < 5; d++ {
+		if res.PerDisk[d] != 3 {
+			t.Fatalf("disk %d = %d accesses, want 3", d, res.PerDisk[d])
+		}
+	}
+	if res.Cost() != 15 {
+		t.Fatalf("cost = %d, want 15", res.Cost())
+	}
+	if res.LF() != 1 {
+		t.Fatalf("LF = %v, want 1", res.LF())
+	}
+}
+
+func TestWriteAccountingSingleElement(t *testing.T) {
+	c := codes.MustNew("dcode", 5)
+	// One write of one element once: 2 accesses on its disk + 2 on each of
+	// its two parity disks (D-Code has optimal update complexity 2).
+	res := Simulate(c, []workload.Op{{Kind: workload.Write, S: 0, L: 1, T: 1}})
+	if res.Cost() != 2+2*2 {
+		t.Fatalf("cost = %d, want 6", res.Cost())
+	}
+	co := c.DataCoord(0)
+	if res.PerDisk[co.Col] < 2 {
+		t.Fatalf("written disk %d got %d accesses", co.Col, res.PerDisk[co.Col])
+	}
+}
+
+func TestWriteAccountingSharedParity(t *testing.T) {
+	c := codes.MustNew("dcode", 7)
+	// n-2 = 5 consecutive elements starting at a group boundary share one
+	// horizontal parity; each has its own deployment parity.
+	// Cost = 2*5 (data) + 2*1 (shared horizontal) + 2*5 (deployment) = 22.
+	res := Simulate(c, []workload.Op{{Kind: workload.Write, S: 0, L: 5, T: 1}})
+	if res.Cost() != 22 {
+		t.Fatalf("cost = %d, want 22", res.Cost())
+	}
+}
+
+func TestReadOnlyCostEqualAcrossCodes(t *testing.T) {
+	// Figure 5(a): under a read-only workload every code pays the same
+	// cost, because reads cause no extra accesses.
+	var want int64 = -1
+	for _, e := range codes.Comparison() {
+		c, err := e.New(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops, err := workload.Generate(workload.Config{DataElems: c.DataElems(), Ops: 500, Seed: 9}, workload.ReadOnly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Same seed yields the same L and T streams; cost = Σ L·T regardless
+		// of code geometry.
+		got := Simulate(c, ops).Cost()
+		if want < 0 {
+			want = got
+		} else if got != want {
+			t.Fatalf("%s read-only cost %d != %d", e.ID, got, want)
+		}
+	}
+}
+
+func TestRDPReadOnlyLFInfinite(t *testing.T) {
+	c := codes.MustNew("rdp", 7)
+	ops, _ := workload.Generate(workload.Config{DataElems: c.DataElems(), Ops: 200, Seed: 4}, workload.ReadOnly)
+	res := Simulate(c, ops)
+	if !math.IsInf(res.LF(), 1) {
+		t.Fatalf("RDP read-only LF = %v, want +Inf (idle parity disks)", res.LF())
+	}
+}
+
+func TestVerticalCodesWellBalanced(t *testing.T) {
+	// Figure 4: HDP, X-Code and D-Code stay near LF = 1 in every workload.
+	for _, id := range []string{"hdp", "xcode", "dcode"} {
+		c := codes.MustNew(id, 11)
+		for _, prof := range workload.Profiles {
+			ops, _ := workload.Generate(workload.Config{DataElems: c.DataElems(), Seed: 11}, prof)
+			lf := Simulate(c, ops).LF()
+			if lf > 1.2 {
+				t.Errorf("%s under %s: LF = %v, want near 1", id, prof.Name, lf)
+			}
+		}
+	}
+}
+
+func TestDCodeCheaperThanXCodeOnWrites(t *testing.T) {
+	// Figure 5(b,c): D-Code's shared horizontal parities beat X-Code's
+	// all-diagonal parities under write-heavy workloads.
+	dc := codes.MustNew("dcode", 13)
+	xc := codes.MustNew("xcode", 13)
+	for _, prof := range []workload.Profile{workload.ReadIntensive, workload.Mixed} {
+		dops, _ := workload.Generate(workload.Config{DataElems: dc.DataElems(), Seed: 2}, prof)
+		xops, _ := workload.Generate(workload.Config{DataElems: xc.DataElems(), Seed: 2}, prof)
+		dcost := Simulate(dc, dops).Cost()
+		xcost := Simulate(xc, xops).Cost()
+		if dcost >= xcost {
+			t.Errorf("%s: D-Code cost %d not below X-Code %d", prof.Name, dcost, xcost)
+		}
+		// Paper reports ~15% at p=13; require at least 10%.
+		if float64(dcost) > 0.9*float64(xcost) {
+			t.Errorf("%s: D-Code cost %d less than 10%% below X-Code %d", prof.Name, dcost, xcost)
+		}
+	}
+}
+
+func TestResultLminLmaxEmptyAndZero(t *testing.T) {
+	r := Result{PerDisk: nil}
+	if r.Lmin() != 0 || r.Lmax() != 0 || r.Cost() != 0 {
+		t.Fatal("empty result not all-zero")
+	}
+	r = Result{PerDisk: []int64{5, 0, 3}}
+	if r.Lmin() != 0 || r.Lmax() != 5 || r.Cost() != 8 {
+		t.Fatalf("Lmin/Lmax/Cost = %d/%d/%d", r.Lmin(), r.Lmax(), r.Cost())
+	}
+}
+
+// The paper's §I argument: RAID-5-style stripe rotation balances aggregate
+// load only for uniform access; with per-stripe frequency skew the rotated
+// horizontal code stays unbalanced, while D-Code balances within every
+// stripe and does not care.
+func TestRotationCannotFixHotspots(t *testing.T) {
+	rdpCode := codes.MustNew("rdp", 7)
+	dcodeC := codes.MustNew("dcode", 7)
+
+	gen := func(c interface{ DataElems() int }, hot bool) []workload.Op {
+		cfg := workload.Config{
+			// Span 40 stripes so rotation has room to work.
+			DataElems: 40 * c.DataElems(),
+			Seed:      17,
+		}
+		if hot {
+			cfg.HotspotOpFraction = 0.95
+			cfg.HotspotAddrFraction = 0.025 // ~1 hot stripe
+		}
+		ops, err := workload.Generate(cfg, workload.Mixed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ops
+	}
+
+	// Uniform access: rotation rescues RDP.
+	uniformRotated := SimulateRotated(rdpCode, gen(rdpCode, false)).LF()
+	if uniformRotated > 1.2 {
+		t.Fatalf("rotated RDP under uniform load: LF = %.2f, want near 1", uniformRotated)
+	}
+	// Hotspot access: rotation does not.
+	hotRotated := SimulateRotated(rdpCode, gen(rdpCode, true)).LF()
+	if hotRotated < 1.3 {
+		t.Fatalf("rotated RDP under hotspot load: LF = %.2f, expected imbalance to persist", hotRotated)
+	}
+	// D-Code needs no rotation either way.
+	hotDCode := Simulate(dcodeC, gen(dcodeC, true)).LF()
+	if hotDCode > 1.2 {
+		t.Fatalf("D-Code under hotspot load: LF = %.2f, want near 1", hotDCode)
+	}
+	if hotRotated < 1.5*hotDCode {
+		t.Fatalf("rotated RDP (%.2f) not clearly worse than D-Code (%.2f) under hotspots", hotRotated, hotDCode)
+	}
+}
+
+func TestSimulateRotatedPreservesCost(t *testing.T) {
+	// Rotation permutes disks per stripe; the total cost must be identical.
+	c := codes.MustNew("rdp", 7)
+	ops, err := workload.Generate(workload.Config{DataElems: 10 * c.DataElems(), Seed: 3}, workload.Mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Simulate(c, ops).Cost() != SimulateRotated(c, ops).Cost() {
+		t.Fatal("rotation changed the total I/O cost")
+	}
+}
+
+func TestHotspotWorkloadSkew(t *testing.T) {
+	cfg := workload.Config{DataElems: 1000, Seed: 4, HotspotOpFraction: 0.8, HotspotAddrFraction: 0.1}
+	ops, err := workload.Generate(cfg, workload.ReadOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := 0
+	for _, op := range ops {
+		if op.S < 100 {
+			hot++
+		}
+	}
+	frac := float64(hot) / float64(len(ops))
+	if frac < 0.75 || frac > 0.9 {
+		t.Fatalf("hot fraction = %.2f, want ≈ 0.8+ε", frac)
+	}
+	if _, err := workload.Generate(workload.Config{DataElems: 10, HotspotOpFraction: 2}, workload.ReadOnly); err == nil {
+		t.Fatal("bad hotspot fraction accepted")
+	}
+}

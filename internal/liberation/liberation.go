@@ -1,0 +1,88 @@
+// Package liberation implements Plank's Liberation codes (FAST 2008), the
+// minimum-density RAID-6 MDS codes the D-Code paper's related work cites.
+//
+// Liberation codes operate on w = p sub-element packets per disk (p prime,
+// p ≥ k): disk columns 0..k-1 hold data, column k holds the P parity
+// (straight XOR of the data packets of each row) and column k+1 the Q
+// parity, defined by w×w bit matrices X_i: Q's packet j is the XOR of data
+// packets (s, i) with X_i[j][s] = 1. X_0 is the identity; for i ≥ 1, X_i is
+// the rotation by i (ones at (j, <j+i>_w)) plus one extra bit at row
+// y = <i(w-1)/2>_w, column <y+i-1>_w — the minimum-density construction.
+//
+// The packet structure maps directly onto the generic erasure engine: a
+// "stripe" has w rows (one per packet) and k+2 columns, so all encoding,
+// decoding and MDS verification machinery applies unchanged. The bit-matrix
+// density (the code's claim to fame: (2k-1)/k ones per data bit on average,
+// lower than RDP's) shows up as the engine's encode XOR count.
+package liberation
+
+import (
+	"fmt"
+
+	"dcode/internal/erasure"
+)
+
+// Name is the code's display name.
+const Name = "Liberation"
+
+// New constructs a Liberation code with k data disks over packet size w = p;
+// p must be a prime with p ≥ k and p ≥ 2.
+func New(k, p int) (*erasure.Code, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("liberation: need at least 2 data disks, got %d", k)
+	}
+	if !erasure.IsPrime(p) || p < k {
+		return nil, fmt.Errorf("liberation: w = %d must be a prime ≥ k = %d", p, k)
+	}
+	w := p
+	cols := k + 2
+	groups := make([]erasure.Group, 0, 2*w)
+
+	// P parity: row-wise XOR of the data packets.
+	for j := 0; j < w; j++ {
+		row := make([]erasure.Coord, 0, k)
+		for i := 0; i < k; i++ {
+			row = append(row, erasure.Coord{Row: j, Col: i})
+		}
+		groups = append(groups, erasure.Group{
+			Kind:    erasure.KindHorizontal,
+			Parity:  erasure.Coord{Row: j, Col: k},
+			Members: row,
+		})
+	}
+	// Q parity from the X_i bit matrices.
+	for j := 0; j < w; j++ {
+		var members []erasure.Coord
+		for i := 0; i < k; i++ {
+			for s := 0; s < w; s++ {
+				if xBit(i, j, s, w) {
+					members = append(members, erasure.Coord{Row: s, Col: i})
+				}
+			}
+		}
+		groups = append(groups, erasure.Group{
+			Kind:    erasure.KindDiagonal,
+			Parity:  erasure.Coord{Row: j, Col: k + 1},
+			Members: members,
+		})
+	}
+	return erasure.New(Name, p, w, cols, groups)
+}
+
+// NewFull constructs the full-width Liberation code: p data disks over
+// packet size w = p (the registry configuration).
+func NewFull(p int) (*erasure.Code, error) { return New(p, p) }
+
+// xBit reports whether X_i[j][s] is set.
+func xBit(i, j, s, w int) bool {
+	if i == 0 {
+		return j == s
+	}
+	// Rotation by i.
+	if s == erasure.Mod(j+i, w) {
+		return true
+	}
+	// The extra minimum-density bit.
+	y := erasure.Mod(i*(w-1)/2, w)
+	return j == y && s == erasure.Mod(y+i-1, w)
+}

@@ -1,0 +1,111 @@
+package liberation
+
+import (
+	"testing"
+
+	"dcode/internal/erasure"
+)
+
+func TestNewRejectsBadParameters(t *testing.T) {
+	for _, kp := range [][2]int{{1, 5}, {5, 4}, {5, 3}, {6, 6}, {3, 0}} {
+		if _, err := New(kp[0], kp[1]); err == nil {
+			t.Errorf("New(%d,%d) accepted", kp[0], kp[1])
+		}
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	c, err := New(5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rows() != 7 || c.Cols() != 7 {
+		t.Fatalf("geometry %d×%d, want 7×7 (w rows, k+2 cols)", c.Rows(), c.Cols())
+	}
+	if c.DataElems() != 5*7 {
+		t.Fatalf("data packets = %d, want 35", c.DataElems())
+	}
+	// Columns k and k+1 are pure parity.
+	if c.DataColumns() != 5 {
+		t.Fatalf("DataColumns = %d, want 5", c.DataColumns())
+	}
+}
+
+func TestX0IsIdentity(t *testing.T) {
+	// Q's groups restricted to column 0 must be the identity pattern:
+	// packet j of Q includes exactly packet j of disk 0.
+	c, err := New(4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 5; j++ {
+		g := c.Groups()[c.ParityGroup(j, 5)]
+		if g.Kind != erasure.KindDiagonal {
+			t.Fatalf("Q group %d kind %v", j, g.Kind)
+		}
+		count := 0
+		for _, m := range g.Members {
+			if m.Col == 0 {
+				count++
+				if m.Row != j {
+					t.Fatalf("X_0 not identity: Q packet %d covers disk-0 packet %d", j, m.Row)
+				}
+			}
+		}
+		if count != 1 {
+			t.Fatalf("X_0 column weight %d at packet %d, want 1", count, j)
+		}
+	}
+}
+
+// Minimum density: the Q bit matrices carry k·w + k - 1 ones in total
+// (Plank's lower bound for a w×w-packet RAID-6 code with X_0 = I).
+func TestMinimumDensity(t *testing.T) {
+	for _, kp := range [][2]int{{5, 5}, {7, 7}, {5, 7}, {13, 13}} {
+		k, p := kp[0], kp[1]
+		c, err := New(k, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qOnes := 0
+		for j := 0; j < p; j++ {
+			qOnes += len(c.Groups()[c.ParityGroup(j, k+1)].Members)
+		}
+		if want := k*p + k - 1; qOnes != want {
+			t.Fatalf("k=%d w=%d: Q density %d ones, want %d", k, p, qOnes, want)
+		}
+	}
+}
+
+func TestMDS(t *testing.T) {
+	cases := [][2]int{{2, 2}, {3, 3}, {5, 5}, {5, 7}, {6, 7}, {7, 7}, {11, 11}, {13, 13}}
+	if testing.Short() {
+		cases = [][2]int{{5, 5}, {5, 7}}
+	}
+	for _, kp := range cases {
+		c, err := New(kp[0], kp[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := erasure.VerifyMDS(c, 8); err != nil {
+			t.Fatalf("k=%d w=%d: %v", kp[0], kp[1], err)
+		}
+	}
+}
+
+// Liberation's update complexity is its known weakness relative to its
+// encode density: the extra Q bits make some data packets belong to three
+// equations.
+func TestUpdateComplexityAboveTwo(t *testing.T) {
+	c, err := New(7, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.ComputeMetrics()
+	if m.UpdateAvg <= 2 {
+		t.Fatalf("update avg = %v, expected above 2 for the dense rows", m.UpdateAvg)
+	}
+	if m.UpdateMax < 3 {
+		t.Fatalf("update max = %d, expected ≥ 3", m.UpdateMax)
+	}
+}

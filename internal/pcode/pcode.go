@@ -1,0 +1,63 @@
+// Package pcode implements P-Code (Jin, Jiang & Zhou, 2009), the vertical
+// RAID-6 code the D-Code paper's §II cites among the codes with suboptimal
+// I/O balance; included as an extension baseline.
+//
+// For a prime p, a stripe has p-1 columns labelled 1..p-1 and (p-1)/2 rows.
+// Row 0 holds one parity element per column. Every data element carries a
+// label {i, j} — a 2-subset of {1..p-1} with i+j ≢ 0 (mod p) — and is stored
+// in column <i+j>_p; the parity of column k is the XOR of all data elements
+// whose label contains k. Each data element therefore belongs to exactly two
+// parity groups (optimal update complexity), and each column holds (p-3)/2
+// data elements.
+package pcode
+
+import (
+	"fmt"
+
+	"dcode/internal/erasure"
+)
+
+// Name is the code's display name.
+const Name = "P-Code"
+
+// New constructs P-Code over p-1 disks; p must be a prime ≥ 5.
+func New(p int) (*erasure.Code, error) {
+	if !erasure.IsPrime(p) || p < 5 {
+		return nil, fmt.Errorf("pcode: p = %d is not a prime ≥ 5", p)
+	}
+	rows, cols := (p-1)/2, p-1
+
+	// Column index c (0-based) hosts the elements of label-sum c+1.
+	// Collect each column's labels in ascending order for a canonical layout.
+	members := make([][][2]int, cols) // per column: list of labels {i,j}, i<j
+	for i := 1; i <= p-1; i++ {
+		for j := i + 1; j <= p-1; j++ {
+			if (i+j)%p == 0 {
+				continue
+			}
+			c := (i+j)%p - 1
+			members[c] = append(members[c], [2]int{i, j})
+		}
+	}
+
+	// Parity group per column k (1-based label k = column index+1): XOR of
+	// every data element whose label contains k.
+	groups := make([]erasure.Group, cols)
+	for k := 0; k < cols; k++ {
+		groups[k] = erasure.Group{
+			Kind:   erasure.KindHorizontal,
+			Parity: erasure.Coord{Row: 0, Col: k},
+		}
+	}
+	for c := 0; c < cols; c++ {
+		if len(members[c]) != rows-1 {
+			return nil, fmt.Errorf("pcode: internal: column %d holds %d labels, want %d", c, len(members[c]), rows-1)
+		}
+		for r, lab := range members[c] {
+			co := erasure.Coord{Row: r + 1, Col: c}
+			groups[lab[0]-1].Members = append(groups[lab[0]-1].Members, co)
+			groups[lab[1]-1].Members = append(groups[lab[1]-1].Members, co)
+		}
+	}
+	return erasure.New(Name, p, rows, cols, groups)
+}

@@ -1,0 +1,92 @@
+package pcode
+
+import (
+	"testing"
+
+	"dcode/internal/erasure"
+)
+
+var testPrimes = []int{5, 7, 11, 13}
+
+func mustNew(t *testing.T, p int) *erasure.Code {
+	t.Helper()
+	c, err := New(p)
+	if err != nil {
+		t.Fatalf("New(%d): %v", p, err)
+	}
+	return c
+}
+
+func TestNewRejectsBadParameters(t *testing.T) {
+	for _, p := range []int{0, 2, 3, 4, 6, 9} {
+		if _, err := New(p); err == nil {
+			t.Errorf("New(%d) accepted", p)
+		}
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	for _, p := range testPrimes {
+		c := mustNew(t, p)
+		if c.Rows() != (p-1)/2 || c.Cols() != p-1 {
+			t.Fatalf("p=%d: geometry %d×%d", p, c.Rows(), c.Cols())
+		}
+		if c.DataElems() != (p-1)*(p-3)/2 {
+			t.Fatalf("p=%d: data = %d, want %d", p, c.DataElems(), (p-1)*(p-3)/2)
+		}
+		// Parity occupies exactly row 0.
+		for col := 0; col < p-1; col++ {
+			if !c.IsParity(0, col) {
+				t.Fatalf("p=%d: (0,%d) not parity", p, col)
+			}
+			for r := 1; r < c.Rows(); r++ {
+				if c.IsParity(r, col) {
+					t.Fatalf("p=%d: (%d,%d) unexpectedly parity", p, r, col)
+				}
+			}
+		}
+		if c.DataColumns() != p-1 {
+			t.Fatalf("p=%d: DataColumns = %d", p, c.DataColumns())
+		}
+	}
+}
+
+// Every data element carries a 2-subset label and belongs to exactly the two
+// parity groups its label names — P-Code's optimal update complexity.
+func TestEachDataElementInExactlyTwoGroups(t *testing.T) {
+	for _, p := range testPrimes {
+		c := mustNew(t, p)
+		for idx := 0; idx < c.DataElems(); idx++ {
+			co := c.DataCoord(idx)
+			gs := c.MemberOf(co.Row, co.Col)
+			if len(gs) != 2 {
+				t.Fatalf("p=%d: %v in %d groups", p, co, len(gs))
+			}
+			// The element's column must equal the mod-p sum of its two group
+			// labels (group index + 1).
+			sum := (gs[0] + 1 + gs[1] + 1) % p
+			if sum-1 != co.Col {
+				t.Fatalf("p=%d: %v labels %v do not sum to its column", p, co, gs)
+			}
+		}
+	}
+}
+
+func TestUpdateMetrics(t *testing.T) {
+	c := mustNew(t, 11)
+	m := c.ComputeMetrics()
+	if m.UpdateAvg != 2 || m.UpdateMax != 2 {
+		t.Fatalf("update complexity %v/%d, want 2/2", m.UpdateAvg, m.UpdateMax)
+	}
+}
+
+func TestMDS(t *testing.T) {
+	for _, p := range testPrimes {
+		if testing.Short() && p > 7 {
+			continue
+		}
+		if err := erasure.VerifyMDS(mustNew(t, p), 16); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

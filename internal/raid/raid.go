@@ -1,0 +1,841 @@
+// Package raid is a working software RAID-6 engine over any array code in
+// this repository: it stripes a byte-addressed volume across block devices,
+// serves reads and writes (including unaligned ones), survives and repairs
+// up to two concurrent disk failures, performs degraded reads and writes,
+// rebuilds replaced disks, and scrubs parity.
+//
+// It is the "real storage system" layer of the reproduction: the paper ran
+// its codes under Jerasure on a 16-disk array; this package plays that role
+// on top of internal/blockdev devices.
+package raid
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"dcode/internal/blockdev"
+	"dcode/internal/erasure"
+	"dcode/internal/recovery"
+	"dcode/internal/stripe"
+)
+
+// ErrTooManyFailures is returned when more than two disks are unavailable.
+var ErrTooManyFailures = errors.New("raid: more than two disks failed")
+
+// Array is a RAID-6 volume. All methods are safe for concurrent use:
+// reads and writes to different stripes run in parallel (striped locking),
+// same-stripe operations serialize, and maintenance operations (FailDisk,
+// Rebuild, Scrub) take the array exclusively.
+type Array struct {
+	code     *erasure.Code
+	elemSize int
+	devs     []blockdev.Device
+	stripes  int64
+
+	// opMu is held shared by data-path operations and exclusively by
+	// maintenance operations.
+	opMu sync.RWMutex
+	// stripeLocks serialize same-stripe data-path work; a data-path
+	// operation holds at most one shard at a time, so there is no ordering
+	// to deadlock on.
+	stripeLocks [64]sync.Mutex
+
+	failMu sync.Mutex
+	failed map[int]bool
+
+	statsMu sync.Mutex
+	stats   Stats
+
+	// jnl, when non-nil, brackets every stripe mutation with intent/commit
+	// records (see journal.go).
+	jnl *journal
+}
+
+func (a *Array) lockStripe(si int64) *sync.Mutex {
+	return &a.stripeLocks[si%int64(len(a.stripeLocks))]
+}
+
+func (a *Array) isFailed(col int) bool {
+	a.failMu.Lock()
+	defer a.failMu.Unlock()
+	return a.failed[col]
+}
+
+func (a *Array) markFailed(col int) {
+	a.failMu.Lock()
+	a.failed[col] = true
+	a.failMu.Unlock()
+}
+
+func (a *Array) clearFailed(col int) {
+	a.failMu.Lock()
+	delete(a.failed, col)
+	a.failMu.Unlock()
+}
+
+func (a *Array) failedCount() int {
+	a.failMu.Lock()
+	defer a.failMu.Unlock()
+	return len(a.failed)
+}
+
+func (a *Array) bump(f func(*Stats)) {
+	a.statsMu.Lock()
+	f(&a.stats)
+	a.statsMu.Unlock()
+}
+
+// Stats aggregates array-level counters.
+type Stats struct {
+	Reads, Writes    int64 // logical operations served
+	DegradedReads    int64 // reads that needed reconstruction
+	FullStripeWrites int64 // writes encoded as whole stripes
+	RMWWrites        int64 // read-modify-write element updates
+	StripesRebuilt   int64
+	ScrubErrorsFixed int64
+	SectorsRepaired  int64 // latent sector errors healed by read-repair
+}
+
+// New assembles an array from one device per column of the code. Every
+// device must hold at least `stripes` stripes of rows×elemSize bytes.
+func New(code *erasure.Code, devs []blockdev.Device, elemSize int, stripes int64) (*Array, error) {
+	if len(devs) != code.Cols() {
+		return nil, fmt.Errorf("raid: %d devices for a %d-column code", len(devs), code.Cols())
+	}
+	if elemSize <= 0 {
+		return nil, fmt.Errorf("raid: element size %d must be positive", elemSize)
+	}
+	if stripes <= 0 {
+		return nil, fmt.Errorf("raid: stripe count %d must be positive", stripes)
+	}
+	need := stripes * int64(code.Rows()) * int64(elemSize)
+	for i, d := range devs {
+		if d.Size() < need {
+			return nil, fmt.Errorf("raid: device %d holds %d bytes, need %d", i, d.Size(), need)
+		}
+	}
+	return &Array{
+		code:     code,
+		elemSize: elemSize,
+		devs:     devs,
+		failed:   make(map[int]bool),
+		stripes:  stripes,
+	}, nil
+}
+
+// Code returns the array's erasure code.
+func (a *Array) Code() *erasure.Code { return a.code }
+
+// ElemSize returns the element size in bytes.
+func (a *Array) ElemSize() int { return a.elemSize }
+
+// Size returns the usable capacity in bytes.
+func (a *Array) Size() int64 {
+	return a.stripes * int64(a.code.DataElems()) * int64(a.elemSize)
+}
+
+// Stats returns a snapshot of the counters.
+func (a *Array) Stats() Stats {
+	a.statsMu.Lock()
+	defer a.statsMu.Unlock()
+	return a.stats
+}
+
+// FailedDisks returns the currently failed columns, sorted.
+func (a *Array) FailedDisks() []int {
+	return a.failedList()
+}
+
+func (a *Array) failedList() []int {
+	a.failMu.Lock()
+	defer a.failMu.Unlock()
+	out := make([]int, 0, len(a.failed))
+	for c := 0; c < a.code.Cols(); c++ {
+		if a.failed[c] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// FailDisk marks a column failed (as after an I/O error or pulled drive).
+func (a *Array) FailDisk(col int) error {
+	a.opMu.Lock()
+	defer a.opMu.Unlock()
+	if col < 0 || col >= a.code.Cols() {
+		return fmt.Errorf("raid: disk %d out of range", col)
+	}
+	a.markFailed(col)
+	if a.failedCount() > 2 {
+		return ErrTooManyFailures
+	}
+	return nil
+}
+
+// deviceOffset converts (stripeIdx, row) to a device byte offset.
+func (a *Array) deviceOffset(stripeIdx int64, row int) int64 {
+	return (stripeIdx*int64(a.code.Rows()) + int64(row)) * int64(a.elemSize)
+}
+
+// readElem reads one element. A latent sector error (blockdev.ErrBadSector)
+// triggers transparent read-repair: the element is reconstructed from its
+// parity group and rewritten in place, without failing the disk — whole-disk
+// failure is reserved for other errors, which mark the column failed.
+func (a *Array) readElem(stripeIdx int64, co erasure.Coord, dst []byte) error {
+	if a.isFailed(co.Col) {
+		return blockdev.ErrFailed
+	}
+	_, err := a.devs[co.Col].ReadAt(dst, a.deviceOffset(stripeIdx, co.Row))
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, blockdev.ErrBadSector) {
+		if rerr := a.repairElem(stripeIdx, co, dst); rerr == nil {
+			return nil
+		}
+	}
+	a.markFailed(co.Col)
+	return err
+}
+
+// repairElem reconstructs one unreadable element from a parity group of the
+// same stripe and rewrites it to remap the bad sector.
+func (a *Array) repairElem(stripeIdx int64, co erasure.Coord, dst []byte) error {
+	// Plan as if the whole column were down — conservative (it will not read
+	// sibling cells on the same disk, which are actually fine) but reuses
+	// the engine's group choice and never touches the bad cell itself.
+	plan, err := a.code.PlanDegraded(co.Col, []erasure.Coord{co}, nil)
+	if err != nil {
+		return err
+	}
+	elems := make(map[erasure.Coord][]byte, len(plan.Fetch))
+	for _, cell := range plan.Fetch {
+		buf := make([]byte, a.elemSize)
+		if _, err := a.devs[cell.Col].ReadAt(buf, a.deviceOffset(stripeIdx, cell.Row)); err != nil {
+			return err
+		}
+		elems[cell] = buf
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for _, step := range plan.Steps {
+		g := a.code.Groups()[step.Group]
+		for _, cell := range append(append([]erasure.Coord{}, g.Members...), g.Parity) {
+			if cell == co {
+				continue
+			}
+			stripe.XOR(dst, elems[cell])
+		}
+	}
+	if _, err := a.devs[co.Col].WriteAt(dst, a.deviceOffset(stripeIdx, co.Row)); err != nil {
+		return err
+	}
+	a.bump(func(s *Stats) { s.SectorsRepaired++ })
+	return nil
+}
+
+func (a *Array) writeElem(stripeIdx int64, co erasure.Coord, src []byte) error {
+	if a.isFailed(co.Col) {
+		return blockdev.ErrFailed
+	}
+	_, err := a.devs[co.Col].WriteAt(src, a.deviceOffset(stripeIdx, co.Row))
+	if err != nil {
+		a.markFailed(co.Col)
+	}
+	return err
+}
+
+// loadStripe reads a full stripe from the surviving disks and reconstructs
+// any failed columns. A device that fails silently is discovered here (the
+// read errors and marks it), in which case the load restarts without it, up
+// to the code's two-failure tolerance.
+func (a *Array) loadStripe(stripeIdx int64) (*stripe.Stripe, error) {
+retry:
+	for {
+		failed := a.failedList()
+		if len(failed) > 2 {
+			return nil, ErrTooManyFailures
+		}
+		down := make(map[int]bool, len(failed))
+		for _, c := range failed {
+			down[c] = true
+		}
+		s := a.code.NewStripe(a.elemSize)
+		for r := 0; r < a.code.Rows(); r++ {
+			for c := 0; c < a.code.Cols(); c++ {
+				if down[c] {
+					continue
+				}
+				if err := a.readElem(stripeIdx, erasure.Coord{Row: r, Col: c}, s.Elem(r, c)); err != nil {
+					// readElem marked the disk failed; restart the load
+					// degraded (or give up via the failure-count check).
+					continue retry
+				}
+			}
+		}
+		if len(failed) > 0 {
+			if err := a.code.Reconstruct(s, failed...); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	}
+}
+
+// storeStripe writes a full encoded stripe to every surviving disk. A disk
+// that fails during the store is skipped — its content is moot and the
+// stripe stays reconstructable — unless that pushes the array past two
+// failures.
+func (a *Array) storeStripe(stripeIdx int64, s *stripe.Stripe) error {
+	for r := 0; r < a.code.Rows(); r++ {
+		for c := 0; c < a.code.Cols(); c++ {
+			if a.isFailed(c) {
+				continue
+			}
+			// writeElem marks the disk failed on error; keep going so the
+			// surviving disks still receive a consistent stripe.
+			_ = a.writeElem(stripeIdx, erasure.Coord{Row: r, Col: c}, s.Elem(r, c))
+		}
+	}
+	if a.failedCount() > 2 {
+		return ErrTooManyFailures
+	}
+	return nil
+}
+
+// elemRange describes the portion of one data element a byte range touches.
+type elemRange struct {
+	stripeIdx int64
+	coord     erasure.Coord
+	start     int // offset within the element
+	length    int
+	bufOff    int // offset within the caller's buffer
+}
+
+// splitBytes maps a byte range of the volume onto element ranges.
+func (a *Array) splitBytes(off int64, n int) ([]elemRange, error) {
+	if off < 0 || off+int64(n) > a.Size() {
+		return nil, fmt.Errorf("raid: range [%d,%d) outside volume of %d bytes", off, off+int64(n), a.Size())
+	}
+	var out []elemRange
+	d := int64(a.code.DataElems())
+	bufOff := 0
+	for n > 0 {
+		elemIdx := off / int64(a.elemSize)
+		within := int(off % int64(a.elemSize))
+		take := a.elemSize - within
+		if take > n {
+			take = n
+		}
+		out = append(out, elemRange{
+			stripeIdx: elemIdx / d,
+			coord:     a.code.DataCoord(int(elemIdx % d)),
+			start:     within,
+			length:    take,
+			bufOff:    bufOff,
+		})
+		off += int64(take)
+		bufOff += take
+		n -= take
+	}
+	return out, nil
+}
+
+// ReadAt reads len(p) bytes at offset off, reconstructing data on failed
+// disks transparently. With a single disk down, only the elements of the
+// chosen recovery groups are fetched (the erasure engine's degraded plan,
+// the paper's low-I/O degraded read); a double failure falls back to
+// whole-stripe reconstruction.
+func (a *Array) ReadAt(p []byte, off int64) (int, error) {
+	a.opMu.RLock()
+	defer a.opMu.RUnlock()
+	ranges, err := a.splitBytes(off, len(p))
+	if err != nil {
+		return 0, err
+	}
+	a.bump(func(s *Stats) { s.Reads++ })
+
+	byStripe := make(map[int64][]elemRange)
+	var order []int64
+	for _, er := range ranges {
+		if _, ok := byStripe[er.stripeIdx]; !ok {
+			order = append(order, er.stripeIdx)
+		}
+		byStripe[er.stripeIdx] = append(byStripe[er.stripeIdx], er)
+	}
+	for _, si := range order {
+		mu := a.lockStripe(si)
+		mu.Lock()
+		err := a.readStripeRanges(si, byStripe[si], p)
+		mu.Unlock()
+		if err != nil {
+			return 0, err
+		}
+	}
+	return len(p), nil
+}
+
+// readStripeRanges serves one stripe's element ranges, retrying with
+// progressively degraded strategies as failures are discovered.
+func (a *Array) readStripeRanges(si int64, ers []elemRange, p []byte) error {
+	for {
+		if a.failedCount() > 2 {
+			return ErrTooManyFailures
+		}
+		elems, err := a.fetchStripeElems(si, ers)
+		if err == errRetryDegraded {
+			continue // a disk was discovered failed; re-plan
+		}
+		if err != nil {
+			return err
+		}
+		for _, er := range ers {
+			copy(p[er.bufOff:er.bufOff+er.length], elems[er.coord][er.start:er.start+er.length])
+		}
+		return nil
+	}
+}
+
+// errRetryDegraded signals that a device failure was discovered mid-read and
+// the stripe should be re-planned.
+var errRetryDegraded = errors.New("raid: retry degraded")
+
+// fetchStripeElems obtains the full contents of every element the ranges
+// touch, choosing the cheapest strategy for the current failure state.
+func (a *Array) fetchStripeElems(si int64, ers []elemRange) (map[erasure.Coord][]byte, error) {
+	failed := a.failedList()
+	down := make(map[int]bool, len(failed))
+	for _, c := range failed {
+		down[c] = true
+	}
+	wanted := make([]erasure.Coord, 0, len(ers))
+	seen := make(map[erasure.Coord]bool, len(ers))
+	needLost := false
+	for _, er := range ers {
+		if !seen[er.coord] {
+			seen[er.coord] = true
+			wanted = append(wanted, er.coord)
+		}
+		if down[er.coord.Col] {
+			needLost = true
+		}
+	}
+
+	elems := make(map[erasure.Coord][]byte, len(wanted))
+	read := func(co erasure.Coord) error {
+		buf := make([]byte, a.elemSize)
+		if err := a.readElem(si, co, buf); err != nil {
+			return err
+		}
+		elems[co] = buf
+		return nil
+	}
+
+	switch {
+	case !needLost:
+		// All wanted elements live on healthy disks.
+		for _, co := range wanted {
+			if err := read(co); err != nil {
+				return nil, errRetryDegraded
+			}
+		}
+		return elems, nil
+
+	case len(failed) == 1:
+		// Single failure: fetch only the recovery plan's cells.
+		a.bump(func(s *Stats) { s.DegradedReads++ })
+		plan, err := a.code.PlanDegraded(failed[0], wanted, nil)
+		if err != nil {
+			return nil, err
+		}
+		for _, co := range plan.Fetch {
+			if err := read(co); err != nil {
+				return nil, errRetryDegraded
+			}
+		}
+		for _, step := range plan.Steps {
+			g := a.code.Groups()[step.Group]
+			dst := make([]byte, a.elemSize)
+			for _, cell := range append(append([]erasure.Coord{}, g.Members...), g.Parity) {
+				if cell == step.Target {
+					continue
+				}
+				stripe.XOR(dst, elems[cell])
+			}
+			elems[step.Target] = dst
+		}
+		return elems, nil
+
+	default:
+		// Double failure: whole-stripe reconstruction.
+		a.bump(func(s *Stats) { s.DegradedReads++ })
+		s, err := a.loadStripe(si)
+		if err != nil {
+			return nil, err
+		}
+		for _, co := range wanted {
+			elems[co] = s.Elem(co.Row, co.Col)
+		}
+		return elems, nil
+	}
+}
+
+// WriteAt writes len(p) bytes at offset off. Whole stripes are encoded and
+// written in one pass; partial updates use read-modify-write parity patching
+// (the UpdateData path); writes while disks are failed take a degraded
+// full-stripe path so parity stays consistent for the eventual rebuild.
+func (a *Array) WriteAt(p []byte, off int64) (int, error) {
+	a.opMu.RLock()
+	defer a.opMu.RUnlock()
+	ranges, err := a.splitBytes(off, len(p))
+	if err != nil {
+		return 0, err
+	}
+	a.bump(func(s *Stats) { s.Writes++ })
+
+	// Group element ranges by stripe.
+	byStripe := make(map[int64][]elemRange)
+	var order []int64
+	for _, er := range ranges {
+		if _, ok := byStripe[er.stripeIdx]; !ok {
+			order = append(order, er.stripeIdx)
+		}
+		byStripe[er.stripeIdx] = append(byStripe[er.stripeIdx], er)
+	}
+
+	for _, si := range order {
+		mu := a.lockStripe(si)
+		mu.Lock()
+		var seq uint64
+		if a.jnl != nil {
+			if seq, err = a.jnl.log(recIntent, 0, si); err != nil {
+				mu.Unlock()
+				return 0, err
+			}
+		}
+		err := a.writeStripeRanges(si, byStripe[si], p)
+		if err == nil && a.jnl != nil {
+			_, err = a.jnl.log(recCommit, seq, si)
+		}
+		mu.Unlock()
+		if err != nil {
+			return 0, err
+		}
+	}
+	return len(p), nil
+}
+
+// writeStripeRanges applies one stripe's element ranges. On a healthy array
+// it picks the cheaper of the two classic strategies by element I/O count:
+//
+//   - read-modify-write: read old data + old parities, write new data +
+//     patched parities — 2w + 2P accesses for w written elements touching P
+//     distinct parities (the model of the paper's Fig. 5);
+//   - reconstruct-write: read the untouched data, re-encode, write the new
+//     data + every parity — (D−w) + partials reads and w + G writes.
+//
+// A degraded array (including failures discovered mid-write) takes the
+// load-reconstruct-encode-store path. Elements already committed by RMW stay
+// consistent, so falling back mid-stripe is safe.
+func (a *Array) writeStripeRanges(si int64, ers []elemRange, p []byte) error {
+	if a.failedCount() == 0 {
+		elemSet := make(map[erasure.Coord]bool, len(ers))
+		coords := make([]erasure.Coord, 0, len(ers))
+		partials := 0
+		for _, er := range ers {
+			if !elemSet[er.coord] {
+				elemSet[er.coord] = true
+				coords = append(coords, er.coord)
+			}
+			if er.start != 0 || er.length != a.elemSize {
+				partials++
+			}
+		}
+		w := len(coords)
+		pCnt := len(a.code.GroupsTouchedBy(coords))
+		d := a.code.DataElems()
+		g := len(a.code.Groups())
+		rmwCost := 2*w + 2*pCnt
+		rwCost := (d - w) + partials + w + g
+
+		var err error
+		if rwCost < rmwCost {
+			err = a.reconstructWrite(si, ers, elemSet, p)
+			if err == nil {
+				a.bump(func(s *Stats) { s.FullStripeWrites++ })
+				return nil
+			}
+		} else {
+			ok := true
+			for _, er := range ers {
+				if err = a.rmwElement(si, er, p); err != nil {
+					ok = false
+					break
+				}
+				a.bump(func(s *Stats) { s.RMWWrites++ })
+			}
+			if ok {
+				return nil
+			}
+		}
+		if a.failedCount() > 2 {
+			return err
+		}
+		// A disk failed mid-write; redo the stripe degraded.
+	}
+	s, err := a.loadStripe(si)
+	if err != nil {
+		return err
+	}
+	for _, er := range ers {
+		copy(s.Elem(er.coord.Row, er.coord.Col)[er.start:er.start+er.length],
+			p[er.bufOff:er.bufOff+er.length])
+	}
+	a.code.Encode(s)
+	if err := a.storeStripe(si, s); err != nil {
+		return err
+	}
+	a.bump(func(s *Stats) { s.FullStripeWrites++ })
+	return nil
+}
+
+// reconstructWrite serves a large partial write on a healthy array: it reads
+// only the untouched data elements (plus partially overwritten ones),
+// re-encodes the stripe in memory, and writes the new data elements and
+// every parity. It never reads old parity.
+func (a *Array) reconstructWrite(si int64, ers []elemRange, written map[erasure.Coord]bool, p []byte) error {
+	s := a.code.NewStripe(a.elemSize)
+	// Read untouched data cells.
+	for i := 0; i < a.code.DataElems(); i++ {
+		co := a.code.DataCoord(i)
+		if written[co] {
+			continue
+		}
+		if err := a.readElem(si, co, s.Elem(co.Row, co.Col)); err != nil {
+			return err
+		}
+	}
+	// Partially overwritten elements need their old content too.
+	partialDone := make(map[erasure.Coord]bool)
+	for _, er := range ers {
+		if (er.start != 0 || er.length != a.elemSize) && !partialDone[er.coord] {
+			partialDone[er.coord] = true
+			if err := a.readElem(si, er.coord, s.Elem(er.coord.Row, er.coord.Col)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, er := range ers {
+		copy(s.Elem(er.coord.Row, er.coord.Col)[er.start:er.start+er.length],
+			p[er.bufOff:er.bufOff+er.length])
+	}
+	a.code.Encode(s)
+	// Commit: written data elements plus every parity cell. Like storeStripe,
+	// a device failing mid-commit is skipped — aborting here would leave the
+	// surviving cells half old, half new; completing the commit keeps them
+	// mutually consistent and the failed column reconstructable.
+	for co := range written {
+		_ = a.writeElem(si, co, s.Elem(co.Row, co.Col))
+	}
+	for _, g := range a.code.Groups() {
+		_ = a.writeElem(si, g.Parity, s.Elem(g.Parity.Row, g.Parity.Col))
+	}
+	if a.failedCount() > 2 {
+		return ErrTooManyFailures
+	}
+	return nil
+}
+
+// rmwElement performs a read-modify-write of one (possibly partial) data
+// element in two phases. Phase one gathers the old data and every old parity
+// without mutating anything, so a read failure (which marks the disk) is
+// safe to retry on the degraded path. Phase two commits the new data and the
+// patched parities; a disk that fails during commit is skipped — its
+// contents are moot and the delta applied to the surviving parities keeps
+// the new value reconstructable.
+func (a *Array) rmwElement(stripeIdx int64, er elemRange, p []byte) error {
+	// Phase 1: gather.
+	old := make([]byte, a.elemSize)
+	if err := a.readElem(stripeIdx, er.coord, old); err != nil {
+		return err
+	}
+	groups := a.code.UpdateGroups(er.coord.Row, er.coord.Col)
+	parities := make([][]byte, len(groups))
+	for i, gi := range groups {
+		parities[i] = make([]byte, a.elemSize)
+		pc := a.code.Groups()[gi].Parity
+		if err := a.readElem(stripeIdx, pc, parities[i]); err != nil {
+			return err
+		}
+	}
+
+	// Phase 2: commit.
+	newVal := append([]byte(nil), old...)
+	copy(newVal[er.start:er.start+er.length], p[er.bufOff:er.bufOff+er.length])
+	delta := make([]byte, a.elemSize)
+	stripe.XORInto(delta, old, newVal)
+	_ = a.writeElem(stripeIdx, er.coord, newVal)
+	for i, gi := range groups {
+		pc := a.code.Groups()[gi].Parity
+		stripe.XOR(parities[i], delta)
+		_ = a.writeElem(stripeIdx, pc, parities[i])
+	}
+	if a.failedCount() > 2 {
+		return ErrTooManyFailures
+	}
+	return nil
+}
+
+// Rebuild reconstructs the contents of a previously failed column onto its
+// (replaced) device and clears the failure mark. With a single failure it
+// follows the read-minimal hybrid recovery plan (paper §III-D: ~25% fewer
+// reads than rebuilding through one parity kind); a second concurrent
+// failure falls back to whole-stripe reconstruction.
+func (a *Array) Rebuild(col int) error {
+	a.opMu.Lock()
+	defer a.opMu.Unlock()
+	if col < 0 || col >= a.code.Cols() {
+		return fmt.Errorf("raid: disk %d out of range", col)
+	}
+	if !a.isFailed(col) {
+		return fmt.Errorf("raid: disk %d is not failed", col)
+	}
+	if a.failedCount() > 2 {
+		return ErrTooManyFailures
+	}
+	var plan *recovery.Plan
+	if a.failedCount() == 1 {
+		if pl, err := recovery.Optimize(a.code, col); err == nil {
+			plan = &pl
+		}
+	}
+	for si := int64(0); si < a.stripes; si++ {
+		rebuilt := false
+		if plan != nil && a.failedCount() == 1 {
+			if err := a.rebuildStripePlanned(si, col, plan); err == nil {
+				rebuilt = true
+			}
+			// On error a new failure was likely discovered; fall back.
+		}
+		if !rebuilt {
+			s, err := a.loadStripe(si)
+			if err != nil {
+				return err
+			}
+			for r := 0; r < a.code.Rows(); r++ {
+				off := a.deviceOffset(si, r)
+				if _, err := a.devs[col].WriteAt(s.Elem(r, col), off); err != nil {
+					return fmt.Errorf("raid: rebuilding disk %d stripe %d: %w", col, si, err)
+				}
+			}
+		}
+		a.bump(func(s *Stats) { s.StripesRebuilt++ })
+	}
+	a.clearFailed(col)
+	return nil
+}
+
+// rebuildStripePlanned rebuilds column col of one stripe reading only the
+// elements the recovery plan needs.
+func (a *Array) rebuildStripePlanned(si int64, col int, plan *recovery.Plan) error {
+	// Gather the read set: every surviving cell any chosen group references,
+	// plus the members of the column's own parity groups.
+	need := make(map[erasure.Coord]bool)
+	addGroup := func(gi int) {
+		g := a.code.Groups()[gi]
+		for _, m := range g.Members {
+			if m.Col != col {
+				need[m] = true
+			}
+		}
+		if g.Parity.Col != col {
+			need[g.Parity] = true
+		}
+	}
+	for r := 0; r < a.code.Rows(); r++ {
+		if gi := plan.GroupChoice[r]; gi >= 0 {
+			addGroup(gi)
+		} else if gi := a.code.ParityGroup(r, col); gi >= 0 {
+			addGroup(gi)
+		}
+	}
+	elems := make(map[erasure.Coord][]byte, len(need))
+	for co := range need {
+		buf := make([]byte, a.elemSize)
+		if err := a.readElem(si, co, buf); err != nil {
+			return err
+		}
+		elems[co] = buf
+	}
+	// Recover data rows through their chosen groups, then parity rows by
+	// re-encoding (their members may include just-recovered data cells).
+	column := make([][]byte, a.code.Rows())
+	for r := 0; r < a.code.Rows(); r++ {
+		if gi := plan.GroupChoice[r]; gi >= 0 {
+			g := a.code.Groups()[gi]
+			dst := make([]byte, a.elemSize)
+			target := erasure.Coord{Row: r, Col: col}
+			for _, cell := range append(append([]erasure.Coord{}, g.Members...), g.Parity) {
+				if cell == target {
+					continue
+				}
+				stripe.XOR(dst, elems[cell])
+			}
+			column[r] = dst
+			elems[target] = dst
+		}
+	}
+	for r := 0; r < a.code.Rows(); r++ {
+		if gi := a.code.ParityGroup(r, col); gi >= 0 {
+			g := a.code.Groups()[gi]
+			dst := make([]byte, a.elemSize)
+			for _, m := range g.Members {
+				src, ok := elems[m]
+				if !ok {
+					// A member this pass cannot source (e.g. an unrecovered
+					// parity cell on the failed column); let the caller fall
+					// back to whole-stripe reconstruction.
+					return fmt.Errorf("raid: planned rebuild cannot source %v", m)
+				}
+				stripe.XOR(dst, src)
+			}
+			column[r] = dst
+		}
+	}
+	for r := 0; r < a.code.Rows(); r++ {
+		if _, err := a.devs[col].WriteAt(column[r], a.deviceOffset(si, r)); err != nil {
+			return fmt.Errorf("raid: rebuilding disk %d stripe %d: %w", col, si, err)
+		}
+	}
+	return nil
+}
+
+// Scrub verifies the parity of every stripe; inconsistent stripes are
+// re-encoded from their data (the data is trusted, as a real scrubber does
+// absent checksums). It returns how many stripes were repaired.
+func (a *Array) Scrub() (int64, error) {
+	a.opMu.Lock()
+	defer a.opMu.Unlock()
+	if n := a.failedCount(); n > 0 {
+		return 0, fmt.Errorf("raid: scrub requires a healthy array (%d disks failed)", n)
+	}
+	var fixed int64
+	for si := int64(0); si < a.stripes; si++ {
+		s, err := a.loadStripe(si)
+		if err != nil {
+			return fixed, err
+		}
+		if a.code.Verify(s) {
+			continue
+		}
+		a.code.Encode(s)
+		if err := a.storeStripe(si, s); err != nil {
+			return fixed, err
+		}
+		fixed++
+		a.bump(func(s *Stats) { s.ScrubErrorsFixed++ })
+	}
+	return fixed, nil
+}

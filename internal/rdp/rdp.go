@@ -1,0 +1,118 @@
+// Package rdp implements the Row-Diagonal Parity code (Corbett et al.,
+// FAST 2004), the horizontal RAID-6 baseline of the D-Code paper.
+//
+// A stripe is a (p-1)×(p+1) matrix, p prime. Columns 0..p-2 hold data,
+// column p-1 the row parities and column p the diagonal parities:
+//
+//   - Row parity:      P(i, p-1) = XOR_{c=0}^{p-2} D(i, c)
+//   - Diagonal parity: P(i, p)   = XOR of the cells (r, c), 0 ≤ c ≤ p-1
+//     (data and row parity), with <r+c>_p = i.
+//
+// Diagonal p-1 (the "missing diagonal") is not stored; including the row
+// parity column in the diagonals is what gives RDP its optimal
+// encoding complexity.
+package rdp
+
+import (
+	"fmt"
+
+	"dcode/internal/erasure"
+)
+
+// Name is the code's display name.
+const Name = "RDP"
+
+// New constructs RDP over p+1 disks; p must be a prime ≥ 5.
+func New(p int) (*erasure.Code, error) {
+	if !erasure.IsPrime(p) || p < 5 {
+		return nil, fmt.Errorf("rdp: p = %d is not a prime ≥ 5", p)
+	}
+	rows, cols := p-1, p+1
+	groups := make([]erasure.Group, 0, 2*rows)
+	for i := 0; i < rows; i++ {
+		row := make([]erasure.Coord, 0, p-1)
+		for c := 0; c <= p-2; c++ {
+			row = append(row, erasure.Coord{Row: i, Col: c})
+		}
+		groups = append(groups, erasure.Group{
+			Kind:    erasure.KindHorizontal,
+			Parity:  erasure.Coord{Row: i, Col: p - 1},
+			Members: row,
+		})
+	}
+	for i := 0; i < rows; i++ {
+		var diag []erasure.Coord
+		for r := 0; r < rows; r++ {
+			for c := 0; c <= p-1; c++ { // includes the row-parity column p-1
+				if erasure.Mod(r+c, p) == i {
+					diag = append(diag, erasure.Coord{Row: r, Col: c})
+				}
+			}
+		}
+		groups = append(groups, erasure.Group{
+			Kind:    erasure.KindDiagonal,
+			Parity:  erasure.Coord{Row: i, Col: p},
+			Members: diag,
+		})
+	}
+	return erasure.New(Name, p, rows, cols, groups)
+}
+
+// NewShortened constructs an RDP array with exactly k data disks (k ≥ 2,
+// k+2 disks total) by code shortening: the construction runs over the
+// smallest prime p ≥ k+1 with the surplus data columns fixed to zero and
+// omitted. Shortening is the standard way real arrays use RDP at arbitrary
+// widths; a shortened MDS code is still MDS.
+func NewShortened(k int) (*erasure.Code, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("rdp: need at least 2 data disks, got %d", k)
+	}
+	p := k + 1
+	for !erasure.IsPrime(p) || p < 5 {
+		p++
+	}
+	if p == k+1 {
+		return New(p) // no shortening needed
+	}
+	rows := p - 1
+	// Columns 0..k-1 stay; the virtual data columns k..p-2 are dropped; the
+	// row-parity column p-1 becomes k and the diagonal column p becomes k+1.
+	remap := func(co erasure.Coord) (erasure.Coord, bool) {
+		switch {
+		case co.Col < k:
+			return co, true
+		case co.Col == p-1:
+			return erasure.Coord{Row: co.Row, Col: k}, true
+		case co.Col == p:
+			return erasure.Coord{Row: co.Row, Col: k + 1}, true
+		default:
+			return erasure.Coord{}, false // virtual zero column
+		}
+	}
+	full, err := New(p)
+	if err != nil {
+		return nil, err
+	}
+	groups := make([]erasure.Group, 0, len(full.Groups()))
+	for _, g := range full.Groups() {
+		parity, ok := remap(g.Parity)
+		if !ok {
+			return nil, fmt.Errorf("rdp: internal: parity in virtual column %v", g.Parity)
+		}
+		ng := erasure.Group{Kind: g.Kind, Parity: parity}
+		for _, m := range g.Members {
+			if nm, ok := remap(m); ok {
+				ng.Members = append(ng.Members, nm)
+			}
+		}
+		if len(ng.Members) == 0 {
+			// A group whose members all live in virtual columns stores a
+			// constant zero; keep the equation with a synthetic member so
+			// the engine can treat the parity cell uniformly. This cannot
+			// happen for RDP (every diagonal crosses column 0), so reject.
+			return nil, fmt.Errorf("rdp: internal: empty shortened group at %v", parity)
+		}
+		groups = append(groups, ng)
+	}
+	return erasure.New(fmt.Sprintf("RDP(k=%d)", k), p, rows, k+2, groups)
+}

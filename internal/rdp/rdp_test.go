@@ -1,0 +1,176 @@
+package rdp
+
+import (
+	"testing"
+
+	"dcode/internal/erasure"
+)
+
+var testPrimes = []int{5, 7, 11, 13}
+
+func mustNew(t *testing.T, p int) *erasure.Code {
+	t.Helper()
+	c, err := New(p)
+	if err != nil {
+		t.Fatalf("New(%d): %v", p, err)
+	}
+	return c
+}
+
+func TestNewRejectsBadParameters(t *testing.T) {
+	for _, p := range []int{0, 1, 4, 6, 9} {
+		if _, err := New(p); err == nil {
+			t.Errorf("New(%d) accepted", p)
+		}
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	for _, p := range testPrimes {
+		c := mustNew(t, p)
+		if c.Rows() != p-1 || c.Cols() != p+1 {
+			t.Fatalf("p=%d: geometry %d×%d", p, c.Rows(), c.Cols())
+		}
+		if c.DataElems() != (p-1)*(p-1) {
+			t.Fatalf("p=%d: data = %d, want %d", p, c.DataElems(), (p-1)*(p-1))
+		}
+		// Two dedicated parity disks that hold no data.
+		if c.DataColumns() != p-1 {
+			t.Fatalf("p=%d: DataColumns = %d, want %d", p, c.DataColumns(), p-1)
+		}
+		for r := 0; r < p-1; r++ {
+			if !c.IsParity(r, p-1) || !c.IsParity(r, p) {
+				t.Fatalf("p=%d: row %d parity columns not at p-1/p", p, r)
+			}
+		}
+	}
+}
+
+func TestRowParityCoversWholeRow(t *testing.T) {
+	p := 7
+	c := mustNew(t, p)
+	for i := 0; i < p-1; i++ {
+		g := c.Groups()[c.ParityGroup(i, p-1)]
+		if g.Kind != erasure.KindHorizontal || len(g.Members) != p-1 {
+			t.Fatalf("row parity %d: kind %v, %d members", i, g.Kind, len(g.Members))
+		}
+		for _, m := range g.Members {
+			if m.Row != i {
+				t.Fatalf("row parity %d covers %v", i, m)
+			}
+		}
+	}
+}
+
+// RDP's defining property: the diagonal parity covers the row-parity column,
+// and the diagonal p-1 is missing.
+func TestDiagonalsIncludeRowParityColumn(t *testing.T) {
+	p := 7
+	c := mustNew(t, p)
+	for i := 0; i < p-1; i++ {
+		g := c.Groups()[c.ParityGroup(i, p)]
+		if g.Kind != erasure.KindDiagonal {
+			t.Fatalf("diag parity %d kind %v", i, g.Kind)
+		}
+		coversParityCol := false
+		for _, m := range g.Members {
+			if erasure.Mod(m.Row+m.Col, p) != i {
+				t.Fatalf("diag %d contains off-diagonal member %v", i, m)
+			}
+			if m.Col == p-1 {
+				coversParityCol = true
+			}
+		}
+		// The row-parity cell on diagonal i is (<i+1>_p, p-1), which exists
+		// only for i ≤ p-3; diagonal p-2 has no row-parity member.
+		if want := i <= p-3; coversParityCol != want {
+			t.Fatalf("diag %d row-parity coverage = %v, want %v", i, coversParityCol, want)
+		}
+	}
+	// No group stores diagonal p-1.
+	for _, g := range c.Groups() {
+		if g.Kind != erasure.KindDiagonal {
+			continue
+		}
+		for _, m := range g.Members {
+			if erasure.Mod(m.Row+m.Col, p) == p-1 {
+				t.Fatalf("missing diagonal p-1 appears in group with parity %v", g.Parity)
+			}
+		}
+	}
+}
+
+func TestMDS(t *testing.T) {
+	for _, p := range testPrimes {
+		if testing.Short() && p > 7 {
+			continue
+		}
+		if err := erasure.VerifyMDS(mustNew(t, p), 16); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// RDP has optimal encode complexity too: (p-1)(p-2)+... in XOR counts this is
+// 2(p-1)(p-2) XORs for (p-1)^2 data elements = 2 - 2/(p-1) per data element.
+func TestEncodeComplexity(t *testing.T) {
+	for _, p := range testPrimes {
+		c := mustNew(t, p)
+		m := c.ComputeMetrics()
+		want := 2.0 - 2.0/float64(p-1)
+		if diff := m.EncodeXORPerData - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("p=%d: encode XOR/data = %v, want %v", p, m.EncodeXORPerData, want)
+		}
+	}
+}
+
+func TestShortenedGeometry(t *testing.T) {
+	for k := 2; k <= 14; k++ {
+		c, err := NewShortened(k)
+		if err != nil {
+			t.Fatalf("NewShortened(%d): %v", k, err)
+		}
+		if c.Cols() != k+2 {
+			t.Fatalf("k=%d: %d disks, want %d", k, c.Cols(), k+2)
+		}
+		if c.DataElems() != k*(c.P()-1) {
+			t.Fatalf("k=%d: data = %d, want %d", k, c.DataElems(), k*(c.P()-1))
+		}
+		// Columns k and k+1 are pure parity.
+		if c.DataColumns() != k {
+			t.Fatalf("k=%d: DataColumns = %d", k, c.DataColumns())
+		}
+	}
+}
+
+func TestShortenedMDS(t *testing.T) {
+	widths := []int{2, 3, 5, 6, 8, 9}
+	if testing.Short() {
+		widths = []int{3, 6}
+	}
+	for _, k := range widths {
+		c, err := NewShortened(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := erasure.VerifyMDS(c, 16); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+	}
+}
+
+func TestShortenedRejectsTooNarrow(t *testing.T) {
+	if _, err := NewShortened(1); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+}
+
+func TestShortenedExactPrimeIsUnshortened(t *testing.T) {
+	c, err := NewShortened(6) // p = 7 = k+1: the full construction
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != Name {
+		t.Fatalf("k=6 should be plain RDP, got %q", c.Name())
+	}
+}

@@ -1,0 +1,233 @@
+// Package readperf simulates the read-performance experiments of the D-Code
+// paper's §V on top of the diskmodel substrate: normal-mode read speed
+// (Fig. 6) and degraded-mode read speed under every single data-disk failure
+// (Fig. 7), both as raw MB/s and as average MB/s per disk.
+//
+// Model (see DESIGN.md §6): each operation reads L continuous data elements
+// starting at an arbitrary data element of a stripe (wrapping within the
+// stripe, per the paper's workload description); every touched disk accrues
+// busy time from the diskmodel; the sustained read speed over the experiment
+// is the requested payload divided by the bottleneck disk's total busy time,
+// since the disks of a RAID array serve requests in parallel. This is what
+// makes dedicated parity disks (RDP, H-Code's column p) depress read speed:
+// they never absorb any of the read load.
+package readperf
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dcode/internal/diskmodel"
+	"dcode/internal/erasure"
+)
+
+// Config parameterizes an experiment; zero fields take the paper's values.
+type Config struct {
+	Ops    int // operations per experiment (normal) or per failure case (degraded); paper: 2000 / 200
+	MaxLen int // read size ∈ [1, MaxLen] elements; paper: 20
+	Seed   int64
+	Params diskmodel.Params
+}
+
+func (c Config) withDefaults(degraded bool) Config {
+	if c.Ops == 0 {
+		if degraded {
+			c.Ops = 200
+		} else {
+			c.Ops = 2000
+		}
+	}
+	if c.MaxLen == 0 {
+		c.MaxLen = 20
+	}
+	if c.Params == (diskmodel.Params{}) {
+		c.Params = diskmodel.DefaultParams()
+	}
+	return c
+}
+
+// Result is the outcome of one experiment.
+type Result struct {
+	Code  string
+	Disks int
+	// SpeedMBps is requested payload bytes divided by the bottleneck disk's
+	// busy time.
+	SpeedMBps float64
+	// AvgSpeedMBps is SpeedMBps divided by the number of disks — the paper's
+	// "average read speed contributed from each disk".
+	AvgSpeedMBps float64
+	// ExtraElems counts elements fetched beyond the requested ones
+	// (recovery reads); zero in normal mode.
+	ExtraElems int64
+	// LatencyP50MS / LatencyP95MS / LatencyP99MS are per-operation latency
+	// percentiles (one op = one parallel request; latency = slowest disk).
+	// Degraded tails show the cost of recovery fetches landing on one disk.
+	LatencyP50MS, LatencyP95MS, LatencyP99MS float64
+}
+
+// percentile returns the q-th percentile (0..100) of sorted samples.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q / 100 * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func (r *Result) fillLatencies(lat []float64) {
+	sort.Float64s(lat)
+	r.LatencyP50MS = percentile(lat, 50)
+	r.LatencyP95MS = percentile(lat, 95)
+	r.LatencyP99MS = percentile(lat, 99)
+}
+
+func finish(c *erasure.Code, bytes, extra int64, bottleneckMS float64) Result {
+	r := Result{Code: c.Name(), Disks: c.Cols(), ExtraElems: extra}
+	if bottleneckMS > 0 {
+		r.SpeedMBps = float64(bytes) / 1e6 / (bottleneckMS / 1e3)
+		r.AvgSpeedMBps = r.SpeedMBps / float64(r.Disks)
+	}
+	return r
+}
+
+// readCoords returns the distinct data cells of a wrap-around read of l
+// elements starting at data element s of a stripe.
+func readCoords(c *erasure.Code, s, l int) []erasure.Coord {
+	d := c.DataElems()
+	if l > d {
+		l = d
+	}
+	coords := make([]erasure.Coord, 0, l)
+	for i := 0; i < l; i++ {
+		coords = append(coords, c.DataCoord((s+i)%d))
+	}
+	return coords
+}
+
+// Normal runs the normal-mode read experiment: random start element and
+// random size, all disks healthy.
+func Normal(c *erasure.Code, cfg Config) Result {
+	cfg = cfg.withDefaults(false)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	acc := diskmodel.NewBusyAccumulator(c.Cols())
+	perDisk := make([][]int, c.Cols())
+	var totalBytes int64
+	lat := make([]float64, 0, cfg.Ops)
+	for i := 0; i < cfg.Ops; i++ {
+		s := rng.Intn(c.DataElems())
+		l := 1 + rng.Intn(cfg.MaxLen)
+		for d := range perDisk {
+			perDisk[d] = perDisk[d][:0]
+		}
+		coords := readCoords(c, s, l)
+		for _, co := range coords {
+			perDisk[co.Col] = append(perDisk[co.Col], co.Row)
+		}
+		acc.Add(perDisk, cfg.Params)
+		lat = append(lat, diskmodel.RequestLatency(perDisk, cfg.Params))
+		totalBytes += int64(len(coords)) * int64(cfg.Params.ElemBytes)
+	}
+	res := finish(c, totalBytes, 0, acc.MaxMS())
+	res.fillLatencies(lat)
+	return res
+}
+
+// Degraded runs the degraded-mode experiment: for every data-bearing column
+// f, cfg.Ops random reads are issued while f is failed; elements on f are
+// reconstructed from the parity group chosen to minimize extra fetches.
+// Results aggregate payload and bottleneck time over all failure cases, as
+// the paper's Fig. 7 does.
+func Degraded(c *erasure.Code, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults(true)
+	var totalBytes, totalExtra int64
+	var totalMS float64
+	var lat []float64
+	for f := 0; f < c.Cols(); f++ {
+		if !columnHasData(c, f) {
+			continue
+		}
+		b, e, ms, l, err := degradedCase(c, cfg, f)
+		if err != nil {
+			return Result{}, err
+		}
+		totalBytes += b
+		totalExtra += e
+		totalMS += ms
+		lat = append(lat, l...)
+	}
+	res := finish(c, totalBytes, totalExtra, totalMS)
+	res.fillLatencies(lat)
+	return res, nil
+}
+
+// DegradedForColumn runs the degraded experiment for a single failed column.
+func DegradedForColumn(c *erasure.Code, cfg Config, failed int) (Result, error) {
+	cfg = cfg.withDefaults(true)
+	b, e, ms, lat, err := degradedCase(c, cfg, failed)
+	if err != nil {
+		return Result{}, err
+	}
+	res := finish(c, b, e, ms)
+	res.fillLatencies(lat)
+	return res, nil
+}
+
+func degradedCase(c *erasure.Code, cfg Config, failed int) (bytes, extra int64, bottleneckMS float64, lat []float64, err error) {
+	if failed < 0 || failed >= c.Cols() {
+		return 0, 0, 0, nil, fmt.Errorf("readperf: failed column %d out of range [0,%d)", failed, c.Cols())
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ int64(failed)<<32))
+	acc := diskmodel.NewBusyAccumulator(c.Cols())
+	perDisk := make([][]int, c.Cols())
+	for i := 0; i < cfg.Ops; i++ {
+		s := rng.Intn(c.DataElems())
+		l := 1 + rng.Intn(cfg.MaxLen)
+		for d := range perDisk {
+			perDisk[d] = perDisk[d][:0]
+		}
+		coords := readCoords(c, s, l)
+		fetch, ex, ferr := PlanStripeFetch(c, failed, coords)
+		if ferr != nil {
+			return 0, 0, 0, nil, ferr
+		}
+		for _, co := range fetch {
+			perDisk[co.Col] = append(perDisk[co.Col], co.Row)
+		}
+		acc.Add(perDisk, cfg.Params)
+		lat = append(lat, diskmodel.RequestLatency(perDisk, cfg.Params))
+		bytes += int64(len(coords)) * int64(cfg.Params.ElemBytes)
+		extra += int64(ex)
+	}
+	return bytes, extra, acc.MaxMS(), lat, nil
+}
+
+// PlanStripeFetch computes which elements of one stripe must actually be
+// read to serve a degraded read of the wanted data cells while column
+// `failed` is down; it returns the cells to fetch and how many of them are
+// extra recovery reads. It delegates to the erasure engine's PlanDegraded
+// (see there for the group-choice policy the paper's degraded-read win
+// comes from).
+func PlanStripeFetch(c *erasure.Code, failed int, wanted []erasure.Coord) ([]erasure.Coord, int, error) {
+	return PlanStripeFetchKinds(c, failed, wanted, nil)
+}
+
+// PlanStripeFetchKinds is PlanStripeFetch restricted to parity groups of the
+// given kinds (nil allows every kind); used by ablation studies.
+func PlanStripeFetchKinds(c *erasure.Code, failed int, wanted []erasure.Coord,
+	kinds []erasure.GroupKind) ([]erasure.Coord, int, error) {
+	plan, err := c.PlanDegraded(failed, wanted, kinds)
+	if err != nil {
+		return nil, 0, err
+	}
+	return plan.Fetch, plan.Extra, nil
+}
+
+func columnHasData(c *erasure.Code, col int) bool {
+	for r := 0; r < c.Rows(); r++ {
+		if c.DataIndex(r, col) >= 0 {
+			return true
+		}
+	}
+	return false
+}

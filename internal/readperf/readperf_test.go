@@ -1,0 +1,199 @@
+package readperf
+
+import (
+	"testing"
+
+	"dcode/internal/codes"
+	"dcode/internal/erasure"
+)
+
+func TestNormalDCodeEqualsXCode(t *testing.T) {
+	// The paper: "D-Code and X-Code achieve very close read speed, because
+	// the data layout of them are identical" — with the same seed our
+	// simulator makes them exactly equal.
+	cfg := Config{Ops: 300, Seed: 5}
+	d := Normal(codes.MustNew("dcode", 7), cfg)
+	x := Normal(codes.MustNew("xcode", 7), cfg)
+	if d.SpeedMBps != x.SpeedMBps {
+		t.Fatalf("D-Code %.2f != X-Code %.2f", d.SpeedMBps, x.SpeedMBps)
+	}
+}
+
+func TestNormalDCodeBeatsRDP(t *testing.T) {
+	// Figure 6(a): RDP's two dedicated parity disks do not absorb read load,
+	// so D-Code reads faster despite having one disk fewer.
+	cfg := Config{Ops: 1000, Seed: 1}
+	for _, p := range []int{5, 7, 11} {
+		d := Normal(codes.MustNew("dcode", p), cfg)
+		r := Normal(codes.MustNew("rdp", p), cfg)
+		if d.SpeedMBps <= r.SpeedMBps {
+			t.Errorf("p=%d: D-Code %.2f not above RDP %.2f", p, d.SpeedMBps, r.SpeedMBps)
+		}
+		if d.AvgSpeedMBps <= r.AvgSpeedMBps {
+			t.Errorf("p=%d: D-Code avg %.2f not above RDP avg %.2f", p, d.AvgSpeedMBps, r.AvgSpeedMBps)
+		}
+	}
+}
+
+func TestNormalNoExtraElements(t *testing.T) {
+	r := Normal(codes.MustNew("dcode", 5), Config{Ops: 50, Seed: 2})
+	if r.ExtraElems != 0 {
+		t.Fatalf("normal mode fetched %d extra elements", r.ExtraElems)
+	}
+	if r.Disks != 5 || r.Code != "D-Code" {
+		t.Fatalf("result metadata wrong: %+v", r)
+	}
+	if r.SpeedMBps <= 0 || r.AvgSpeedMBps <= 0 {
+		t.Fatal("speeds not positive")
+	}
+}
+
+func TestDegradedDCodeBeatsXCode(t *testing.T) {
+	// Figure 7(a): D-Code gains 11.6%-26.0% over X-Code because continuous
+	// reads share horizontal parities with the recovery sets.
+	cfg := Config{Ops: 100, Seed: 3}
+	for _, p := range []int{7, 11} {
+		d, err := Degraded(codes.MustNew("dcode", p), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, err := Degraded(codes.MustNew("xcode", p), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.SpeedMBps <= x.SpeedMBps {
+			t.Errorf("p=%d: D-Code degraded %.2f not above X-Code %.2f", p, d.SpeedMBps, x.SpeedMBps)
+		}
+		if d.ExtraElems >= x.ExtraElems {
+			t.Errorf("p=%d: D-Code extra reads %d not below X-Code %d", p, d.ExtraElems, x.ExtraElems)
+		}
+	}
+}
+
+func TestDegradedSlowerThanNormal(t *testing.T) {
+	for _, id := range []string{"dcode", "rdp", "xcode", "hcode", "hdp"} {
+		c := codes.MustNew(id, 7)
+		n := Normal(c, Config{Ops: 200, Seed: 4})
+		d, err := Degraded(c, Config{Ops: 200, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.SpeedMBps >= n.SpeedMBps {
+			t.Errorf("%s: degraded %.2f not below normal %.2f", id, d.SpeedMBps, n.SpeedMBps)
+		}
+	}
+}
+
+func TestDegradedForColumnValidation(t *testing.T) {
+	c := codes.MustNew("dcode", 5)
+	if _, err := DegradedForColumn(c, Config{Ops: 10}, -1); err == nil {
+		t.Fatal("negative column accepted")
+	}
+	if _, err := DegradedForColumn(c, Config{Ops: 10}, 5); err == nil {
+		t.Fatal("out-of-range column accepted")
+	}
+	r, err := DegradedForColumn(c, Config{Ops: 10, Seed: 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SpeedMBps <= 0 {
+		t.Fatal("no throughput for a valid degraded case")
+	}
+}
+
+func TestPlanStripeFetchNoLoss(t *testing.T) {
+	c := codes.MustNew("dcode", 7)
+	wanted := []erasure.Coord{{Row: 0, Col: 0}, {Row: 0, Col: 1}}
+	fetch, extra, err := PlanStripeFetch(c, 5, wanted) // column 5 failed, not wanted
+	if err != nil {
+		t.Fatal(err)
+	}
+	if extra != 0 || len(fetch) != 2 {
+		t.Fatalf("fetch=%v extra=%d, want the 2 wanted cells and no extras", fetch, extra)
+	}
+}
+
+func TestPlanStripeFetchRecoversLostCell(t *testing.T) {
+	c := codes.MustNew("dcode", 7)
+	lost := erasure.Coord{Row: 1, Col: 3}
+	fetch, extra, err := PlanStripeFetch(c, 3, []erasure.Coord{lost})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if extra == 0 || len(fetch) == 0 {
+		t.Fatal("no recovery reads planned for a lost element")
+	}
+	// The fetched set plus the lost element must cover one full parity group
+	// of the lost element.
+	set := map[erasure.Coord]bool{lost: true}
+	for _, co := range fetch {
+		if co.Col == 3 {
+			t.Fatalf("planned a read from the failed disk: %v", co)
+		}
+		set[co] = true
+	}
+	covered := false
+	for _, gi := range c.MemberOf(lost.Row, lost.Col) {
+		g := c.Groups()[gi]
+		all := set[g.Parity]
+		for _, m := range g.Members {
+			if !set[m] {
+				all = false
+				break
+			}
+		}
+		if all {
+			covered = true
+		}
+	}
+	if !covered {
+		t.Fatal("fetched set cannot reconstruct the lost element")
+	}
+}
+
+// A full-row read containing a lost D-Code element should recover it almost
+// for free: the horizontal group overlaps the requested range.
+func TestPlanStripeFetchSharesHorizontalParity(t *testing.T) {
+	c := codes.MustNew("dcode", 7)
+	// Request the first horizontal group's span: data elements 0..4.
+	var wanted []erasure.Coord
+	for i := 0; i < 5; i++ {
+		wanted = append(wanted, c.DataCoord(i))
+	}
+	failed := wanted[2].Col
+	_, extra, err := PlanStripeFetch(c, failed, wanted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the shared horizontal parity element needs to be fetched.
+	if extra != 1 {
+		t.Fatalf("extra = %d, want 1 (just the shared horizontal parity)", extra)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults(false)
+	if cfg.Ops != 2000 || cfg.MaxLen != 20 || cfg.Params.ElemBytes == 0 {
+		t.Fatalf("normal defaults wrong: %+v", cfg)
+	}
+	cfg = Config{}.withDefaults(true)
+	if cfg.Ops != 200 {
+		t.Fatalf("degraded default ops = %d, want the paper's 200", cfg.Ops)
+	}
+}
+
+func TestLatencyPercentiles(t *testing.T) {
+	c := codes.MustNew("dcode", 7)
+	n := Normal(c, Config{Ops: 500, Seed: 6})
+	if !(n.LatencyP50MS > 0 && n.LatencyP50MS <= n.LatencyP95MS && n.LatencyP95MS <= n.LatencyP99MS) {
+		t.Fatalf("normal percentiles out of order: %v %v %v", n.LatencyP50MS, n.LatencyP95MS, n.LatencyP99MS)
+	}
+	d, err := Degraded(c, Config{Ops: 100, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Degraded tails must be at least as heavy as normal ones.
+	if d.LatencyP99MS < n.LatencyP99MS {
+		t.Fatalf("degraded p99 %.2f below normal p99 %.2f", d.LatencyP99MS, n.LatencyP99MS)
+	}
+}

@@ -1,0 +1,122 @@
+package recovery
+
+import (
+	"testing"
+
+	"dcode/internal/codes"
+	"dcode/internal/erasure"
+	"dcode/internal/stripe"
+)
+
+func TestOptimizeValidation(t *testing.T) {
+	c := codes.MustNew("dcode", 5)
+	if _, err := Optimize(c, -1); err == nil {
+		t.Fatal("negative column accepted")
+	}
+	if _, err := Optimize(c, 5); err == nil {
+		t.Fatal("out-of-range column accepted")
+	}
+}
+
+func TestOptimizeNeverWorseThanConventional(t *testing.T) {
+	for _, id := range []string{"dcode", "xcode", "rdp", "hcode", "hdp"} {
+		for _, p := range []int{5, 7, 11} {
+			c := codes.MustNew(id, p)
+			for f := 0; f < c.Cols(); f++ {
+				plan, err := Optimize(c, f)
+				if err != nil {
+					t.Fatalf("%s p=%d col %d: %v", id, p, f, err)
+				}
+				if plan.Reads > plan.ConventionalReads {
+					t.Fatalf("%s p=%d col %d: optimized %d > conventional %d",
+						id, p, f, plan.Reads, plan.ConventionalReads)
+				}
+				if plan.Saving() < 0 || plan.Saving() > 1 {
+					t.Fatalf("saving out of range: %v", plan.Saving())
+				}
+			}
+		}
+	}
+}
+
+// The paper's §III-D claim (after Xu et al.): D-Code and X-Code save about
+// 25% of the recovery reads versus the conventional single-kind scheme.
+func TestQuarterSavingForDCodeAndXCode(t *testing.T) {
+	for _, id := range []string{"dcode", "xcode"} {
+		for _, p := range []int{7, 11, 13} {
+			c := codes.MustNew(id, p)
+			saving, _, _, err := AverageSaving(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if saving < 0.15 || saving > 0.35 {
+				t.Errorf("%s p=%d: average saving %.1f%%, want around 25%%", id, p, saving*100)
+			}
+		}
+	}
+}
+
+// The optimized plan must actually suffice to rebuild the column: replaying
+// the chosen groups against a real stripe reproduces the lost data.
+func TestPlanIsExecutable(t *testing.T) {
+	for _, id := range []string{"dcode", "xcode", "rdp", "hdp", "hcode"} {
+		c := codes.MustNew(id, 7)
+		orig := c.NewStripe(8)
+		orig.Fill(77)
+		c.Encode(orig)
+		for f := 0; f < c.Cols(); f++ {
+			plan, err := Optimize(c, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := orig.Clone()
+			s.ZeroColumn(f)
+			// Rebuild data rows with the chosen groups.
+			for r := 0; r < c.Rows(); r++ {
+				gi := plan.GroupChoice[r]
+				if gi < 0 {
+					continue
+				}
+				g := c.Groups()[gi]
+				dst := s.Elem(r, f)
+				copy(dst, s.Elem(g.Parity.Row, g.Parity.Col))
+				for _, m := range g.Members {
+					if (m != erasure.Coord{Row: r, Col: f}) {
+						stripe.XOR(dst, s.Elem(m.Row, m.Col))
+					}
+				}
+			}
+			// Rebuild parity rows by re-encoding their groups.
+			for r := 0; r < c.Rows(); r++ {
+				if gi := c.ParityGroup(r, f); gi >= 0 {
+					c.EncodeGroup(s, gi)
+				}
+			}
+			if !s.Equal(orig) {
+				t.Fatalf("%s: executing the plan for column %d did not rebuild the stripe", id, f)
+			}
+		}
+	}
+}
+
+// Reads must count only surviving-disk elements and be bounded by the
+// stripe size minus the failed column.
+func TestReadsBounded(t *testing.T) {
+	c := codes.MustNew("dcode", 11)
+	for f := 0; f < c.Cols(); f++ {
+		plan, err := Optimize(c, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		max := c.Rows() * (c.Cols() - 1)
+		if plan.Reads <= 0 || plan.Reads > max {
+			t.Fatalf("column %d: %d reads outside (0,%d]", f, plan.Reads, max)
+		}
+	}
+}
+
+func TestSavingZeroConventional(t *testing.T) {
+	if (Plan{Reads: 3, ConventionalReads: 0}).Saving() != 0 {
+		t.Fatal("zero conventional reads should yield zero saving")
+	}
+}

@@ -1,0 +1,104 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+)
+
+var base = Params{Disks: 7, MTTF: 100000, MTTR: 24}
+
+func TestMTTDLKnownValues(t *testing.T) {
+	// RAID-0: MTTF/n.
+	got, err := MTTDL(base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := base.MTTF / 7; math.Abs(got-want) > 1e-6 {
+		t.Fatalf("raid0 MTTDL = %v, want %v", got, want)
+	}
+	// RAID-5: MTTF²/(n(n-1)·MTTR).
+	got, _ = MTTDL(base, 1)
+	if want := base.MTTF * base.MTTF / (7 * 6 * base.MTTR); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("raid5 MTTDL = %v, want %v", got, want)
+	}
+	// RAID-6: MTTF³/(n(n-1)(n-2)·MTTR²).
+	got, _ = MTTDL(base, 2)
+	if want := math.Pow(base.MTTF, 3) / (7 * 6 * 5 * base.MTTR * base.MTTR); math.Abs(got-want) > 1e-3 {
+		t.Fatalf("raid6 MTTDL = %v, want %v", got, want)
+	}
+}
+
+func TestMTTDLOrdering(t *testing.T) {
+	// Each additional tolerated fault must raise MTTDL by orders of
+	// magnitude when MTTR ≪ MTTF.
+	r0, _ := MTTDL(base, 0)
+	r5, _ := MTTDL(base, 1)
+	r6, _ := MTTDL(base, 2)
+	if !(r6 > 100*r5 && r5 > 100*r0) {
+		t.Fatalf("MTTDL ordering violated: %v, %v, %v", r0, r5, r6)
+	}
+}
+
+func TestMTTDLValidation(t *testing.T) {
+	if _, err := MTTDL(Params{Disks: 0, MTTF: 1, MTTR: 1}, 1); err == nil {
+		t.Fatal("zero disks accepted")
+	}
+	if _, err := MTTDL(base, -1); err == nil {
+		t.Fatal("negative faults accepted")
+	}
+	if _, err := MTTDL(base, 7); err == nil {
+		t.Fatal("faults ≥ disks accepted")
+	}
+}
+
+// The Monte Carlo estimate must agree with the Markov closed form within a
+// few standard errors. Parameters are chosen so trials stay fast: the
+// MTTR/MTTF separation is mild, so we allow the known small-ratio bias.
+func TestSimulateMatchesClosedForm(t *testing.T) {
+	p := Params{Disks: 5, MTTF: 1000, MTTR: 20}
+	trials := 4000
+	if testing.Short() {
+		trials = 800
+	}
+	for faults := 0; faults <= 2; faults++ {
+		want, err := MTTDL(p, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Simulate(p, faults, trials, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := res.MeanHours / want
+		if ratio < 0.7 || ratio > 1.4 {
+			t.Fatalf("faults=%d: sim %.0f vs closed form %.0f (ratio %.2f)", faults, res.MeanHours, want, ratio)
+		}
+		if res.StdErrHours <= 0 || res.Trials != trials {
+			t.Fatalf("faults=%d: bad result metadata %+v", faults, res)
+		}
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	a, _ := Simulate(base, 2, 50, 7)
+	b, _ := Simulate(base, 2, 50, 7)
+	if a.MeanHours != b.MeanHours {
+		t.Fatal("same seed produced different estimates")
+	}
+	c, _ := Simulate(base, 2, 50, 8)
+	if a.MeanHours == c.MeanHours {
+		t.Fatal("different seeds produced identical estimates")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(base, 2, 0, 1); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+	if _, err := Simulate(Params{}, 2, 10, 1); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+	if _, err := Simulate(base, 9, 10, 1); err == nil {
+		t.Fatal("faults ≥ disks accepted")
+	}
+}

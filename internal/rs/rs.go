@@ -1,0 +1,185 @@
+// Package rs implements a systematic Reed-Solomon erasure code over GF(2^8)
+// in the style of Jerasure's Vandermonde coding: k data shards plus m parity
+// shards tolerate any m shard losses. With m = 2 it is the classic
+// general-purpose RAID-6 (P+Q) implementation, included as the comparison
+// baseline the D-Code paper's related-work section discusses (Reed-Solomon
+// and Cauchy Reed-Solomon codes).
+package rs
+
+import (
+	"fmt"
+
+	"dcode/internal/gf"
+)
+
+// Encoder encodes and reconstructs shard sets for a fixed (k, m) geometry.
+// It is safe for concurrent use after construction.
+type Encoder struct {
+	k, m int
+	// enc is the (k+m)×k systematic generator matrix: top k rows identity,
+	// bottom m rows the parity coefficients.
+	enc *gf.Matrix
+}
+
+// New constructs an Encoder with k data shards and m parity shards.
+// k+m must be at most 256 (the field size).
+func New(k, m int) (*Encoder, error) {
+	if k <= 0 || m <= 0 {
+		return nil, fmt.Errorf("rs: need k > 0 and m > 0, got k=%d m=%d", k, m)
+	}
+	if k+m > 256 {
+		return nil, fmt.Errorf("rs: k+m = %d exceeds field size 256", k+m)
+	}
+	// Standard Vandermonde-derived systematic matrix: take the (k+m)×k
+	// Vandermonde matrix and right-multiply by the inverse of its top k×k
+	// block so the top becomes the identity.
+	v := gf.Vandermonde(k+m, k)
+	top, err := v.SubMatrix(0, k, 0, k).Invert()
+	if err != nil {
+		return nil, fmt.Errorf("rs: building systematic matrix: %w", err)
+	}
+	return &Encoder{k: k, m: m, enc: v.Mul(top)}, nil
+}
+
+// NewRAID6 is the two-parity configuration matching the array codes in this
+// repository.
+func NewRAID6(k int) (*Encoder, error) { return New(k, 2) }
+
+// DataShards returns k.
+func (e *Encoder) DataShards() int { return e.k }
+
+// ParityShards returns m.
+func (e *Encoder) ParityShards() int { return e.m }
+
+// checkShards validates a full shard slice: k+m shards, equal non-zero
+// lengths (nil shards allowed when allowNil).
+func (e *Encoder) checkShards(shards [][]byte, allowNil bool) (int, error) {
+	if len(shards) != e.k+e.m {
+		return 0, fmt.Errorf("rs: got %d shards, want %d", len(shards), e.k+e.m)
+	}
+	size := -1
+	for i, s := range shards {
+		if s == nil {
+			if !allowNil {
+				return 0, fmt.Errorf("rs: shard %d is nil", i)
+			}
+			continue
+		}
+		if size < 0 {
+			size = len(s)
+		} else if len(s) != size {
+			return 0, fmt.Errorf("rs: shard %d has length %d, want %d", i, len(s), size)
+		}
+	}
+	if size <= 0 {
+		return 0, fmt.Errorf("rs: no non-empty shards")
+	}
+	return size, nil
+}
+
+// Encode computes the m parity shards from the k data shards in place:
+// shards[0..k-1] are inputs, shards[k..k+m-1] are outputs.
+func (e *Encoder) Encode(shards [][]byte) error {
+	if _, err := e.checkShards(shards, false); err != nil {
+		return err
+	}
+	for p := 0; p < e.m; p++ {
+		out := shards[e.k+p]
+		for i := range out {
+			out[i] = 0
+		}
+		coeffs := e.enc.Row(e.k + p)
+		for d := 0; d < e.k; d++ {
+			gf.MulSliceAdd(coeffs[d], out, shards[d])
+		}
+	}
+	return nil
+}
+
+// Verify reports whether the parity shards match the data shards.
+func (e *Encoder) Verify(shards [][]byte) (bool, error) {
+	size, err := e.checkShards(shards, false)
+	if err != nil {
+		return false, err
+	}
+	buf := make([]byte, size)
+	for p := 0; p < e.m; p++ {
+		for i := range buf {
+			buf[i] = 0
+		}
+		coeffs := e.enc.Row(e.k + p)
+		for d := 0; d < e.k; d++ {
+			gf.MulSliceAdd(coeffs[d], buf, shards[d])
+		}
+		for i := range buf {
+			if buf[i] != shards[e.k+p][i] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// Reconstruct rebuilds every nil shard in place. Up to m shards may be nil;
+// surviving shards are never modified. It allocates the missing shards.
+func (e *Encoder) Reconstruct(shards [][]byte) error {
+	size, err := e.checkShards(shards, true)
+	if err != nil {
+		return err
+	}
+	var missing []int
+	var present []int
+	for i, s := range shards {
+		if s == nil {
+			missing = append(missing, i)
+		} else {
+			present = append(present, i)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	if len(missing) > e.m {
+		return fmt.Errorf("rs: %d shards missing, can tolerate at most %d", len(missing), e.m)
+	}
+
+	// Build the k×k decode matrix from the generator rows of k surviving
+	// shards, invert it, and express the k data shards in terms of those
+	// survivors.
+	sub := gf.NewMatrix(e.k, e.k)
+	for r := 0; r < e.k; r++ {
+		copy(sub.Row(r), e.enc.Row(present[r]))
+	}
+	inv, err := sub.Invert()
+	if err != nil {
+		return fmt.Errorf("rs: decode matrix singular: %w", err)
+	}
+
+	// Recover missing data shards first.
+	recoverRow := func(coeffs []byte, dst []byte) {
+		for r := 0; r < e.k; r++ {
+			gf.MulSliceAdd(coeffs[r], dst, shards[present[r]])
+		}
+	}
+	for _, idx := range missing {
+		if idx >= e.k {
+			continue
+		}
+		dst := make([]byte, size)
+		recoverRow(inv.Row(idx), dst)
+		shards[idx] = dst
+	}
+	// Then recompute any missing parity from the (now complete) data.
+	for _, idx := range missing {
+		if idx < e.k {
+			continue
+		}
+		dst := make([]byte, size)
+		coeffs := e.enc.Row(idx)
+		for d := 0; d < e.k; d++ {
+			gf.MulSliceAdd(coeffs[d], dst, shards[d])
+		}
+		shards[idx] = dst
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+package rs
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func fillShards(k, m, size int, seed byte) [][]byte {
+	shards := make([][]byte, k+m)
+	for i := range shards {
+		shards[i] = make([]byte, size)
+		if i < k {
+			for j := range shards[i] {
+				shards[i][j] = byte(j)*3 + byte(i)*7 + seed
+			}
+		}
+	}
+	return shards
+}
+
+func TestNewRejectsBadParameters(t *testing.T) {
+	for _, km := range [][2]int{{0, 2}, {2, 0}, {-1, 2}, {255, 2}} {
+		if _, err := New(km[0], km[1]); err == nil {
+			t.Errorf("New(%d,%d) accepted", km[0], km[1])
+		}
+	}
+	if _, err := New(254, 2); err != nil {
+		t.Errorf("New(254,2) rejected: %v", err)
+	}
+}
+
+func TestEncodeVerify(t *testing.T) {
+	e, err := NewRAID6(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.DataShards() != 5 || e.ParityShards() != 2 {
+		t.Fatal("geometry accessors wrong")
+	}
+	shards := fillShards(5, 2, 64, 1)
+	if err := e.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := e.Verify(shards)
+	if err != nil || !ok {
+		t.Fatalf("Verify = %v, %v", ok, err)
+	}
+	shards[0][0] ^= 1
+	ok, err = e.Verify(shards)
+	if err != nil || ok {
+		t.Fatal("Verify missed corruption")
+	}
+}
+
+func TestReconstructAllPairs(t *testing.T) {
+	for _, k := range []int{3, 5, 8, 11} {
+		e, err := NewRAID6(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig := fillShards(k, 2, 48, byte(k))
+		if err := e.Encode(orig); err != nil {
+			t.Fatal(err)
+		}
+		n := k + 2
+		for a := 0; a < n; a++ {
+			for b := a; b < n; b++ {
+				shards := make([][]byte, n)
+				for i := range shards {
+					shards[i] = append([]byte(nil), orig[i]...)
+				}
+				shards[a] = nil
+				shards[b] = nil // a==b: single erasure
+				if err := e.Reconstruct(shards); err != nil {
+					t.Fatalf("k=%d reconstruct(%d,%d): %v", k, a, b, err)
+				}
+				for i := range shards {
+					if !bytes.Equal(shards[i], orig[i]) {
+						t.Fatalf("k=%d reconstruct(%d,%d): shard %d wrong", k, a, b, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestReconstructTooManyMissing(t *testing.T) {
+	e, _ := NewRAID6(4)
+	shards := fillShards(4, 2, 16, 0)
+	if err := e.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	shards[0], shards[1], shards[2] = nil, nil, nil
+	if err := e.Reconstruct(shards); err == nil {
+		t.Fatal("three missing shards accepted by a 2-parity code")
+	}
+}
+
+func TestReconstructNoMissingIsNoop(t *testing.T) {
+	e, _ := NewRAID6(3)
+	shards := fillShards(3, 2, 16, 9)
+	if err := e.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]byte, len(shards))
+	for i := range shards {
+		want[i] = append([]byte(nil), shards[i]...)
+	}
+	if err := e.Reconstruct(shards); err != nil {
+		t.Fatal(err)
+	}
+	for i := range shards {
+		if !bytes.Equal(shards[i], want[i]) {
+			t.Fatal("no-op reconstruct modified shards")
+		}
+	}
+}
+
+func TestShardValidation(t *testing.T) {
+	e, _ := NewRAID6(3)
+	if err := e.Encode(make([][]byte, 4)); err == nil {
+		t.Fatal("wrong shard count accepted")
+	}
+	shards := fillShards(3, 2, 16, 0)
+	shards[1] = make([]byte, 15)
+	if err := e.Encode(shards); err == nil {
+		t.Fatal("ragged shard lengths accepted")
+	}
+	shards = fillShards(3, 2, 16, 0)
+	shards[2] = nil
+	if err := e.Encode(shards); err == nil {
+		t.Fatal("nil shard accepted by Encode")
+	}
+	all := make([][]byte, 5)
+	if err := e.Reconstruct(all); err == nil {
+		t.Fatal("all-nil shard set accepted")
+	}
+}
+
+func TestHigherParityCounts(t *testing.T) {
+	// m=4: any 4 losses recoverable.
+	e, err := New(6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := fillShards(6, 4, 32, 3)
+	if err := e.Encode(orig); err != nil {
+		t.Fatal(err)
+	}
+	shards := make([][]byte, 10)
+	for i := range shards {
+		shards[i] = append([]byte(nil), orig[i]...)
+	}
+	for _, i := range []int{0, 3, 7, 9} {
+		shards[i] = nil
+	}
+	if err := e.Reconstruct(shards); err != nil {
+		t.Fatal(err)
+	}
+	for i := range shards {
+		if !bytes.Equal(shards[i], orig[i]) {
+			t.Fatalf("shard %d wrong after 4-erasure reconstruct", i)
+		}
+	}
+}
+
+// Property: encode → random double erasure → reconstruct round-trips.
+func TestReconstructQuick(t *testing.T) {
+	e, _ := NewRAID6(7)
+	f := func(data [7][]byte, a, b uint8) bool {
+		size := 24
+		shards := make([][]byte, 9)
+		for i := 0; i < 7; i++ {
+			shards[i] = make([]byte, size)
+			copy(shards[i], data[i])
+		}
+		shards[7] = make([]byte, size)
+		shards[8] = make([]byte, size)
+		if err := e.Encode(shards); err != nil {
+			return false
+		}
+		orig := make([][]byte, 9)
+		for i := range shards {
+			orig[i] = append([]byte(nil), shards[i]...)
+		}
+		shards[int(a)%9] = nil
+		shards[int(b)%9] = nil
+		if err := e.Reconstruct(shards); err != nil {
+			return false
+		}
+		for i := range shards {
+			if !bytes.Equal(shards[i], orig[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSystematicPrefix(t *testing.T) {
+	e, _ := NewRAID6(6)
+	// The top k rows of the generator must be the identity, so data shards
+	// pass through unchanged (systematic code).
+	for r := 0; r < 6; r++ {
+		for c := 0; c < 6; c++ {
+			want := byte(0)
+			if r == c {
+				want = 1
+			}
+			if e.enc.At(r, c) != want {
+				t.Fatalf("generator top block not identity at (%d,%d)", r, c)
+			}
+		}
+	}
+}

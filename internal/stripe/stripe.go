@@ -1,0 +1,113 @@
+// Package stripe provides element-addressed stripe buffers and the XOR
+// kernels used by every array code in this repository.
+//
+// A stripe is a rows×cols matrix of fixed-size elements stored in one
+// contiguous allocation; element (r, c) models the r-th block of the c-th
+// disk within one stripe of a RAID-6 array.
+package stripe
+
+import "fmt"
+
+// Stripe is a rows×cols matrix of equally sized byte elements.
+// The zero value is not usable; construct with New.
+type Stripe struct {
+	rows, cols int
+	elemSize   int
+	buf        []byte
+}
+
+// New allocates a zeroed stripe with the given geometry.
+// It panics if any dimension is non-positive, mirroring make() semantics:
+// geometry is fixed by the code construction, so a bad value is a programming
+// error, not a runtime condition.
+func New(rows, cols, elemSize int) *Stripe {
+	if rows <= 0 || cols <= 0 || elemSize <= 0 {
+		panic(fmt.Sprintf("stripe: invalid geometry %d×%d×%d", rows, cols, elemSize))
+	}
+	return &Stripe{
+		rows:     rows,
+		cols:     cols,
+		elemSize: elemSize,
+		buf:      make([]byte, rows*cols*elemSize),
+	}
+}
+
+// Rows returns the number of rows.
+func (s *Stripe) Rows() int { return s.rows }
+
+// Cols returns the number of columns (disks).
+func (s *Stripe) Cols() int { return s.cols }
+
+// ElemSize returns the element size in bytes.
+func (s *Stripe) ElemSize() int { return s.elemSize }
+
+// Elem returns the element at (r, c) as a slice aliasing the stripe's
+// storage; writes through the slice modify the stripe.
+func (s *Stripe) Elem(r, c int) []byte {
+	if r < 0 || r >= s.rows || c < 0 || c >= s.cols {
+		panic(fmt.Sprintf("stripe: element (%d,%d) outside %d×%d", r, c, s.rows, s.cols))
+	}
+	off := (r*s.cols + c) * s.elemSize
+	return s.buf[off : off+s.elemSize : off+s.elemSize]
+}
+
+// Bytes returns the whole stripe storage, row-major.
+func (s *Stripe) Bytes() []byte { return s.buf }
+
+// Clone returns a deep copy of the stripe.
+func (s *Stripe) Clone() *Stripe {
+	c := New(s.rows, s.cols, s.elemSize)
+	copy(c.buf, s.buf)
+	return c
+}
+
+// Equal reports whether two stripes have identical geometry and contents.
+func (s *Stripe) Equal(o *Stripe) bool {
+	if s.rows != o.rows || s.cols != o.cols || s.elemSize != o.elemSize {
+		return false
+	}
+	for i := range s.buf {
+		if s.buf[i] != o.buf[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Zero clears every element.
+func (s *Stripe) Zero() {
+	for i := range s.buf {
+		s.buf[i] = 0
+	}
+}
+
+// ZeroColumn clears every element of column c, simulating a failed disk.
+func (s *Stripe) ZeroColumn(c int) {
+	for r := 0; r < s.rows; r++ {
+		e := s.Elem(r, c)
+		for i := range e {
+			e[i] = 0
+		}
+	}
+}
+
+// ZeroElem clears the element at (r, c).
+func (s *Stripe) ZeroElem(r, c int) {
+	e := s.Elem(r, c)
+	for i := range e {
+		e[i] = 0
+	}
+}
+
+// Fill populates the whole stripe with a cheap deterministic byte stream
+// derived from seed. Intended for tests and benchmarks.
+func (s *Stripe) Fill(seed uint64) {
+	x := seed*2862933555777941757 + 3037000493
+	for i := range s.buf {
+		// xorshift64*; quality is irrelevant, determinism is the point.
+		x ^= x >> 12
+		x ^= x << 25
+		x ^= x >> 27
+		s.buf[i] = byte(x * 2685821657736338717 >> 56)
+	}
+}

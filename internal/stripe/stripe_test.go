@@ -1,0 +1,277 @@
+package stripe
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGeometry(t *testing.T) {
+	s := New(4, 6, 16)
+	if s.Rows() != 4 || s.Cols() != 6 || s.ElemSize() != 16 {
+		t.Fatalf("geometry = %d×%d×%d, want 4×6×16", s.Rows(), s.Cols(), s.ElemSize())
+	}
+	if len(s.Bytes()) != 4*6*16 {
+		t.Fatalf("buffer length = %d, want %d", len(s.Bytes()), 4*6*16)
+	}
+}
+
+func TestNewPanicsOnBadGeometry(t *testing.T) {
+	for _, dims := range [][3]int{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}, {-1, 2, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%v) did not panic", dims)
+				}
+			}()
+			New(dims[0], dims[1], dims[2])
+		}()
+	}
+}
+
+func TestElemAliasesStorage(t *testing.T) {
+	s := New(3, 3, 4)
+	e := s.Elem(1, 2)
+	e[0] = 0xAB
+	if s.Elem(1, 2)[0] != 0xAB {
+		t.Fatal("write through Elem slice not visible on re-read")
+	}
+	// Elements must not overlap.
+	s.Elem(1, 1)[3] = 0xCD
+	if s.Elem(1, 2)[0] != 0xAB {
+		t.Fatal("neighbouring element write clobbered (1,2)")
+	}
+}
+
+func TestElemDistinctOffsets(t *testing.T) {
+	s := New(5, 7, 8)
+	seen := make(map[int]bool)
+	for r := 0; r < 5; r++ {
+		for c := 0; c < 7; c++ {
+			e := s.Elem(r, c)
+			if len(e) != 8 {
+				t.Fatalf("Elem(%d,%d) length %d", r, c, len(e))
+			}
+			off := (r*7 + c) * 8
+			if &e[0] != &s.Bytes()[off] {
+				t.Fatalf("Elem(%d,%d) at wrong offset", r, c)
+			}
+			if seen[off] {
+				t.Fatalf("duplicate offset %d", off)
+			}
+			seen[off] = true
+		}
+	}
+}
+
+func TestElemBoundsPanics(t *testing.T) {
+	s := New(2, 2, 1)
+	for _, rc := range [][2]int{{-1, 0}, {0, -1}, {2, 0}, {0, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Elem(%d,%d) did not panic", rc[0], rc[1])
+				}
+			}()
+			s.Elem(rc[0], rc[1])
+		}()
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := New(2, 3, 4)
+	s.Fill(1)
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Fatal("clone differs from original")
+	}
+	c.Elem(0, 0)[0] ^= 0xFF
+	if s.Equal(c) {
+		t.Fatal("mutating clone affected original (or Equal is broken)")
+	}
+}
+
+func TestEqualGeometryMismatch(t *testing.T) {
+	if New(2, 3, 4).Equal(New(3, 2, 4)) {
+		t.Fatal("stripes with different geometry reported equal")
+	}
+	if New(2, 3, 4).Equal(New(2, 3, 8)) {
+		t.Fatal("stripes with different element size reported equal")
+	}
+}
+
+func TestZeroColumn(t *testing.T) {
+	s := New(4, 5, 8)
+	s.Fill(42)
+	s.ZeroColumn(2)
+	for r := 0; r < 4; r++ {
+		if !IsZero(s.Elem(r, 2)) {
+			t.Fatalf("element (%d,2) not zeroed", r)
+		}
+		if IsZero(s.Elem(r, 1)) {
+			t.Fatalf("element (%d,1) unexpectedly zero; Fill too weak or ZeroColumn overreach", r)
+		}
+	}
+}
+
+func TestZeroElemAndZero(t *testing.T) {
+	s := New(2, 2, 4)
+	s.Fill(7)
+	s.ZeroElem(1, 1)
+	if !IsZero(s.Elem(1, 1)) {
+		t.Fatal("ZeroElem left data behind")
+	}
+	s.Zero()
+	if !IsZero(s.Bytes()) {
+		t.Fatal("Zero left data behind")
+	}
+}
+
+func TestFillDeterministic(t *testing.T) {
+	a, b := New(3, 3, 16), New(3, 3, 16)
+	a.Fill(99)
+	b.Fill(99)
+	if !a.Equal(b) {
+		t.Fatal("Fill with same seed produced different contents")
+	}
+	b.Fill(100)
+	if a.Equal(b) {
+		t.Fatal("Fill with different seeds produced identical contents")
+	}
+}
+
+// xorOracle is the obviously-correct byte-at-a-time reference.
+func xorOracle(dst, src []byte) {
+	for i := range dst {
+		dst[i] ^= src[i]
+	}
+}
+
+func TestXORMatchesOracle(t *testing.T) {
+	f := func(a, b []byte) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		got := append([]byte(nil), a[:n]...)
+		want := append([]byte(nil), a[:n]...)
+		XOR(got, b[:n])
+		xorOracle(want, b[:n])
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXORIntoMatchesOracle(t *testing.T) {
+	f := func(a, b []byte) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		dst := make([]byte, n)
+		XORInto(dst, a[:n], b[:n])
+		for i := 0; i < n; i++ {
+			if dst[i] != a[i]^b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXORSelfInverse(t *testing.T) {
+	f := func(a, b []byte) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		got := append([]byte(nil), a[:n]...)
+		XOR(got, b[:n])
+		XOR(got, b[:n])
+		for i := range got {
+			if got[i] != a[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXORIntoAliasing(t *testing.T) {
+	a := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+	b := []byte{11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1}
+	want := make([]byte, len(a))
+	XORInto(want, a, b)
+	dst := append([]byte(nil), a...)
+	XORInto(dst, dst, b) // dst aliases a-copy
+	for i := range dst {
+		if dst[i] != want[i] {
+			t.Fatalf("aliased XORInto wrong at %d: got %d want %d", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestXORLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("XOR with mismatched lengths did not panic")
+		}
+	}()
+	XOR(make([]byte, 3), make([]byte, 4))
+}
+
+func TestXORIntoLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("XORInto with mismatched lengths did not panic")
+		}
+	}()
+	XORInto(make([]byte, 3), make([]byte, 3), make([]byte, 4))
+}
+
+func TestIsZero(t *testing.T) {
+	if !IsZero(nil) || !IsZero(make([]byte, 9)) {
+		t.Fatal("IsZero false on zero input")
+	}
+	if IsZero([]byte{0, 0, 1}) {
+		t.Fatal("IsZero true on non-zero input")
+	}
+}
+
+func BenchmarkXOR4K(b *testing.B) {
+	dst := make([]byte, 4096)
+	src := make([]byte, 4096)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		XOR(dst, src)
+	}
+}
+
+func BenchmarkXOROracle4K(b *testing.B) {
+	dst := make([]byte, 4096)
+	src := make([]byte, 4096)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		xorOracle(dst, src)
+	}
+}

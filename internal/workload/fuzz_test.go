@@ -1,0 +1,39 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseTrace checks that arbitrary trace input never panics and that
+// anything accepted round-trips through FormatTrace.
+func FuzzParseTrace(f *testing.F) {
+	f.Add("read,0,4,5\nwrite,10,2,1\n")
+	f.Add("# comment\n\nR,3,1,1")
+	f.Add("write,,,,")
+	f.Add("read,-1,0,0")
+	f.Add(strings.Repeat("w,1,2,3\n", 100))
+	f.Fuzz(func(t *testing.T, input string) {
+		ops, err := ParseTrace(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := FormatTrace(&buf, ops); err != nil {
+			t.Fatalf("FormatTrace failed on accepted ops: %v", err)
+		}
+		back, err := ParseTrace(&buf)
+		if err != nil {
+			t.Fatalf("re-parse of formatted trace failed: %v", err)
+		}
+		if len(back) != len(ops) {
+			t.Fatalf("round trip changed op count: %d != %d", len(back), len(ops))
+		}
+		for i := range ops {
+			if back[i] != ops[i] {
+				t.Fatalf("op %d changed across round trip", i)
+			}
+		}
+	})
+}

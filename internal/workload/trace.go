@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseTrace reads an operation trace, one op per line:
+//
+//	read,S,L,T
+//	write,S,L,T
+//
+// Blank lines and lines starting with '#' are skipped. This lets the I/O
+// simulators replay externally captured traces instead of the synthetic
+// <S,L,T> generator.
+func ParseTrace(r io.Reader) ([]Op, error) {
+	var ops []Op
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("workload: trace line %d: want kind,S,L,T got %q", line, text)
+		}
+		var op Op
+		switch strings.ToLower(strings.TrimSpace(parts[0])) {
+		case "read", "r":
+			op.Kind = Read
+		case "write", "w":
+			op.Kind = Write
+		default:
+			return nil, fmt.Errorf("workload: trace line %d: unknown kind %q", line, parts[0])
+		}
+		var err error
+		if op.S, err = atoiField(parts[1], "S", 0); err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+		}
+		if op.L, err = atoiField(parts[2], "L", 1); err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+		}
+		if op.T, err = atoiField(parts[3], "T", 1); err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+		}
+		ops = append(ops, op)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: reading trace: %w", err)
+	}
+	return ops, nil
+}
+
+func atoiField(s, name string, min int) (int, error) {
+	v, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", name, s)
+	}
+	if v < min {
+		return 0, fmt.Errorf("%s = %d below minimum %d", name, v, min)
+	}
+	return v, nil
+}
+
+// FormatTrace writes ops in the ParseTrace format, so generated workloads
+// can be saved and replayed.
+func FormatTrace(w io.Writer, ops []Op) error {
+	bw := bufio.NewWriter(w)
+	for _, op := range ops {
+		if _, err := fmt.Fprintf(bw, "%s,%d,%d,%d\n", op.Kind, op.S, op.L, op.T); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

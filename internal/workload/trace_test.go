@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseTrace(t *testing.T) {
+	in := `# header comment
+read,0,4,5
+
+write,10,2,1
+R,3,1,1
+W,7,20,1000
+`
+	ops, err := ParseTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Op{
+		{Kind: Read, S: 0, L: 4, T: 5},
+		{Kind: Write, S: 10, L: 2, T: 1},
+		{Kind: Read, S: 3, L: 1, T: 1},
+		{Kind: Write, S: 7, L: 20, T: 1000},
+	}
+	if len(ops) != len(want) {
+		t.Fatalf("got %d ops, want %d", len(ops), len(want))
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("op %d = %+v, want %+v", i, ops[i], want[i])
+		}
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	for _, bad := range []string{
+		"read,1,2",    // missing field
+		"erase,1,2,3", // unknown kind
+		"read,x,2,3",  // bad S
+		"read,1,0,3",  // L below 1
+		"read,1,2,0",  // T below 1
+		"read,-1,2,3", // negative S
+	} {
+		if _, err := ParseTrace(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseTrace(%q) accepted", bad)
+		}
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	ops, err := Generate(Config{DataElems: 40, Ops: 50, Seed: 6}, Mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := FormatTrace(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(ops) {
+		t.Fatalf("round trip length %d != %d", len(back), len(ops))
+	}
+	for i := range ops {
+		if back[i] != ops[i] {
+			t.Fatalf("op %d changed across round trip", i)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Package workload generates the synthetic <S, L, T> trace workloads of the
+// D-Code paper's §IV-A. Each operation is a 3-tuple: starting data element S,
+// length L in continuous data elements, and repeat count T. Three profiles
+// are defined — read-only, read-intensive (7:3) and read-write evenly mixed
+// (1:1) — matching the cloud-storage, SSD-array and traditional-file-system
+// scenarios the paper motivates.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Kind distinguishes read from write operations.
+type Kind int
+
+// Operation kinds.
+const (
+	Read Kind = iota
+	Write
+)
+
+func (k Kind) String() string {
+	if k == Read {
+		return "read"
+	}
+	return "write"
+}
+
+// Op is one <S, L, T> operation: access L continuous data elements starting
+// at logical data element S, T times.
+type Op struct {
+	Kind Kind
+	S    int // starting logical data element (stripe-relative, may spill into following stripes)
+	L    int // length in data elements
+	T    int // repeat count
+}
+
+// Profile fixes the read:write mix of a workload.
+type Profile struct {
+	Name string
+	// ReadFraction is the probability that an operation is a read.
+	ReadFraction float64
+}
+
+// The three workloads of the paper's evaluation.
+var (
+	ReadOnly      = Profile{Name: "Read-Only", ReadFraction: 1.0}
+	ReadIntensive = Profile{Name: "Read-Intensive", ReadFraction: 0.7}
+	Mixed         = Profile{Name: "Read-Write Evenly Mixed", ReadFraction: 0.5}
+)
+
+// Profiles lists the paper's workloads in figure order.
+var Profiles = []Profile{ReadOnly, ReadIntensive, Mixed}
+
+// Config parameterizes generation; zero fields take the paper's values.
+type Config struct {
+	Ops       int   // number of operations; paper: 2000
+	MaxLen    int   // L ∈ [1, MaxLen]; paper: 20 (as in FAST'12 [19])
+	MaxTimes  int   // T ∈ [1, MaxTimes]; paper: 1000 (as in HDP [17])
+	DataElems int   // S ∈ [0, DataElems): "an arbitrary element of the stripe"
+	Seed      int64 // deterministic PRNG seed
+
+	// HotspotOpFraction and HotspotAddrFraction, when both positive, skew
+	// the start points: HotspotOpFraction of the operations land in the
+	// first HotspotAddrFraction of the address space. This models the
+	// stripe-frequency skew behind the paper's §I argument that rotating
+	// stripe layouts cannot balance I/O ("each stripe has different access
+	// frequencies").
+	HotspotOpFraction   float64
+	HotspotAddrFraction float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Ops == 0 {
+		c.Ops = 2000
+	}
+	if c.MaxLen == 0 {
+		c.MaxLen = 20
+	}
+	if c.MaxTimes == 0 {
+		c.MaxTimes = 1000
+	}
+	return c
+}
+
+// Generate produces a deterministic operation trace for the given profile.
+// The same seed yields the same S/L/T stream regardless of profile, so
+// profiles differ only in the read/write labelling — the comparison the
+// paper's figures make.
+func Generate(cfg Config, p Profile) ([]Op, error) {
+	cfg = cfg.withDefaults()
+	if cfg.DataElems <= 0 {
+		return nil, fmt.Errorf("workload: DataElems must be positive, got %d", cfg.DataElems)
+	}
+	if p.ReadFraction < 0 || p.ReadFraction > 1 {
+		return nil, fmt.Errorf("workload: read fraction %v out of [0,1]", p.ReadFraction)
+	}
+	if cfg.HotspotOpFraction < 0 || cfg.HotspotOpFraction > 1 ||
+		cfg.HotspotAddrFraction < 0 || cfg.HotspotAddrFraction > 1 {
+		return nil, fmt.Errorf("workload: hotspot fractions out of [0,1]: %v/%v",
+			cfg.HotspotOpFraction, cfg.HotspotAddrFraction)
+	}
+	hotElems := int(cfg.HotspotAddrFraction * float64(cfg.DataElems))
+	useHotspot := cfg.HotspotOpFraction > 0 && hotElems > 0
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ops := make([]Op, cfg.Ops)
+	for i := range ops {
+		s := rng.Intn(cfg.DataElems)
+		if useHotspot && rng.Float64() < cfg.HotspotOpFraction {
+			s = rng.Intn(hotElems)
+		}
+		op := Op{
+			Kind: Write,
+			S:    s,
+			L:    1 + rng.Intn(cfg.MaxLen),
+			T:    1 + rng.Intn(cfg.MaxTimes),
+		}
+		// Kind drawn after S/L/T so the geometric stream matches across
+		// profiles with the same seed.
+		if rng.Float64() < p.ReadFraction {
+			op.Kind = Read
+		}
+		ops[i] = op
+	}
+	return ops, nil
+}

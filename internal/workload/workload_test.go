@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateDefaults(t *testing.T) {
+	ops, err := Generate(Config{DataElems: 35, Seed: 1}, ReadOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 2000 {
+		t.Fatalf("got %d ops, want the paper's 2000", len(ops))
+	}
+	for i, op := range ops {
+		if op.S < 0 || op.S >= 35 {
+			t.Fatalf("op %d: S = %d out of [0,35)", i, op.S)
+		}
+		if op.L < 1 || op.L > 20 {
+			t.Fatalf("op %d: L = %d out of [1,20]", i, op.L)
+		}
+		if op.T < 1 || op.T > 1000 {
+			t.Fatalf("op %d: T = %d out of [1,1000]", i, op.T)
+		}
+		if op.Kind != Read {
+			t.Fatalf("op %d: read-only workload produced a %v", i, op.Kind)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Config{DataElems: 0}, ReadOnly); err == nil {
+		t.Fatal("zero DataElems accepted")
+	}
+	if _, err := Generate(Config{DataElems: 10}, Profile{Name: "bad", ReadFraction: 1.5}); err == nil {
+		t.Fatal("read fraction > 1 accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := Generate(Config{DataElems: 99, Seed: 7}, Mixed)
+	b, _ := Generate(Config{DataElems: 99, Seed: 7}, Mixed)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs across identical generations", i)
+		}
+	}
+	c, _ := Generate(Config{DataElems: 99, Seed: 8}, Mixed)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// Profiles must share the S/L/T stream for a fixed seed, differing only in
+// the read/write labels — the controlled comparison the paper's figures rely
+// on.
+func TestProfilesShareGeometry(t *testing.T) {
+	ro, _ := Generate(Config{DataElems: 50, Seed: 3}, ReadOnly)
+	mx, _ := Generate(Config{DataElems: 50, Seed: 3}, Mixed)
+	for i := range ro {
+		if ro[i].S != mx[i].S || ro[i].L != mx[i].L || ro[i].T != mx[i].T {
+			t.Fatalf("op %d geometry differs across profiles", i)
+		}
+	}
+}
+
+func TestReadFractions(t *testing.T) {
+	for _, tc := range []struct {
+		p      Profile
+		lo, hi float64
+	}{
+		{ReadOnly, 1.0, 1.0},
+		{ReadIntensive, 0.65, 0.75},
+		{Mixed, 0.45, 0.55},
+	} {
+		ops, err := Generate(Config{DataElems: 100, Ops: 4000, Seed: 5}, tc.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reads := 0
+		for _, op := range ops {
+			if op.Kind == Read {
+				reads++
+			}
+		}
+		frac := float64(reads) / float64(len(ops))
+		if frac < tc.lo || frac > tc.hi {
+			t.Errorf("%s: read fraction %.3f outside [%v,%v]", tc.p.Name, frac, tc.lo, tc.hi)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Fatal("Kind.String wrong")
+	}
+}
+
+// Property: generation never violates its documented ranges for any
+// positive DataElems and seed.
+func TestGenerateQuick(t *testing.T) {
+	f := func(elems uint16, seed int64) bool {
+		d := int(elems%500) + 1
+		ops, err := Generate(Config{DataElems: d, Ops: 50, Seed: seed}, ReadIntensive)
+		if err != nil {
+			return false
+		}
+		for _, op := range ops {
+			if op.S < 0 || op.S >= d || op.L < 1 || op.L > 20 || op.T < 1 || op.T > 1000 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

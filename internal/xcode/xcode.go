@@ -1,0 +1,40 @@
+// Package xcode implements X-Code (Xu & Bruck, IEEE Trans. IT 1999), the
+// well-balanced vertical RAID-6 baseline the D-Code paper measures against.
+//
+// A stripe is a p×p matrix, p prime. Rows 0..p-3 hold data; row p-2 holds the
+// diagonal parities and row p-1 the anti-diagonal parities. Using the
+// formulation from the D-Code paper's Theorem 1 proof (Eqs. 4 and 5):
+//
+//	P(p-2, i) = XOR_{j=0}^{p-3} D(j, <i+j+2>_p)
+//	P(p-1, i) = XOR_{j=0}^{p-3} D(j, <i-j-2>_p)
+package xcode
+
+import (
+	"fmt"
+
+	"dcode/internal/erasure"
+)
+
+// Name is the code's display name.
+const Name = "X-Code"
+
+// New constructs X-Code over p disks; p must be a prime ≥ 5.
+func New(p int) (*erasure.Code, error) {
+	if !erasure.IsPrime(p) || p < 5 {
+		return nil, fmt.Errorf("xcode: p = %d is not a prime ≥ 5", p)
+	}
+	groups := make([]erasure.Group, 0, 2*p)
+	for i := 0; i < p; i++ {
+		diag := make([]erasure.Coord, 0, p-2)
+		anti := make([]erasure.Coord, 0, p-2)
+		for j := 0; j <= p-3; j++ {
+			diag = append(diag, erasure.Coord{Row: j, Col: erasure.Mod(i+j+2, p)})
+			anti = append(anti, erasure.Coord{Row: j, Col: erasure.Mod(i-j-2, p)})
+		}
+		groups = append(groups,
+			erasure.Group{Kind: erasure.KindDiagonal, Parity: erasure.Coord{Row: p - 2, Col: i}, Members: diag},
+			erasure.Group{Kind: erasure.KindAntiDiagonal, Parity: erasure.Coord{Row: p - 1, Col: i}, Members: anti},
+		)
+	}
+	return erasure.New(Name, p, p, p, groups)
+}

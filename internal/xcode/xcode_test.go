@@ -1,0 +1,117 @@
+package xcode
+
+import (
+	"testing"
+
+	"dcode/internal/erasure"
+)
+
+var testPrimes = []int{5, 7, 11, 13}
+
+func mustNew(t *testing.T, p int) *erasure.Code {
+	t.Helper()
+	c, err := New(p)
+	if err != nil {
+		t.Fatalf("New(%d): %v", p, err)
+	}
+	return c
+}
+
+func TestNewRejectsBadParameters(t *testing.T) {
+	for _, p := range []int{0, 1, 2, 3, 4, 6, 8, 9, 12} {
+		if _, err := New(p); err == nil {
+			t.Errorf("New(%d) accepted", p)
+		}
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	for _, p := range testPrimes {
+		c := mustNew(t, p)
+		if c.Rows() != p || c.Cols() != p {
+			t.Fatalf("p=%d: geometry %d×%d", p, c.Rows(), c.Cols())
+		}
+		if c.DataElems() != p*(p-2) {
+			t.Fatalf("p=%d: data = %d, want %d", p, c.DataElems(), p*(p-2))
+		}
+		// Diagonal parities in row p-2, anti-diagonal in row p-1.
+		for i := 0; i < p; i++ {
+			gd := c.Groups()[c.ParityGroup(p-2, i)]
+			if gd.Kind != erasure.KindDiagonal {
+				t.Fatalf("p=%d: (p-2,%d) kind %v", p, i, gd.Kind)
+			}
+			ga := c.Groups()[c.ParityGroup(p-1, i)]
+			if ga.Kind != erasure.KindAntiDiagonal {
+				t.Fatalf("p=%d: (p-1,%d) kind %v", p, i, ga.Kind)
+			}
+		}
+		if c.DataColumns() != p {
+			t.Fatalf("p=%d: DataColumns = %d", p, c.DataColumns())
+		}
+	}
+}
+
+// Paper Eqs. (4)/(5): diagonal group i holds D(j, <i+j+2>_p), anti-diagonal
+// D(j, <i-j-2>_p).
+func TestGroupEquations(t *testing.T) {
+	p := 7
+	c := mustNew(t, p)
+	for i := 0; i < p; i++ {
+		gd := c.Groups()[c.ParityGroup(p-2, i)]
+		for j, m := range gd.Members {
+			want := erasure.Coord{Row: j, Col: erasure.Mod(i+j+2, p)}
+			if m != want {
+				t.Fatalf("diag %d member %d = %v, want %v", i, j, m, want)
+			}
+		}
+		ga := c.Groups()[c.ParityGroup(p-1, i)]
+		for j, m := range ga.Members {
+			want := erasure.Coord{Row: j, Col: erasure.Mod(i-j-2, p)}
+			if m != want {
+				t.Fatalf("anti %d member %d = %v, want %v", i, j, m, want)
+			}
+		}
+	}
+}
+
+func TestEachDataElementInExactlyTwoGroups(t *testing.T) {
+	for _, p := range testPrimes {
+		c := mustNew(t, p)
+		for idx := 0; idx < c.DataElems(); idx++ {
+			co := c.DataCoord(idx)
+			if got := len(c.MemberOf(co.Row, co.Col)); got != 2 {
+				t.Fatalf("p=%d: %v in %d groups", p, co, got)
+			}
+		}
+	}
+}
+
+func TestMDS(t *testing.T) {
+	for _, p := range testPrimes {
+		if testing.Short() && p > 7 {
+			continue
+		}
+		if err := erasure.VerifyMDS(mustNew(t, p), 16); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// X-Code shares D-Code's optimal complexity figures (§III-D).
+func TestFeatureMetrics(t *testing.T) {
+	for _, p := range testPrimes {
+		c := mustNew(t, p)
+		m := c.ComputeMetrics()
+		want := 2.0 - 2.0/float64(p-2)
+		if diff := m.EncodeXORPerData - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("p=%d: encode XOR/data = %v, want %v", p, m.EncodeXORPerData, want)
+		}
+		if m.UpdateAvg != 2 || m.UpdateMax != 2 {
+			t.Fatalf("p=%d: update complexity %v/%d", p, m.UpdateAvg, m.UpdateMax)
+		}
+		avg, stalled := c.DecodeXORPerLost()
+		if stalled != 0 || avg != float64(p-3) {
+			t.Fatalf("p=%d: decode %v XOR/lost (stalled %d), want %d", p, avg, stalled, p-3)
+		}
+	}
+}
