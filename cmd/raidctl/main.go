@@ -8,6 +8,14 @@
 //	raidctl fail   -dir /tmp/a -disk 3
 //	raidctl rebuild -dir /tmp/a -disk 3
 //	raidctl scrub  -dir /tmp/a
+//	raidctl stats  -dir /tmp/a [-reset] [-serve :8080]
+//
+// Every operation that touches the volume merges the run's observability
+// snapshot into stats.json in the array directory, so `raidctl stats` reports
+// counters, latency histograms and the per-disk load tally accumulated across
+// process lifetimes. With -serve the same snapshot is exposed over HTTP at
+// /stats (plus expvar and pprof endpoints), re-read per request so a watcher
+// sees arrays being driven by other raidctl invocations.
 package main
 
 import (
@@ -15,11 +23,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 
 	"dcode/internal/blockdev"
 	"dcode/internal/codes"
+	"dcode/internal/obs"
 	"dcode/internal/raid"
 )
 
@@ -49,6 +59,8 @@ func main() {
 	inFile := fs.String("in", "-", "input file for write, - for stdin")
 	outFile := fs.String("out", "-", "output file for read, - for stdout")
 	disk := fs.Int("disk", -1, "disk index (fail/rebuild)")
+	reset := fs.Bool("reset", false, "clear the accumulated statistics (stats)")
+	serve := fs.String("serve", "", "serve stats over HTTP at this address (stats)")
 	fs.Parse(os.Args[2:])
 	if *dir == "" {
 		fatal(fmt.Errorf("-dir is required"))
@@ -69,13 +81,15 @@ func main() {
 		rebuild(*dir, *disk)
 	case "scrub":
 		scrub(*dir)
+	case "stats":
+		stats(*dir, *reset, *serve)
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: raidctl create|info|write|read|fail|rebuild|scrub -dir DIR [flags]")
+	fmt.Fprintln(os.Stderr, "usage: raidctl create|info|write|read|fail|rebuild|scrub|stats -dir DIR [flags]")
 	os.Exit(2)
 }
 
@@ -170,6 +184,7 @@ func create(dir, codeID string, p, elem int, stripes int64, journal bool) {
 			fatal(err)
 		}
 	}
+	persistStats(dir, a)
 	fmt.Printf("created %s array: %d disks, %d B elements, %d stripes, %.1f MiB usable\n",
 		a.Code().Name(), a.Code().Cols(), m.Elem, m.Stripes, float64(a.Size())/(1<<20))
 }
@@ -205,6 +220,7 @@ func doWrite(dir string, off int64, inFile string) {
 		fatal(err)
 	}
 	persistFailed(dir, a)
+	persistStats(dir, a)
 	fmt.Printf("wrote %d bytes at offset %d\n", len(data), off)
 }
 
@@ -218,6 +234,7 @@ func doRead(dir string, off int64, n int, outFile string) {
 		fatal(err)
 	}
 	persistFailed(dir, a)
+	persistStats(dir, a)
 	var w io.Writer = os.Stdout
 	if outFile != "-" {
 		f, err := os.Create(outFile)
@@ -259,6 +276,7 @@ func rebuild(dir string, disk int) {
 	}
 	m.Failed = a.FailedDisks()
 	saveMeta(dir, m)
+	persistStats(dir, a)
 	fmt.Printf("disk %d rebuilt; failed disks now: %v\n", disk, m.Failed)
 }
 
@@ -268,6 +286,7 @@ func scrub(dir string) {
 	if err != nil {
 		fatal(err)
 	}
+	persistStats(dir, a)
 	fmt.Printf("scrub complete: %d stripes repaired\n", fixed)
 }
 
@@ -276,4 +295,72 @@ func persistFailed(dir string, a *raid.Array) {
 	m := loadMeta(dir)
 	m.Failed = a.FailedDisks()
 	saveMeta(dir, m)
+}
+
+func statsPath(dir string) string { return filepath.Join(dir, "stats.json") }
+
+// readStats returns the accumulated snapshot, zero-valued when none exists
+// yet (Merge adopts the identity fields from the first contribution).
+func readStats(dir string) (raid.Snapshot, error) {
+	var s raid.Snapshot
+	b, err := os.ReadFile(statsPath(dir))
+	if os.IsNotExist(err) {
+		return s, nil
+	}
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(b, &s); err != nil {
+		return raid.Snapshot{}, fmt.Errorf("corrupt stats.json (run `raidctl stats -reset`): %w", err)
+	}
+	return s, nil
+}
+
+func loadStats(dir string) raid.Snapshot {
+	s, err := readStats(dir)
+	if err != nil {
+		fatal(err)
+	}
+	return s
+}
+
+// persistStats folds this process's observability snapshot into stats.json.
+// Statistics must never fail a data operation that already succeeded, so an
+// unreadable tally is restarted with a warning rather than treated as fatal.
+func persistStats(dir string, a *raid.Array) {
+	cum, err := readStats(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "raidctl: restarting stats tally:", err)
+		cum = raid.Snapshot{}
+	}
+	cum.Merge(a.Snapshot())
+	b, err := json.MarshalIndent(cum, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(statsPath(dir), append(b, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func stats(dir string, reset bool, serve string) {
+	if reset {
+		if err := os.Remove(statsPath(dir)); err != nil && !os.IsNotExist(err) {
+			fatal(err)
+		}
+		fmt.Println("statistics cleared")
+		return
+	}
+	loadMeta(dir) // fail early with a clear error outside an array directory
+	if serve != "" {
+		mux := obs.NewMux(func() any { return loadStats(dir) })
+		obs.Publish("raid", func() any { return loadStats(dir) })
+		fmt.Fprintf(os.Stderr, "serving stats on http://%s/stats (expvar at /debug/vars, pprof at /debug/pprof/)\n", serve)
+		fatal(http.ListenAndServe(serve, mux))
+	}
+	b, err := json.MarshalIndent(loadStats(dir), "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(string(b))
 }

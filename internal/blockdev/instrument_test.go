@@ -1,0 +1,56 @@
+package blockdev
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestInstrumentedCountsAndErrors(t *testing.T) {
+	mem := NewMem(4096)
+	dev := Instrument(mem)
+
+	buf := make([]byte, 512)
+	if _, err := dev.WriteAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	mem.InjectBadSector(100)
+	if _, err := dev.ReadAt(buf, 0); !errors.Is(err, ErrBadSector) {
+		t.Fatalf("bad sector must pass through the wrapper, got %v", err)
+	}
+
+	s := dev.Metrics().Snapshot()
+	if s.Reads != 2 || s.Writes != 1 {
+		t.Fatalf("ops: %+v", s)
+	}
+	if s.ReadErrors != 1 || s.WriteErrors != 0 {
+		t.Fatalf("errors: %+v", s)
+	}
+	if s.BytesRead != 512 || s.BytesWritten != 512 {
+		t.Fatalf("bytes: %+v", s)
+	}
+	if s.ReadLatency.Count != 2 || s.WriteLatency.Count != 1 {
+		t.Fatalf("latency counts: read=%d write=%d", s.ReadLatency.Count, s.WriteLatency.Count)
+	}
+
+	mem.Fail()
+	if _, err := dev.WriteAt(buf, 0); !errors.Is(err, ErrFailed) {
+		t.Fatalf("failed device must pass through the wrapper, got %v", err)
+	}
+	if s := dev.Metrics().Snapshot(); s.WriteErrors != 1 {
+		t.Fatalf("write error not counted: %+v", s)
+	}
+
+	if dev.Size() != 4096 {
+		t.Fatalf("size = %d", dev.Size())
+	}
+	if dev.Underlying() != Device(mem) {
+		t.Fatal("underlying device lost")
+	}
+	if err := dev.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -62,13 +62,17 @@ func (c *Code) Reconstruct(s *stripe.Stripe, failed ...int) error {
 		return ui, true
 	}
 
-	// Peeling pass.
+	// Peeling pass. Each recovery XORs the size-1 known cells of its equation
+	// together, which is size-2 element XOR operations — the count
+	// SymbolicDecode predicts and the XOR counters report.
+	var peelOps int64
 	for remaining > 0 {
 		progress := false
 		for gi := range c.groups {
+			cells := eqCells(gi)
 			var target Coord
 			targetUI, missing := -1, 0
-			for _, co := range eqCells(gi) {
+			for _, co := range cells {
 				if ui, unk := isUnknown(co); unk {
 					missing++
 					if missing > 1 {
@@ -84,11 +88,12 @@ func (c *Code) Reconstruct(s *stripe.Stripe, failed ...int) error {
 			for i := range dst {
 				dst[i] = 0
 			}
-			for _, co := range eqCells(gi) {
+			for _, co := range cells {
 				if co != target {
 					stripe.XOR(dst, s.Elem(co.Row, co.Col))
 				}
 			}
+			peelOps += int64(len(cells) - 2)
 			solved[targetUI] = true
 			remaining--
 			progress = true
@@ -97,6 +102,7 @@ func (c *Code) Reconstruct(s *stripe.Stripe, failed ...int) error {
 			break
 		}
 	}
+	c.xor.addDecode(peelOps, peelOps*int64(s.ElemSize()))
 	if remaining == 0 {
 		return nil
 	}
@@ -128,6 +134,8 @@ func (c *Code) gaussian(s *stripe.Stripe, unknowns []Coord, solved []bool, remai
 		mask []uint64
 		rhs  []byte
 	}
+	var gaussOps int64
+	defer func() { c.xor.addDecode(gaussOps, gaussOps*int64(elemSize)) }()
 	var rows []row
 	for gi := range c.groups {
 		r := row{mask: make([]uint64, words), rhs: make([]byte, elemSize)}
@@ -139,6 +147,7 @@ func (c *Code) gaussian(s *stripe.Stripe, unknowns []Coord, solved []bool, remai
 				any = true
 			} else {
 				stripe.XOR(r.rhs, s.Elem(co.Row, co.Col))
+				gaussOps++
 			}
 		}
 		if any {
@@ -170,6 +179,7 @@ func (c *Code) gaussian(s *stripe.Stripe, unknowns []Coord, solved []bool, remai
 					rows[i].mask[w] ^= rows[rank].mask[w]
 				}
 				stripe.XOR(rows[i].rhs, rows[rank].rhs)
+				gaussOps++
 			}
 		}
 		pivotRow[j] = rank

@@ -39,6 +39,8 @@ func (c *Code) EncodeGroup(s *stripe.Stripe, gi int) {
 	for _, m := range g.Members[1:] {
 		stripe.XOR(dst, s.Elem(m.Row, m.Col))
 	}
+	ops := int64(len(g.Members) - 1)
+	c.xor.addEncode(ops, ops*int64(s.ElemSize()))
 }
 
 // UpdateData applies a read-modify-write style small write: it stores
@@ -61,6 +63,8 @@ func (c *Code) UpdateData(s *stripe.Stripe, r, col int, newData []byte) {
 		p := c.groups[gi].Parity
 		stripe.XOR(s.Elem(p.Row, p.Col), delta)
 	}
+	ops := int64(1 + len(c.updateOf[r][col])) // the delta plus one patch per parity
+	c.xor.addEncode(ops, ops*int64(s.ElemSize()))
 }
 
 // Verify reports whether every parity equation holds on the stripe.

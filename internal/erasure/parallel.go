@@ -26,7 +26,14 @@ func (c *Code) EncodeParallel(s *stripe.Stripe, workers int) {
 		return
 	}
 	if workers > size/128 {
-		workers = size / 128
+		// At most one worker per 128-byte chunk, but never fewer than one:
+		// a zero clamp would make the fan-out loop spawn nothing and return
+		// with the parity cells untouched.
+		workers = max(1, size/128)
+	}
+	if workers == 1 {
+		c.Encode(s)
+		return
 	}
 	// Chunk boundaries aligned to 8 bytes so the XOR kernel stays word-wide.
 	bounds := make([]int, workers+1)
@@ -50,6 +57,13 @@ func (c *Code) EncodeParallel(s *stripe.Stripe, workers int) {
 		}(lo, hi)
 	}
 	wg.Wait()
+	// Same element-XOR volume as the serial path; tallied once here rather
+	// than per worker so the counters stay comparable across paths.
+	var ops int64
+	for _, g := range c.groups {
+		ops += int64(len(g.Members) - 1)
+	}
+	c.xor.addEncode(ops, ops*int64(size))
 }
 
 // encodeRange runs the dependency-ordered encode restricted to the byte

@@ -40,6 +40,29 @@ func TestEncodeParallelWithDependencies(t *testing.T) {
 	}
 }
 
+// Regression for the worker clamp: at element sizes just past the
+// minParallelBytes gate, `workers > size/128` clamping must never reach zero
+// workers (which would skip encoding entirely and leave stale parity), and
+// boundary sizes must produce byte-identical parity to the serial path.
+func TestEncodeParallelClampBoundary(t *testing.T) {
+	c := xorPair(t)
+	for _, elemSize := range []int{1024, 1032} {
+		for _, workers := range []int{2, 7, 8, 9, 1024, 1 << 20} {
+			serial := c.NewStripe(elemSize)
+			serial.Fill(uint64(elemSize) * 31)
+			parallel := serial.Clone()
+			c.Encode(serial)
+			c.EncodeParallel(parallel, workers)
+			if !parallel.Equal(serial) {
+				t.Fatalf("elemSize=%d workers=%d: parallel encode differs from serial", elemSize, workers)
+			}
+			if !c.Verify(parallel) {
+				t.Fatalf("elemSize=%d workers=%d: parity not written", elemSize, workers)
+			}
+		}
+	}
+}
+
 func TestEncodeParallelQuick(t *testing.T) {
 	c := gaussOnly(t)
 	f := func(seed uint64, workers uint8) bool {

@@ -58,6 +58,11 @@ type Code struct {
 	dataCoords  []Coord       // row-major data cells
 	dataIndex   [][]int       // [row][col] -> logical data index, -1 for parity
 	encodeOrder []int         // group indices in dependency order
+
+	// xor tallies the element-XOR work this instance actually executed
+	// (see xorstats.go); the observability layer compares it against the
+	// analytic predictions of ComputeMetrics.
+	xor XORCounters
 }
 
 // New validates a code description and derives the engine metadata.

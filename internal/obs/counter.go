@@ -1,0 +1,36 @@
+// Package obs is the runtime observability layer of the repository: lock-free
+// counters, log₂-bucket latency histograms with quantile estimation, and
+// per-disk I/O load tallies that mirror the load-balance metrics of the
+// D-Code paper's Figures 4 and 5 — measured on the live engine rather than
+// the offline simulators of internal/ioload.
+//
+// Everything in this package is safe for concurrent use and allocation-free
+// on the hot path: increments and observations are single atomic operations,
+// never locks, so instrumenting the RAID data path does not serialize it.
+// Snapshots are read with atomic loads and are therefore only approximately
+// consistent across fields while writers are active; once writers quiesce
+// they are exact.
+package obs
+
+import "sync/atomic"
+
+// Counter is a lock-free monotone event counter.
+//
+// The zero value is ready to use. Counter must not be copied after first use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Reset zeroes the counter. Concurrent increments may be lost across the
+// reset; call it only while writers are quiescent (e.g. between benchmark
+// phases).
+func (c *Counter) Reset() { c.v.Store(0) }

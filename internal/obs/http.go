@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the JSON encoding of snapshot() on every request. snapshot
+// is called per request, so the handler always reports live values.
+func Handler(snapshot func() any) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// Publish registers snapshot under name in the process-wide expvar registry,
+// so it shows up on /debug/vars alongside the runtime's memstats. Publishing
+// the same name twice panics (expvar semantics), so callers publish once per
+// process.
+func Publish(name string, snapshot func() any) {
+	expvar.Publish(name, expvar.Func(snapshot))
+}
+
+// NewMux returns an http.ServeMux exposing the standard observability
+// endpoints without touching http.DefaultServeMux:
+//
+//	/stats          – JSON of snapshot()
+//	/debug/vars     – expvar (anything Publish-ed, plus runtime stats)
+//	/debug/pprof/…  – the usual pprof profiles
+func NewMux(snapshot func() any) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/stats", Handler(snapshot))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -6,6 +6,9 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+
+	"dcode/internal/blockdev"
+	"dcode/internal/codes"
 )
 
 // TestRandomOpsAgainstModel drives the array with a long random sequence of
@@ -103,6 +106,102 @@ func TestRandomOpsAgainstModel(t *testing.T) {
 			}
 		})
 	}
+}
+
+// FuzzArrayOps interprets the fuzz input as an operation stream — each byte
+// triple selects (op, offset, length) — and drives a small D-Code array with
+// it, checking every read against an in-memory model and the final volume
+// plus parity at the end. It is the coverage-guided twin of
+// TestRandomOpsAgainstModel, aimed at the offset/length edge cases in
+// splitBytes, RMW-vs-reconstruct strategy selection and failure handling.
+func FuzzArrayOps(f *testing.F) {
+	f.Add([]byte{0x00, 0x01, 0x02})
+	f.Add([]byte{0x40, 0xFF, 0x00, 0x80, 0x00, 0x10, 0xC0, 0x00, 0x00})
+	f.Add(bytes.Repeat([]byte{0x91, 0x3C, 0x77}, 20))
+	f.Fuzz(func(t *testing.T, input []byte) {
+		if len(input) > 512 {
+			input = input[:512]
+		}
+		code := codes.MustNew("dcode", 5)
+		devs := make([]blockdev.Device, code.Cols())
+		mems := make([]*blockdev.MemDevice, code.Cols())
+		const stripes, fuzzElem = 3, 16
+		devSize := stripes * int64(code.Rows()) * fuzzElem
+		for i := range devs {
+			mems[i] = blockdev.NewMem(devSize)
+			devs[i] = mems[i]
+		}
+		a, err := New(code, devs, fuzzElem, stripes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := make([]byte, a.Size())
+		if _, err := a.WriteAt(model, 0); err != nil {
+			t.Fatal(err)
+		}
+
+		failed := -1
+		for i := 0; i+2 < len(input); i += 3 {
+			op, b1, b2 := input[i], input[i+1], input[i+2]
+			off := int64(b1) * a.Size() / 256
+			n := 1 + int(b2)%64
+			if off+int64(n) > a.Size() {
+				n = int(a.Size() - off)
+			}
+			switch op % 4 {
+			case 0: // read and check
+				got := make([]byte, n)
+				if _, err := a.ReadAt(got, off); err != nil {
+					t.Fatalf("read at %d+%d: %v", off, n, err)
+				}
+				if !bytes.Equal(got, model[off:off+int64(n)]) {
+					t.Fatalf("read mismatch at %d+%d", off, n)
+				}
+			case 1, 2: // write (deterministic content from the input)
+				buf := make([]byte, n)
+				for j := range buf {
+					buf[j] = b1 ^ b2 ^ byte(j)
+				}
+				if _, err := a.WriteAt(buf, off); err != nil {
+					t.Fatalf("write at %d+%d: %v", off, n, err)
+				}
+				copy(model[off:], buf)
+			case 3: // toggle one failure
+				if failed < 0 {
+					failed = int(b1) % len(mems)
+					mems[failed].Fail()
+				} else {
+					mems[failed].Replace()
+					if err := a.FailDisk(failed); err != nil {
+						t.Fatal(err)
+					}
+					if err := a.Rebuild(failed); err != nil {
+						t.Fatalf("rebuild %d: %v", failed, err)
+					}
+					failed = -1
+				}
+			}
+		}
+		if failed >= 0 {
+			mems[failed].Replace()
+			if err := a.FailDisk(failed); err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Rebuild(failed); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := make([]byte, a.Size())
+		if _, err := a.ReadAt(got, 0); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, model) {
+			t.Fatal("final volume does not match the model")
+		}
+		if fixed, err := a.Scrub(); err != nil || fixed != 0 {
+			t.Fatalf("final scrub: fixed=%d err=%v", fixed, err)
+		}
+	})
 }
 
 // TestConcurrentReadersAndWriters hammers disjoint regions of the volume

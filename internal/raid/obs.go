@@ -1,0 +1,210 @@
+package raid
+
+import (
+	"dcode/internal/obs"
+)
+
+// arrayMetrics is the array's observability state: lock-free counters for
+// every logical event the old Stats struct tracked, latency histograms for
+// the hot paths, and (via the per-column blockdev.Instrumented wrappers) the
+// per-disk I/O load that mirrors the paper's Figure 4/5 metric on the live
+// engine.
+type arrayMetrics struct {
+	reads            obs.Counter
+	writes           obs.Counter
+	degradedReads    obs.Counter
+	fullStripeWrites obs.Counter
+	rmwWrites        obs.Counter
+	stripesRebuilt   obs.Counter
+	scrubErrorsFixed obs.Counter
+	sectorsRepaired  obs.Counter
+
+	readLatency         obs.Histogram // whole ReadAt calls
+	writeLatency        obs.Histogram // whole WriteAt calls
+	degradedReadLatency obs.Histogram // reconstruction portions of reads
+	rebuildLatency      obs.Histogram // per stripe rebuilt
+	scrubLatency        obs.Histogram // per stripe scrubbed
+
+	// decodeXOROps/Bytes tally the group-XOR reconstruction work the raid
+	// layer performs itself (degraded-read plan steps, read-repair, planned
+	// rebuild); whole-stripe reconstructions run inside the erasure engine
+	// and are counted by its own XORCounters instead.
+	decodeXOROps   obs.Counter
+	decodeXORBytes obs.Counter
+}
+
+// countDecodeXOR records n element XORs executed by a raid-layer
+// reconstruction path.
+func (a *Array) countDecodeXOR(n int) {
+	a.m.decodeXOROps.Add(int64(n))
+	a.m.decodeXORBytes.Add(int64(n) * int64(a.elemSize))
+}
+
+// Snapshot is the machine-readable view of everything the array measures.
+// It is the payload of `raidctl stats`, the /stats HTTP endpoint, and the
+// per-cell detail of cmd/bench.
+type Snapshot struct {
+	Code  string `json:"code"`
+	Disks int    `json:"disks"`
+
+	Counters CounterSnapshot `json:"counters"`
+	Latency  LatencySnapshot `json:"latency"`
+
+	// Load is the per-column device-operation tally (reads+writes per disk)
+	// with the paper's load-balancing factor LF = Lmax/Lmin (Eq. 8, -1 when
+	// a disk is idle) and the coefficient of variation the benchmark harness
+	// gates regressions on.
+	Load obs.LoadSnapshot `json:"load"`
+
+	// Devices carries the full per-disk detail: op/byte/error counts and
+	// device-level latency histograms.
+	Devices []obs.IOSnapshot `json:"devices"`
+
+	// XOR is the encode/decode XOR volume the erasure engine actually
+	// executed; AnalyticEncodeXORPerData is ComputeMetrics' prediction
+	// (paper §III-D), so `encode_ops / data elements encoded` can be checked
+	// against it.
+	XOR                      XORSnapshot `json:"xor"`
+	AnalyticEncodeXORPerData float64     `json:"analytic_encode_xor_per_data"`
+}
+
+// XORSnapshot aliases the erasure engine's counter snapshot so Snapshot
+// consumers only deal with raid types.
+type XORSnapshot struct {
+	EncodeOps   int64 `json:"encode_ops"`
+	EncodeBytes int64 `json:"encode_bytes"`
+	DecodeOps   int64 `json:"decode_ops"`
+	DecodeBytes int64 `json:"decode_bytes"`
+}
+
+// CounterSnapshot mirrors Stats with JSON tags.
+type CounterSnapshot struct {
+	Reads            int64 `json:"reads"`
+	Writes           int64 `json:"writes"`
+	DegradedReads    int64 `json:"degraded_reads"`
+	FullStripeWrites int64 `json:"full_stripe_writes"`
+	RMWWrites        int64 `json:"rmw_writes"`
+	StripesRebuilt   int64 `json:"stripes_rebuilt"`
+	ScrubErrorsFixed int64 `json:"scrub_errors_fixed"`
+	SectorsRepaired  int64 `json:"sectors_repaired"`
+}
+
+// LatencySnapshot groups the array-level histograms.
+type LatencySnapshot struct {
+	Read         obs.HistogramSnapshot `json:"read"`
+	Write        obs.HistogramSnapshot `json:"write"`
+	DegradedRead obs.HistogramSnapshot `json:"degraded_read"`
+	Rebuild      obs.HistogramSnapshot `json:"rebuild_stripe"`
+	Scrub        obs.HistogramSnapshot `json:"scrub_stripe"`
+}
+
+// Snapshot captures the array's full observability state. Like every obs
+// snapshot it is approximately consistent while operations are in flight and
+// exact once they quiesce.
+func (a *Array) Snapshot() Snapshot {
+	s := Snapshot{
+		Code:  a.code.Name(),
+		Disks: a.code.Cols(),
+		Counters: CounterSnapshot{
+			Reads:            a.m.reads.Load(),
+			Writes:           a.m.writes.Load(),
+			DegradedReads:    a.m.degradedReads.Load(),
+			FullStripeWrites: a.m.fullStripeWrites.Load(),
+			RMWWrites:        a.m.rmwWrites.Load(),
+			StripesRebuilt:   a.m.stripesRebuilt.Load(),
+			ScrubErrorsFixed: a.m.scrubErrorsFixed.Load(),
+			SectorsRepaired:  a.m.sectorsRepaired.Load(),
+		},
+		Latency: LatencySnapshot{
+			Read:         a.m.readLatency.Snapshot(),
+			Write:        a.m.writeLatency.Snapshot(),
+			DegradedRead: a.m.degradedReadLatency.Snapshot(),
+			Rebuild:      a.m.rebuildLatency.Snapshot(),
+			Scrub:        a.m.scrubLatency.Snapshot(),
+		},
+		Devices: make([]obs.IOSnapshot, len(a.iodevs)),
+		Load:    obs.LoadSnapshot{PerDisk: make([]int64, len(a.iodevs))},
+	}
+	for i, d := range a.iodevs {
+		s.Devices[i] = d.Metrics().Snapshot()
+		s.Load.PerDisk[i] = s.Devices[i].Ops()
+	}
+	s.Load.Recompute()
+	x := a.code.XORStats()
+	s.XOR = XORSnapshot{
+		EncodeOps:   x.EncodeOps,
+		EncodeBytes: x.EncodeBytes,
+		DecodeOps:   x.DecodeOps + a.m.decodeXOROps.Load(),
+		DecodeBytes: x.DecodeBytes + a.m.decodeXORBytes.Load(),
+	}
+	s.AnalyticEncodeXORPerData = a.code.ComputeMetrics().EncodeXORPerData
+	return s
+}
+
+// Merge accumulates another snapshot into s; raidctl uses it to aggregate
+// statistics across process lifetimes. Code identity fields are taken from o
+// when s is zero-valued so merging into an empty snapshot works.
+func (s *Snapshot) Merge(o Snapshot) {
+	if s.Code == "" {
+		s.Code = o.Code
+		s.Disks = o.Disks
+	}
+	if s.AnalyticEncodeXORPerData == 0 {
+		s.AnalyticEncodeXORPerData = o.AnalyticEncodeXORPerData
+	}
+
+	s.Counters.Reads += o.Counters.Reads
+	s.Counters.Writes += o.Counters.Writes
+	s.Counters.DegradedReads += o.Counters.DegradedReads
+	s.Counters.FullStripeWrites += o.Counters.FullStripeWrites
+	s.Counters.RMWWrites += o.Counters.RMWWrites
+	s.Counters.StripesRebuilt += o.Counters.StripesRebuilt
+	s.Counters.ScrubErrorsFixed += o.Counters.ScrubErrorsFixed
+	s.Counters.SectorsRepaired += o.Counters.SectorsRepaired
+
+	s.Latency.Read.Merge(o.Latency.Read)
+	s.Latency.Write.Merge(o.Latency.Write)
+	s.Latency.DegradedRead.Merge(o.Latency.DegradedRead)
+	s.Latency.Rebuild.Merge(o.Latency.Rebuild)
+	s.Latency.Scrub.Merge(o.Latency.Scrub)
+
+	s.Load.Merge(o.Load)
+	for len(s.Devices) < len(o.Devices) {
+		s.Devices = append(s.Devices, obs.IOSnapshot{})
+	}
+	for i := range o.Devices {
+		s.Devices[i].Merge(o.Devices[i])
+	}
+
+	s.XOR.EncodeOps += o.XOR.EncodeOps
+	s.XOR.EncodeBytes += o.XOR.EncodeBytes
+	s.XOR.DecodeOps += o.XOR.DecodeOps
+	s.XOR.DecodeBytes += o.XOR.DecodeBytes
+}
+
+// ResetMetrics zeroes every counter, histogram and device tally, including
+// the erasure code's XOR counters. The benchmark harness calls it after
+// pre-filling an array so the measured window covers only the workload.
+// It is exact only while the array is quiescent; note the XOR counters live
+// on the code instance, so arrays sharing one *erasure.Code share that reset.
+func (a *Array) ResetMetrics() {
+	a.m.reads.Reset()
+	a.m.writes.Reset()
+	a.m.degradedReads.Reset()
+	a.m.fullStripeWrites.Reset()
+	a.m.rmwWrites.Reset()
+	a.m.stripesRebuilt.Reset()
+	a.m.scrubErrorsFixed.Reset()
+	a.m.sectorsRepaired.Reset()
+	a.m.readLatency.Reset()
+	a.m.writeLatency.Reset()
+	a.m.degradedReadLatency.Reset()
+	a.m.rebuildLatency.Reset()
+	a.m.scrubLatency.Reset()
+	a.m.decodeXOROps.Reset()
+	a.m.decodeXORBytes.Reset()
+	for _, d := range a.iodevs {
+		d.Metrics().Reset()
+	}
+	a.code.ResetXORStats()
+}

@@ -1,0 +1,227 @@
+package raid
+
+import (
+	"encoding/json"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestSnapshotReflectsOperations drives every instrumented path once and
+// checks the snapshot: counters, latency histogram counts, per-disk loads
+// and the XOR volume.
+func TestSnapshotReflectsOperations(t *testing.T) {
+	a, mems := newArray(t, "dcode", 5, 4)
+	data := pattern(int(a.Size()), 7)
+	if _, err := a.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 128)
+	if _, err := a.ReadAt(buf, 64); err != nil {
+		t.Fatal(err)
+	}
+
+	// Degraded read.
+	mems[1].Fail()
+	if err := a.FailDisk(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.ReadAt(make([]byte, int(a.Size())), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild.
+	mems[1].Replace()
+	if err := a.Rebuild(1); err != nil {
+		t.Fatal(err)
+	}
+	// Scrub.
+	if _, err := a.Scrub(); err != nil {
+		t.Fatal(err)
+	}
+
+	s := a.Snapshot()
+	if s.Code != a.Code().Name() || s.Disks != a.Code().Cols() {
+		t.Fatalf("identity: %+v", s)
+	}
+	st := a.Stats()
+	if s.Counters.Reads != st.Reads || s.Counters.Writes != st.Writes ||
+		s.Counters.DegradedReads != st.DegradedReads ||
+		s.Counters.StripesRebuilt != st.StripesRebuilt {
+		t.Fatalf("snapshot counters %+v disagree with Stats %+v", s.Counters, st)
+	}
+	if s.Counters.DegradedReads == 0 {
+		t.Fatal("degraded read not counted")
+	}
+	if s.Latency.Read.Count != s.Counters.Reads {
+		t.Fatalf("read latency count %d != reads %d", s.Latency.Read.Count, s.Counters.Reads)
+	}
+	if s.Latency.Write.Count != s.Counters.Writes {
+		t.Fatalf("write latency count %d != writes %d", s.Latency.Write.Count, s.Counters.Writes)
+	}
+	if s.Latency.DegradedRead.Count == 0 || s.Latency.Rebuild.Count == 0 || s.Latency.Scrub.Count == 0 {
+		t.Fatalf("latency histograms missing observations: %+v", s.Latency)
+	}
+	if s.Load.Total == 0 || len(s.Load.PerDisk) != a.Code().Cols() {
+		t.Fatalf("load: %+v", s.Load)
+	}
+	if s.XOR.EncodeOps == 0 {
+		t.Fatal("no encode XOR volume recorded")
+	}
+	if s.XOR.DecodeOps == 0 {
+		t.Fatal("no decode XOR volume recorded despite reconstruction")
+	}
+	if s.AnalyticEncodeXORPerData <= 0 {
+		t.Fatalf("analytic prediction missing: %v", s.AnalyticEncodeXORPerData)
+	}
+	var devOps int64
+	for _, d := range s.Devices {
+		devOps += d.Ops()
+	}
+	if devOps != s.Load.Total {
+		t.Fatalf("device ops %d != load total %d", devOps, s.Load.Total)
+	}
+
+	// The snapshot must round-trip through JSON (the raidctl/bench format).
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters != s.Counters {
+		t.Fatalf("JSON round-trip changed counters: %+v vs %+v", back.Counters, s.Counters)
+	}
+}
+
+func TestSnapshotMergeAccumulates(t *testing.T) {
+	a, _ := newArray(t, "dcode", 5, 4)
+	if _, err := a.WriteAt(pattern(512, 3), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.ReadAt(make([]byte, 512), 0); err != nil {
+		t.Fatal(err)
+	}
+	one := a.Snapshot()
+
+	var acc Snapshot
+	acc.Merge(one)
+	acc.Merge(one)
+	if acc.Code != one.Code {
+		t.Fatalf("merge lost identity: %q", acc.Code)
+	}
+	if acc.Counters.Reads != 2*one.Counters.Reads || acc.Counters.Writes != 2*one.Counters.Writes {
+		t.Fatalf("counters not doubled: %+v vs %+v", acc.Counters, one.Counters)
+	}
+	if acc.Latency.Read.Count != 2*one.Latency.Read.Count {
+		t.Fatalf("histogram count not doubled: %d", acc.Latency.Read.Count)
+	}
+	if acc.Load.Total != 2*one.Load.Total {
+		t.Fatalf("load not doubled: %d vs %d", acc.Load.Total, one.Load.Total)
+	}
+	if acc.XOR.EncodeOps != 2*one.XOR.EncodeOps {
+		t.Fatalf("xor not doubled: %+v", acc.XOR)
+	}
+}
+
+func TestResetMetrics(t *testing.T) {
+	a, _ := newArray(t, "dcode", 5, 4)
+	if _, err := a.WriteAt(pattern(1024, 1), 0); err != nil {
+		t.Fatal(err)
+	}
+	a.ResetMetrics()
+	s := a.Snapshot()
+	if s.Counters != (CounterSnapshot{}) {
+		t.Fatalf("counters survive reset: %+v", s.Counters)
+	}
+	if s.Latency.Write.Count != 0 || s.Load.Total != 0 || s.XOR.EncodeOps != 0 {
+		t.Fatalf("metrics survive reset: %+v", s)
+	}
+}
+
+// TestStatsConcurrentConsistency hammers mixed reads, writes and degraded
+// reads from many goroutines and asserts no update is lost: the counter
+// totals must equal the number of operations issued, and every latency
+// histogram must have exactly one observation per counted operation. Run
+// with -race to check the lock-free instrumentation.
+func TestStatsConcurrentConsistency(t *testing.T) {
+	a, mems := newArray(t, "dcode", 7, 8)
+	if _, err := a.WriteAt(pattern(int(a.Size()), 5), 0); err != nil {
+		t.Fatal(err)
+	}
+	// One disk down for the whole run, so a stable fraction of reads is
+	// degraded. MemDevice.Fail() makes accesses error; mark it failed in the
+	// array up front to avoid rediscovery races in accounting.
+	mems[2].Fail()
+	if err := a.FailDisk(2); err != nil {
+		t.Fatal(err)
+	}
+	// Start the measured window after the prefill so per-disk loads cover
+	// only the concurrent workload.
+	a.ResetMetrics()
+
+	const workers = 8
+	iters := 200
+	if testing.Short() {
+		iters = 50
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) * 131))
+			for i := 0; i < iters; i++ {
+				n := 1 + rng.Intn(300)
+				off := rng.Int63n(a.Size() - int64(n))
+				if i%2 == 0 {
+					if _, err := a.ReadAt(make([]byte, n), off); err != nil {
+						errs <- err
+						return
+					}
+				} else {
+					buf := make([]byte, n)
+					rng.Read(buf)
+					if _, err := a.WriteAt(buf, off); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	s := a.Snapshot()
+	wantReads := int64(workers * iters / 2)
+	wantWrites := int64(workers * iters / 2)
+	if s.Counters.Reads != wantReads {
+		t.Fatalf("lost read updates: %d, want %d", s.Counters.Reads, wantReads)
+	}
+	if s.Counters.Writes != wantWrites {
+		t.Fatalf("lost write updates: %d, want %d", s.Counters.Writes, wantWrites)
+	}
+	if s.Latency.Read.Count != wantReads {
+		t.Fatalf("read histogram %d observations, want %d", s.Latency.Read.Count, wantReads)
+	}
+	if s.Latency.Write.Count != wantWrites {
+		t.Fatalf("write histogram %d observations, want %d", s.Latency.Write.Count, wantWrites)
+	}
+	if s.Counters.DegradedReads == 0 {
+		t.Fatal("no degraded reads with a disk down")
+	}
+	if s.Latency.DegradedRead.Count != s.Counters.DegradedReads {
+		t.Fatalf("degraded histogram %d != counter %d",
+			s.Latency.DegradedRead.Count, s.Counters.DegradedReads)
+	}
+	// The failed column's device must not have been touched by the workload.
+	if s.Devices[2].Reads != 0 || s.Devices[2].Writes != 0 {
+		t.Fatalf("failed disk accessed: %+v", s.Devices[2])
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"dcode/internal/blockdev"
 	"dcode/internal/erasure"
@@ -44,8 +45,13 @@ type Array struct {
 	failMu sync.Mutex
 	failed map[int]bool
 
-	statsMu sync.Mutex
-	stats   Stats
+	// m and iodevs are the observability layer (see obs.go): lock-free
+	// counters and latency histograms at the array level, plus a
+	// blockdev.Instrumented wrapper per column feeding the per-disk I/O
+	// load view. devs holds the wrapped devices, so every access — data
+	// path, repair, rebuild — is tallied.
+	m      arrayMetrics
+	iodevs []*blockdev.Instrumented
 
 	// jnl, when non-nil, brackets every stripe mutation with intent/commit
 	// records (see journal.go).
@@ -80,12 +86,6 @@ func (a *Array) failedCount() int {
 	return len(a.failed)
 }
 
-func (a *Array) bump(f func(*Stats)) {
-	a.statsMu.Lock()
-	f(&a.stats)
-	a.statsMu.Unlock()
-}
-
 // Stats aggregates array-level counters.
 type Stats struct {
 	Reads, Writes    int64 // logical operations served
@@ -115,13 +115,19 @@ func New(code *erasure.Code, devs []blockdev.Device, elemSize int, stripes int64
 			return nil, fmt.Errorf("raid: device %d holds %d bytes, need %d", i, d.Size(), need)
 		}
 	}
-	return &Array{
+	a := &Array{
 		code:     code,
 		elemSize: elemSize,
-		devs:     devs,
 		failed:   make(map[int]bool),
 		stripes:  stripes,
-	}, nil
+		iodevs:   make([]*blockdev.Instrumented, len(devs)),
+		devs:     make([]blockdev.Device, len(devs)),
+	}
+	for i, d := range devs {
+		a.iodevs[i] = blockdev.Instrument(d)
+		a.devs[i] = a.iodevs[i]
+	}
+	return a, nil
 }
 
 // Code returns the array's erasure code.
@@ -135,11 +141,19 @@ func (a *Array) Size() int64 {
 	return a.stripes * int64(a.code.DataElems()) * int64(a.elemSize)
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters. Snapshot returns the full
+// observability view (latency histograms, per-disk loads, XOR volume).
 func (a *Array) Stats() Stats {
-	a.statsMu.Lock()
-	defer a.statsMu.Unlock()
-	return a.stats
+	return Stats{
+		Reads:            a.m.reads.Load(),
+		Writes:           a.m.writes.Load(),
+		DegradedReads:    a.m.degradedReads.Load(),
+		FullStripeWrites: a.m.fullStripeWrites.Load(),
+		RMWWrites:        a.m.rmwWrites.Load(),
+		StripesRebuilt:   a.m.stripesRebuilt.Load(),
+		ScrubErrorsFixed: a.m.scrubErrorsFixed.Load(),
+		SectorsRepaired:  a.m.sectorsRepaired.Load(),
+	}
 }
 
 // FailedDisks returns the currently failed columns, sorted.
@@ -227,12 +241,13 @@ func (a *Array) repairElem(stripeIdx int64, co erasure.Coord, dst []byte) error 
 				continue
 			}
 			stripe.XOR(dst, elems[cell])
+			a.countDecodeXOR(1)
 		}
 	}
 	if _, err := a.devs[co.Col].WriteAt(dst, a.deviceOffset(stripeIdx, co.Row)); err != nil {
 		return err
 	}
-	a.bump(func(s *Stats) { s.SectorsRepaired++ })
+	a.m.sectorsRepaired.Inc()
 	return nil
 }
 
@@ -349,13 +364,15 @@ func (a *Array) splitBytes(off int64, n int) ([]elemRange, error) {
 // the paper's low-I/O degraded read); a double failure falls back to
 // whole-stripe reconstruction.
 func (a *Array) ReadAt(p []byte, off int64) (int, error) {
+	start := time.Now()
+	defer func() { a.m.readLatency.Observe(time.Since(start)) }()
 	a.opMu.RLock()
 	defer a.opMu.RUnlock()
 	ranges, err := a.splitBytes(off, len(p))
 	if err != nil {
 		return 0, err
 	}
-	a.bump(func(s *Stats) { s.Reads++ })
+	a.m.reads.Inc()
 
 	byStripe := make(map[int64][]elemRange)
 	var order []int64
@@ -445,7 +462,9 @@ func (a *Array) fetchStripeElems(si int64, ers []elemRange) (map[erasure.Coord][
 
 	case len(failed) == 1:
 		// Single failure: fetch only the recovery plan's cells.
-		a.bump(func(s *Stats) { s.DegradedReads++ })
+		start := time.Now()
+		defer func() { a.m.degradedReadLatency.Observe(time.Since(start)) }()
+		a.m.degradedReads.Inc()
 		plan, err := a.code.PlanDegraded(failed[0], wanted, nil)
 		if err != nil {
 			return nil, err
@@ -463,6 +482,7 @@ func (a *Array) fetchStripeElems(si int64, ers []elemRange) (map[erasure.Coord][
 					continue
 				}
 				stripe.XOR(dst, elems[cell])
+				a.countDecodeXOR(1)
 			}
 			elems[step.Target] = dst
 		}
@@ -470,7 +490,9 @@ func (a *Array) fetchStripeElems(si int64, ers []elemRange) (map[erasure.Coord][
 
 	default:
 		// Double failure: whole-stripe reconstruction.
-		a.bump(func(s *Stats) { s.DegradedReads++ })
+		start := time.Now()
+		defer func() { a.m.degradedReadLatency.Observe(time.Since(start)) }()
+		a.m.degradedReads.Inc()
 		s, err := a.loadStripe(si)
 		if err != nil {
 			return nil, err
@@ -487,13 +509,15 @@ func (a *Array) fetchStripeElems(si int64, ers []elemRange) (map[erasure.Coord][
 // (the UpdateData path); writes while disks are failed take a degraded
 // full-stripe path so parity stays consistent for the eventual rebuild.
 func (a *Array) WriteAt(p []byte, off int64) (int, error) {
+	start := time.Now()
+	defer func() { a.m.writeLatency.Observe(time.Since(start)) }()
 	a.opMu.RLock()
 	defer a.opMu.RUnlock()
 	ranges, err := a.splitBytes(off, len(p))
 	if err != nil {
 		return 0, err
 	}
-	a.bump(func(s *Stats) { s.Writes++ })
+	a.m.writes.Inc()
 
 	// Group element ranges by stripe.
 	byStripe := make(map[int64][]elemRange)
@@ -564,7 +588,7 @@ func (a *Array) writeStripeRanges(si int64, ers []elemRange, p []byte) error {
 		if rwCost < rmwCost {
 			err = a.reconstructWrite(si, ers, elemSet, p)
 			if err == nil {
-				a.bump(func(s *Stats) { s.FullStripeWrites++ })
+				a.m.fullStripeWrites.Inc()
 				return nil
 			}
 		} else {
@@ -574,7 +598,7 @@ func (a *Array) writeStripeRanges(si int64, ers []elemRange, p []byte) error {
 					ok = false
 					break
 				}
-				a.bump(func(s *Stats) { s.RMWWrites++ })
+				a.m.rmwWrites.Inc()
 			}
 			if ok {
 				return nil
@@ -597,7 +621,7 @@ func (a *Array) writeStripeRanges(si int64, ers []elemRange, p []byte) error {
 	if err := a.storeStripe(si, s); err != nil {
 		return err
 	}
-	a.bump(func(s *Stats) { s.FullStripeWrites++ })
+	a.m.fullStripeWrites.Inc()
 	return nil
 }
 
@@ -712,6 +736,7 @@ func (a *Array) Rebuild(col int) error {
 		}
 	}
 	for si := int64(0); si < a.stripes; si++ {
+		stripeStart := time.Now()
 		rebuilt := false
 		if plan != nil && a.failedCount() == 1 {
 			if err := a.rebuildStripePlanned(si, col, plan); err == nil {
@@ -731,7 +756,8 @@ func (a *Array) Rebuild(col int) error {
 				}
 			}
 		}
-		a.bump(func(s *Stats) { s.StripesRebuilt++ })
+		a.m.stripesRebuilt.Inc()
+		a.m.rebuildLatency.Observe(time.Since(stripeStart))
 	}
 	a.clearFailed(col)
 	return nil
@@ -782,6 +808,7 @@ func (a *Array) rebuildStripePlanned(si int64, col int, plan *recovery.Plan) err
 					continue
 				}
 				stripe.XOR(dst, elems[cell])
+				a.countDecodeXOR(1)
 			}
 			column[r] = dst
 			elems[target] = dst
@@ -800,6 +827,7 @@ func (a *Array) rebuildStripePlanned(si int64, col int, plan *recovery.Plan) err
 					return fmt.Errorf("raid: planned rebuild cannot source %v", m)
 				}
 				stripe.XOR(dst, src)
+				a.countDecodeXOR(1)
 			}
 			column[r] = dst
 		}
@@ -823,11 +851,13 @@ func (a *Array) Scrub() (int64, error) {
 	}
 	var fixed int64
 	for si := int64(0); si < a.stripes; si++ {
+		stripeStart := time.Now()
 		s, err := a.loadStripe(si)
 		if err != nil {
 			return fixed, err
 		}
 		if a.code.Verify(s) {
+			a.m.scrubLatency.Observe(time.Since(stripeStart))
 			continue
 		}
 		a.code.Encode(s)
@@ -835,7 +865,8 @@ func (a *Array) Scrub() (int64, error) {
 			return fixed, err
 		}
 		fixed++
-		a.bump(func(s *Stats) { s.ScrubErrorsFixed++ })
+		a.m.scrubErrorsFixed.Inc()
+		a.m.scrubLatency.Observe(time.Since(stripeStart))
 	}
 	return fixed, nil
 }
