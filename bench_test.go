@@ -10,8 +10,12 @@ package dcode_test
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"testing"
+	"time"
 
+	"dcode"
+	"dcode/internal/blockdev"
 	"dcode/internal/codes"
 	"dcode/internal/crs"
 	"dcode/internal/erasure"
@@ -445,6 +449,193 @@ func BenchmarkExtensionRotationHotspot(b *testing.B) {
 		}
 		b.ReportMetric(lf, "LF")
 	})
+}
+
+// ---------------------------------------------------------------------------
+// Array data path: stripe pipelining and per-device fan-out at Concurrency 1
+// (fully serial) versus GOMAXPROCS. On a single-core machine the two coincide;
+// on multi-core the parallel rows show the speedup from concurrent per-device
+// I/O. The serial rows double as allocation checks for the pooled data path.
+
+// benchConcs returns the fan-out bounds worth benchmarking: always 1, plus
+// GOMAXPROCS when it differs.
+func benchConcs() []int {
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		return []int{1, n}
+	}
+	return []int{1}
+}
+
+func newBenchArray(b *testing.B, conc int) (*dcode.Array, []*dcode.MemDevice) {
+	b.Helper()
+	code, err := dcode.New(7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const stripes, elem = 32, 4096
+	mems := make([]*dcode.MemDevice, code.Cols())
+	devs := make([]dcode.Device, code.Cols())
+	for i := range devs {
+		mems[i] = dcode.NewMemDevice(stripes * int64(code.Rows()) * elem)
+		devs[i] = mems[i]
+	}
+	a, err := dcode.NewArray(code, devs, elem, stripes, dcode.WithConcurrency(conc))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a, mems
+}
+
+func BenchmarkArrayWriteAt(b *testing.B) {
+	for _, conc := range benchConcs() {
+		b.Run(fmt.Sprintf("conc=%d", conc), func(b *testing.B) {
+			a, _ := newBenchArray(b, conc)
+			buf := make([]byte, a.Size())
+			for i := range buf {
+				buf[i] = byte(i)
+			}
+			b.SetBytes(a.Size())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := a.WriteAt(buf, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkArrayReadAt(b *testing.B) {
+	for _, conc := range benchConcs() {
+		b.Run(fmt.Sprintf("conc=%d", conc), func(b *testing.B) {
+			a, _ := newBenchArray(b, conc)
+			buf := make([]byte, a.Size())
+			for i := range buf {
+				buf[i] = byte(i * 31)
+			}
+			if _, err := a.WriteAt(buf, 0); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(a.Size())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := a.ReadAt(buf, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkArrayRebuild(b *testing.B) {
+	for _, conc := range benchConcs() {
+		b.Run(fmt.Sprintf("conc=%d", conc), func(b *testing.B) {
+			a, mems := newBenchArray(b, conc)
+			buf := make([]byte, a.Size())
+			for i := range buf {
+				buf[i] = byte(i * 17)
+			}
+			if _, err := a.WriteAt(buf, 0); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(mems[2].Size())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				if err := a.FailDisk(2); err != nil {
+					b.Fatal(err)
+				}
+				mems[2].Replace()
+				b.StartTimer()
+				if err := a.Rebuild(2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// The Delayed variants put a fixed per-call service time under each device —
+// the crude disk model from internal/blockdev — so the benchmark measures
+// what the array's scheduling actually buys on hardware with latency:
+// overlapped device waits across columns and stripes, and coalesced runs
+// paying the service time once. Sleeps overlap regardless of core count, so
+// the pipelining speedup shows even on a single-CPU machine (where the pure
+// in-memory variants above measure only goroutine overhead).
+
+const benchDelay = 50 * time.Microsecond
+
+func newDelayedBenchArray(b *testing.B, conc int) (*dcode.Array, []*blockdev.MemDevice) {
+	b.Helper()
+	code, err := dcode.New(7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const stripes, elem = 16, 4096
+	mems := make([]*blockdev.MemDevice, code.Cols())
+	devs := make([]dcode.Device, code.Cols())
+	for i := range devs {
+		mems[i] = dcode.NewMemDevice(stripes * int64(code.Rows()) * elem)
+		devs[i] = &blockdev.Delayed{Device: mems[i], Delay: benchDelay}
+	}
+	a, err := dcode.NewArray(code, devs, elem, stripes, dcode.WithConcurrency(conc))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a, mems
+}
+
+// delayedConcs always contrasts serial with a real fan-out: latency overlap
+// does not need cores, so a fixed bound of 8 is meaningful everywhere.
+func delayedConcs() []int { return []int{1, 8} }
+
+func BenchmarkArrayWriteAtDelayed(b *testing.B) {
+	for _, conc := range delayedConcs() {
+		b.Run(fmt.Sprintf("conc=%d", conc), func(b *testing.B) {
+			a, _ := newDelayedBenchArray(b, conc)
+			buf := make([]byte, a.Size())
+			for i := range buf {
+				buf[i] = byte(i)
+			}
+			b.SetBytes(a.Size())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := a.WriteAt(buf, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkArrayRebuildDelayed(b *testing.B) {
+	for _, conc := range delayedConcs() {
+		b.Run(fmt.Sprintf("conc=%d", conc), func(b *testing.B) {
+			a, mems := newDelayedBenchArray(b, conc)
+			buf := make([]byte, a.Size())
+			for i := range buf {
+				buf[i] = byte(i * 17)
+			}
+			if _, err := a.WriteAt(buf, 0); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(mems[2].Size())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				if err := a.FailDisk(2); err != nil {
+					b.Fatal(err)
+				}
+				mems[2].Replace()
+				b.StartTimer()
+				if err := a.Rebuild(2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkCauchyRSScheduled measures the XOR-schedule optimization

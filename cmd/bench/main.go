@@ -46,6 +46,7 @@ func main() {
 	ops := flag.Int("ops", 0, "operations per workload (default 400, quick: 120)")
 	maxTimes := flag.Int("maxtimes", 0, "max repeat count T per op (default 4, quick: 2)")
 	seed := flag.Int64("seed", 42, "workload generator seed")
+	conc := flag.Int("conc", 1, "array concurrency: goroutine fan-out bound (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *compare {
@@ -58,7 +59,7 @@ func main() {
 
 	cfg := benchfmt.Config{
 		P: 7, ElemSize: 2048, Stripes: 64, Ops: 400, MaxLen: 20, MaxTimes: 4,
-		Seed: *seed, Quick: *quick,
+		Seed: *seed, Quick: *quick, Concurrency: *conc,
 	}
 	if *quick {
 		cfg.P, cfg.ElemSize, cfg.Stripes, cfg.Ops, cfg.MaxTimes = 5, 512, 16, 120, 2
@@ -134,7 +135,10 @@ func runCell(e codes.Entry, prof workload.Profile, cfg benchfmt.Config) (benchfm
 	for i := range devs {
 		devs[i] = blockdev.NewMem(devSize)
 	}
-	a, err := raid.New(code, devs, cfg.ElemSize, cfg.Stripes)
+	// Concurrency 0 falls through to the array's GOMAXPROCS default;
+	// WithConcurrency ignores non-positive values by design.
+	a, err := raid.New(code, devs, cfg.ElemSize, cfg.Stripes,
+		raid.WithConcurrency(cfg.Concurrency))
 	if err != nil {
 		return benchfmt.Result{}, err
 	}

@@ -104,10 +104,18 @@ type Device = blockdev.Device
 // InjectBadSector, Corrupt).
 type MemDevice = blockdev.MemDevice
 
+// ArrayOption configures an Array at construction time.
+type ArrayOption = raid.Option
+
+// WithConcurrency bounds the number of goroutines an array uses for stripe
+// pipelining and per-device fan-out. 1 makes the array fully serial; omitted
+// or ≤ 0 uses GOMAXPROCS.
+func WithConcurrency(n int) ArrayOption { return raid.WithConcurrency(n) }
+
 // NewArray assembles a RAID-6 volume from one device per column of the code,
 // with the given element size and stripe count.
-func NewArray(c *Code, devs []Device, elemSize int, stripes int64) (*Array, error) {
-	return raid.New(c, devs, elemSize, stripes)
+func NewArray(c *Code, devs []Device, elemSize int, stripes int64, opts ...ArrayOption) (*Array, error) {
+	return raid.New(c, devs, elemSize, stripes, opts...)
 }
 
 // NewJournaledArray is NewArray with a write-intent journal on a dedicated
@@ -115,8 +123,8 @@ func NewArray(c *Code, devs []Device, elemSize int, stripes int64) (*Array, erro
 // mounting replays uncommitted stripes so a crash between a data write and
 // its parity updates (the RAID write hole) cannot silently corrupt later
 // reconstructions.
-func NewJournaledArray(c *Code, devs []Device, elemSize int, stripes int64, journal Device) (*Array, error) {
-	return raid.NewJournaled(c, devs, elemSize, stripes, journal)
+func NewJournaledArray(c *Code, devs []Device, elemSize int, stripes int64, journal Device, opts ...ArrayOption) (*Array, error) {
+	return raid.NewJournaled(c, devs, elemSize, stripes, journal, opts...)
 }
 
 // NewMemDevice allocates a zeroed in-memory block device.

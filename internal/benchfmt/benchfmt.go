@@ -43,6 +43,10 @@ type Config struct {
 	MaxTimes int   `json:"max_times"`
 	Seed     int64 `json:"seed"`
 	Quick    bool  `json:"quick"`
+	// Concurrency is the array's fan-out bound (0 = the tool's default,
+	// serial). It is part of the config identity: concurrent runs interleave
+	// device ops differently, so only like-for-like runs gate load metrics.
+	Concurrency int `json:"concurrency,omitempty"`
 }
 
 // Result is one cell of the matrix: one code under one workload profile.

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"time"
 )
 
 // ErrFailed is returned by a device that has been failed (by fault injection
@@ -200,3 +201,27 @@ func (d *FileDevice) Size() int64 { return d.size }
 
 // Close implements Device.
 func (d *FileDevice) Close() error { return d.f.Close() }
+
+// Delayed wraps a Device with a fixed service time per physical call — a
+// crude disk model that makes I/O scheduling measurable on fast backends: a
+// MemDevice completes in nanoseconds, so only a per-call latency exposes what
+// the array's concurrency and coalescing actually buy (overlapped device
+// waits, fewer calls). The array's coalesced ReadAtN/WriteAtN reach the
+// wrapped device as one ReadAt/WriteAt, so a coalesced run pays the service
+// time once, like a single contiguous disk access.
+type Delayed struct {
+	Device
+	Delay time.Duration
+}
+
+// ReadAt implements Device, sleeping one service time first.
+func (d *Delayed) ReadAt(p []byte, off int64) (int, error) {
+	time.Sleep(d.Delay)
+	return d.Device.ReadAt(p, off)
+}
+
+// WriteAt implements Device, sleeping one service time first.
+func (d *Delayed) WriteAt(p []byte, off int64) (int, error) {
+	time.Sleep(d.Delay)
+	return d.Device.WriteAt(p, off)
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 func TestMemReadWriteRoundTrip(t *testing.T) {
@@ -160,5 +161,27 @@ func TestSetWriteLimit(t *testing.T) {
 	d.ReadAt(got, 0)
 	if got[1] != 3 {
 		t.Fatal("lifting the limit did not restore persistence")
+	}
+}
+
+func TestDelayedDelegates(t *testing.T) {
+	mem := NewMem(1024)
+	dev := &Delayed{Device: mem, Delay: time.Microsecond}
+	if _, err := dev.WriteAt([]byte{1, 2, 3}, 5); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 3)
+	start := time.Now()
+	if _, err := dev.ReadAt(buf, 5); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < time.Microsecond {
+		t.Fatal("service time not applied")
+	}
+	if buf[0] != 1 || buf[2] != 3 {
+		t.Fatalf("read through wrapper got %v", buf)
+	}
+	if dev.Size() != 1024 {
+		t.Fatalf("Size = %d", dev.Size())
 	}
 }

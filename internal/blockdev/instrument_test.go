@@ -54,3 +54,41 @@ func TestInstrumentedCountsAndErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestInstrumentedNOps checks the coalesced-I/O accounting contract: one
+// physical ReadAtN/WriteAtN call tallies the element operations it replaces,
+// observes latency once, and on error counts a single op plus one error —
+// matching the element-wise path, where the first failing element stops the
+// loop.
+func TestInstrumentedNOps(t *testing.T) {
+	mem := NewMem(4096)
+	dev := Instrument(mem)
+
+	buf := make([]byte, 512)
+	if _, err := dev.WriteAtN(buf, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.ReadAtN(buf, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	s := dev.Metrics().Snapshot()
+	if s.Reads != 4 || s.Writes != 4 {
+		t.Fatalf("ops-equivalent tallies: %+v", s)
+	}
+	if s.BytesRead != 512 || s.BytesWritten != 512 {
+		t.Fatalf("bytes tally actual transfer: %+v", s)
+	}
+	if s.ReadLatency.Count != 1 || s.WriteLatency.Count != 1 {
+		t.Fatalf("latency observed per physical call: read=%d write=%d",
+			s.ReadLatency.Count, s.WriteLatency.Count)
+	}
+
+	mem.Fail()
+	if _, err := dev.ReadAtN(buf, 0, 4); !errors.Is(err, ErrFailed) {
+		t.Fatalf("got %v", err)
+	}
+	s = dev.Metrics().Snapshot()
+	if s.Reads != 5 || s.ReadErrors != 1 {
+		t.Fatalf("failed call must count one op and one error: %+v", s)
+	}
+}

@@ -84,15 +84,30 @@ func (c *Code) Reconstruct(s *stripe.Stripe, failed ...int) error {
 			if missing != 1 {
 				continue
 			}
+			// Recover target = XOR of the equation's other cells: seed dst
+			// with the first one, fold the rest through the multi-source
+			// kernel (same size-2 XOR-op count as the zero-then-XOR loop).
 			dst := s.Elem(target.Row, target.Col)
-			for i := range dst {
-				dst[i] = 0
-			}
+			var arr [16][]byte
+			srcs := arr[:0]
+			seeded := false
 			for _, co := range cells {
-				if co != target {
-					stripe.XOR(dst, s.Elem(co.Row, co.Col))
+				if co == target {
+					continue
+				}
+				e := s.Elem(co.Row, co.Col)
+				if !seeded {
+					copy(dst, e)
+					seeded = true
+					continue
+				}
+				srcs = append(srcs, e)
+				if len(srcs) == cap(srcs) {
+					stripe.XORMulti(dst, srcs...)
+					srcs = srcs[:0]
 				}
 			}
+			stripe.XORMulti(dst, srcs...)
 			peelOps += int64(len(cells) - 2)
 			solved[targetUI] = true
 			remaining--

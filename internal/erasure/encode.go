@@ -32,15 +32,54 @@ func (c *Code) Encode(s *stripe.Stripe) {
 // EncodeGroup recomputes the parity of a single group. Any parity members
 // must already be up to date.
 func (c *Code) EncodeGroup(s *stripe.Stripe, gi int) {
-	g := c.groups[gi]
+	c.encodeGroupInto(s, gi)
+	ops := int64(len(c.groups[gi].Members) - 1)
+	c.xor.addEncode(ops, ops*int64(s.ElemSize()))
+}
+
+// encodeGroupInto is EncodeGroup without the XOR tally, shared with the
+// parallel encoder (which tallies once for the whole stripe). Members are
+// folded through the multi-source kernel so the parity accumulator is
+// traversed once per four members instead of once per member.
+func (c *Code) encodeGroupInto(s *stripe.Stripe, gi int) {
+	g := &c.groups[gi]
 	dst := s.Elem(g.Parity.Row, g.Parity.Col)
 	first := g.Members[0]
 	copy(dst, s.Elem(first.Row, first.Col))
+	var arr [16][]byte
+	srcs := arr[:0]
 	for _, m := range g.Members[1:] {
-		stripe.XOR(dst, s.Elem(m.Row, m.Col))
+		srcs = append(srcs, s.Elem(m.Row, m.Col))
+		if len(srcs) == cap(srcs) {
+			stripe.XORMulti(dst, srcs...)
+			srcs = srcs[:0]
+		}
 	}
-	ops := int64(len(g.Members) - 1)
-	c.xor.addEncode(ops, ops*int64(s.ElemSize()))
+	stripe.XORMulti(dst, srcs...)
+}
+
+// codeScratch is the pooled per-call scratch of UpdateData and Verify.
+type codeScratch struct {
+	buf  []byte
+	srcs [][]byte
+}
+
+func (c *Code) getScratch(elemSize int) *codeScratch {
+	if v := c.scratch.Get(); v != nil {
+		sc := v.(*codeScratch)
+		if cap(sc.buf) < elemSize {
+			sc.buf = make([]byte, elemSize)
+		}
+		sc.buf = sc.buf[:elemSize]
+		return sc
+	}
+	return &codeScratch{buf: make([]byte, elemSize)}
+}
+
+func (c *Code) putScratch(sc *codeScratch) {
+	clear(sc.srcs) // drop element references so pooled scratch pins no stripe
+	sc.srcs = sc.srcs[:0]
+	c.scratch.Put(sc)
 }
 
 // UpdateData applies a read-modify-write style small write: it stores
@@ -56,13 +95,15 @@ func (c *Code) UpdateData(s *stripe.Stripe, r, col int, newData []byte) {
 		panic(fmt.Sprintf("erasure: %s: UpdateData on parity cell (%d,%d)", c.name, r, col))
 	}
 	old := s.Elem(r, col)
-	delta := make([]byte, len(old))
+	sc := c.getScratch(len(old))
+	delta := sc.buf
 	stripe.XORInto(delta, old, newData)
 	copy(old, newData)
 	for _, gi := range c.updateOf[r][col] {
 		p := c.groups[gi].Parity
 		stripe.XOR(s.Elem(p.Row, p.Col), delta)
 	}
+	c.putScratch(sc)
 	ops := int64(1 + len(c.updateOf[r][col])) // the delta plus one patch per parity
 	c.xor.addEncode(ops, ops*int64(s.ElemSize()))
 }
@@ -70,15 +111,19 @@ func (c *Code) UpdateData(s *stripe.Stripe, r, col int, newData []byte) {
 // Verify reports whether every parity equation holds on the stripe.
 func (c *Code) Verify(s *stripe.Stripe) bool {
 	c.checkStripe(s)
-	buf := make([]byte, s.ElemSize())
+	sc := c.getScratch(s.ElemSize())
+	defer c.putScratch(sc)
+	buf := sc.buf
 	for _, g := range c.groups {
-		for i := range buf {
-			buf[i] = 0
+		first := g.Members[0]
+		copy(buf, s.Elem(first.Row, first.Col))
+		srcs := sc.srcs[:0]
+		for _, m := range g.Members[1:] {
+			srcs = append(srcs, s.Elem(m.Row, m.Col))
 		}
-		for _, m := range g.Members {
-			stripe.XOR(buf, s.Elem(m.Row, m.Col))
-		}
-		stripe.XOR(buf, s.Elem(g.Parity.Row, g.Parity.Col))
+		srcs = append(srcs, s.Elem(g.Parity.Row, g.Parity.Col))
+		sc.srcs = srcs
+		stripe.XORMulti(buf, srcs...)
 		if !stripe.IsZero(buf) {
 			return false
 		}

@@ -3,6 +3,7 @@ package erasure
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"dcode/internal/stripe"
 )
@@ -11,10 +12,17 @@ import (
 // costs more than it saves.
 const minParallelBytes = 1024
 
-// EncodeParallel computes every parity of the stripe like Encode, splitting
-// the element byte range across workers: XOR is independent per byte, so
-// worker w encodes bytes [lo_w, hi_w) of every element. workers ≤ 0 uses
-// GOMAXPROCS. Small elements fall back to the serial path.
+// EncodeParallel computes every parity of the stripe like Encode, fanned out
+// across workers. workers ≤ 0 uses GOMAXPROCS; small elements fall back to
+// the serial path.
+//
+// For codes whose dependency order proves every group independent (no group
+// reads another group's parity — see FlatParity) the unit of parallelism is
+// the whole parity group: each worker runs the multi-source kernel over
+// complete elements, which touches every cache line once. Codes with
+// parity-on-parity chains (RDP, HDP) cannot reorder groups, so they fall
+// back to splitting the element byte range — XOR is independent per byte, so
+// worker w encodes bytes [lo_w, hi_w) of every element in dependency order.
 func (c *Code) EncodeParallel(s *stripe.Stripe, workers int) {
 	c.checkStripe(s)
 	if workers <= 0 {
@@ -23,6 +31,10 @@ func (c *Code) EncodeParallel(s *stripe.Stripe, workers int) {
 	size := s.ElemSize()
 	if workers == 1 || size < minParallelBytes {
 		c.Encode(s)
+		return
+	}
+	if c.flatParity {
+		c.encodeGroupsParallel(s, workers)
 		return
 	}
 	if workers > size/128 {
@@ -64,6 +76,38 @@ func (c *Code) EncodeParallel(s *stripe.Stripe, workers int) {
 		ops += int64(len(g.Members) - 1)
 	}
 	c.xor.addEncode(ops, ops*int64(size))
+}
+
+// encodeGroupsParallel encodes whole parity groups concurrently: workers pull
+// group indices from a shared atomic cursor. Valid only for flatParity codes,
+// where every group writes its own parity cell and reads only data cells, so
+// no inter-group ordering exists. The XOR volume matches the serial path and
+// is tallied once at the end so counters stay identical across paths.
+func (c *Code) encodeGroupsParallel(s *stripe.Stripe, workers int) {
+	if workers > len(c.groups) {
+		workers = len(c.groups)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				gi := int(next.Add(1)) - 1
+				if gi >= len(c.groups) {
+					return
+				}
+				c.encodeGroupInto(s, gi)
+			}
+		}()
+	}
+	wg.Wait()
+	var ops int64
+	for _, g := range c.groups {
+		ops += int64(len(g.Members) - 1)
+	}
+	c.xor.addEncode(ops, ops*int64(s.ElemSize()))
 }
 
 // encodeRange runs the dependency-ordered encode restricted to the byte

@@ -63,6 +63,50 @@ func TestEncodeParallelClampBoundary(t *testing.T) {
 	}
 }
 
+// TestFlatParityDetection pins the classifier that picks the unit of
+// parallelism: codes whose groups read only data cells may encode whole
+// groups concurrently; parity-on-parity chains may not.
+func TestFlatParityDetection(t *testing.T) {
+	if !xorPair(t).FlatParity() {
+		t.Fatal("xorPair reads only data cells; want FlatParity")
+	}
+	dep, err := New("dep", 3, 2, 2, []Group{
+		{Parity: Coord{0, 1}, Members: []Coord{{0, 0}, {1, 0}}},
+		{Parity: Coord{1, 1}, Members: []Coord{{0, 1}, {0, 0}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.FlatParity() {
+		t.Fatal("dep reads parity (0,1); want !FlatParity")
+	}
+}
+
+// TestEncodeParallelTalliesMatchSerial requires the executed XOR volume to be
+// identical whichever encode path ran — serial, group-parallel (flat codes)
+// or byte-range (dependent codes) — so benchmark counters stay comparable.
+func TestEncodeParallelTalliesMatchSerial(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		c    *Code
+	}{
+		{"flat", xorPair(t)},
+		{"gauss-flat", gaussOnly(t)},
+	} {
+		s := tc.c.NewStripe(4096)
+		s.Fill(3)
+		tc.c.ResetXORStats()
+		tc.c.Encode(s)
+		serial := tc.c.XORStats()
+		tc.c.ResetXORStats()
+		tc.c.EncodeParallel(s, 4)
+		parallel := tc.c.XORStats()
+		if serial != parallel {
+			t.Errorf("%s: serial tallies %+v, parallel %+v", tc.name, serial, parallel)
+		}
+	}
+}
+
 func TestEncodeParallelQuick(t *testing.T) {
 	c := gaussOnly(t)
 	f := func(seed uint64, workers uint8) bool {

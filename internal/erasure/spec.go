@@ -12,6 +12,7 @@ package erasure
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Coord identifies one element of a stripe by row and column.
@@ -58,6 +59,15 @@ type Code struct {
 	dataCoords  []Coord       // row-major data cells
 	dataIndex   [][]int       // [row][col] -> logical data index, -1 for parity
 	encodeOrder []int         // group indices in dependency order
+
+	// flatParity records that no group reads another group's parity cell.
+	// Group encodes are then mutually independent, so EncodeParallel can fan
+	// out whole parity groups instead of splitting every element byte range.
+	flatParity bool
+
+	// scratch pools the per-call delta/accumulator buffers of UpdateData and
+	// Verify so steady-state small writes and scrubs don't allocate.
+	scratch sync.Pool
 
 	// xor tallies the element-XOR work this instance actually executed
 	// (see xorstats.go); the observability layer compares it against the
@@ -110,6 +120,15 @@ func New(name string, p, rows, cols int, groups []Group) (*Code, error) {
 			seen[m] = true
 		}
 		c.parityIdx[g.Parity] = gi
+	}
+
+	c.flatParity = true
+	for _, g := range groups {
+		for _, m := range g.Members {
+			if _, isParity := c.parityIdx[m]; isParity {
+				c.flatParity = false
+			}
+		}
 	}
 
 	// memberOf, dataCoords, dataIndex.
@@ -235,6 +254,11 @@ func (c *Code) Cols() int { return c.cols }
 
 // Groups returns the parity groups. The slice must not be modified.
 func (c *Code) Groups() []Group { return c.groups }
+
+// FlatParity reports whether every parity group reads data cells only —
+// no parity-on-parity chains (true for D-Code, X-Code, H-Code; false for
+// RDP and HDP). Flat codes admit group-level encode parallelism.
+func (c *Code) FlatParity() bool { return c.flatParity }
 
 // DataElems returns the number of data elements per stripe.
 func (c *Code) DataElems() int { return len(c.dataCoords) }

@@ -1,0 +1,326 @@
+package raid
+
+// This file holds the array's concurrency and buffer-reuse machinery:
+//
+//   - the Concurrency option and the bounded fanOut helper the data path
+//     uses for stripe pipelining (ReadAt/WriteAt/Rebuild/Scrub) and for
+//     per-column device fan-out;
+//   - column coalescing: a stripe's rows are contiguous per device (see
+//     deviceOffset), so a run of same-column cells is read or written as one
+//     physical device call, tallied through Instrumented.ReadAtN/WriteAtN as
+//     the element operations it replaces;
+//   - the sync.Pool-backed per-operation scratch (stripe buffer, mark
+//     bitmaps, coordinate lists, RMW buffers) that makes the steady-state
+//     data path allocation-free.
+
+import (
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"dcode/internal/blockdev"
+	"dcode/internal/erasure"
+	"dcode/internal/stripe"
+)
+
+// Option configures an Array at construction time.
+type Option func(*Array)
+
+// WithConcurrency bounds the number of goroutines the array uses at each
+// fan-out point: independent stripes of one ReadAt/WriteAt/Rebuild/Scrub,
+// and the per-column device calls within one stripe. n = 1 makes the array
+// fully serial (useful for deterministic debugging and allocation tests);
+// n ≤ 0 or omitting the option uses GOMAXPROCS.
+func WithConcurrency(n int) Option {
+	return func(a *Array) {
+		if n > 0 {
+			a.conc = n
+		}
+	}
+}
+
+// Concurrency returns the array's fan-out bound.
+func (a *Array) Concurrency() int { return a.conc }
+
+// fanOut runs fn(i) for every i in [0, n). With a bound of one — or a single
+// task — it runs inline with zero goroutine or allocation cost. Otherwise up
+// to min(bound, n) workers pull indices from an atomic cursor. The error of
+// the lowest-numbered failed task is returned, approximating serial error
+// semantics; after the first failure workers stop pulling new indices, but
+// tasks already started run to completion (they may hold device state half
+// written — callers on best-effort paths return nil from fn instead).
+func (a *Array) fanOut(n int, fn func(int) error) error {
+	workers := a.conc
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		stopped  atomic.Bool
+		mu       sync.Mutex
+		errIdx   = n
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stopped.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					stopped.Store(true)
+					mu.Lock()
+					if i < errIdx {
+						errIdx, firstErr = i, err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// cellRun is a maximal run of row-adjacent cells on one column — the unit of
+// coalesced device I/O.
+type cellRun struct {
+	col, row, n int
+}
+
+// coalesce sorts cells by (column, row) in place and splits them into
+// contiguous same-column runs, reusing sc.runs. Only strictly adjacent rows
+// join a run: spanning a gap would move bytes no caller asked for, skewing
+// the byte tallies and touching unrelated bad sectors.
+func coalesce(cells []erasure.Coord, sc *opScratch) []cellRun {
+	slices.SortFunc(cells, func(x, y erasure.Coord) int {
+		if x.Col != y.Col {
+			return x.Col - y.Col
+		}
+		return x.Row - y.Row
+	})
+	runs := sc.runs[:0]
+	for k := 0; k < len(cells); {
+		j := k + 1
+		for j < len(cells) && cells[j].Col == cells[k].Col && cells[j].Row == cells[j-1].Row+1 {
+			j++
+		}
+		runs = append(runs, cellRun{col: cells[k].Col, row: cells[k].Row, n: j - k})
+		k = j
+	}
+	sc.runs = runs
+	return runs
+}
+
+// readCells reads the listed (distinct) cells of stripe si into s, one
+// goroutine per coalesced run, each run as a single device call.
+func (a *Array) readCells(si int64, cells []erasure.Coord, s *stripe.Stripe, sc *opScratch) error {
+	runs := coalesce(cells, sc)
+	// The serial case loops directly: the fanOut closure escapes into its
+	// goroutine path, so constructing it would heap-allocate on every call.
+	if a.conc <= 1 || len(runs) <= 1 {
+		for _, r := range runs {
+			if err := a.readRun(si, r, s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return a.fanOut(len(runs), func(i int) error {
+		return a.readRun(si, runs[i], s)
+	})
+}
+
+// readRun reads one coalesced run into s. A single-cell run goes through
+// readElem directly, keeping its transparent bad-sector read-repair. A
+// longer run is staged through one pooled column buffer and one physical
+// ReadAtN; if that fails — a latent sector error anywhere in the run, or the
+// device dying — it falls back to element-at-a-time readElem, which repairs
+// bad sectors in place and marks the disk failed on real errors, exactly
+// like the uncoalesced path.
+func (a *Array) readRun(si int64, run cellRun, s *stripe.Stripe) error {
+	if run.n == 1 {
+		co := erasure.Coord{Row: run.row, Col: run.col}
+		return a.readElem(si, co, s.Elem(run.row, run.col))
+	}
+	if a.isFailed(run.col) {
+		return blockdev.ErrFailed
+	}
+	cb := a.getColBuf(run.n * a.elemSize)
+	_, err := a.iodevs[run.col].ReadAtN(cb.b, a.deviceOffset(si, run.row), int64(run.n))
+	if err == nil {
+		for k := 0; k < run.n; k++ {
+			copy(s.Elem(run.row+k, run.col), cb.b[k*a.elemSize:(k+1)*a.elemSize])
+		}
+		a.putColBuf(cb)
+		return nil
+	}
+	a.putColBuf(cb)
+	for k := 0; k < run.n; k++ {
+		co := erasure.Coord{Row: run.row + k, Col: run.col}
+		if err := a.readElem(si, co, s.Elem(co.Row, co.Col)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeCellsBestEffort writes the listed (distinct) cells of stripe si from
+// s, one goroutine per coalesced run. Like storeStripe it never fails: a
+// device erroring mid-write is marked failed and skipped — its content is
+// moot — and the caller decides via failedCount whether the array survived.
+func (a *Array) writeCellsBestEffort(si int64, cells []erasure.Coord, s *stripe.Stripe, sc *opScratch) {
+	runs := coalesce(cells, sc)
+	if a.conc <= 1 || len(runs) <= 1 { // see readCells: avoid the escaping closure
+		for _, r := range runs {
+			a.writeRunBestEffort(si, r, s)
+		}
+		return
+	}
+	_ = a.fanOut(len(runs), func(i int) error {
+		a.writeRunBestEffort(si, runs[i], s)
+		return nil
+	})
+}
+
+func (a *Array) writeRunBestEffort(si int64, run cellRun, s *stripe.Stripe) {
+	if run.n == 1 {
+		co := erasure.Coord{Row: run.row, Col: run.col}
+		_ = a.writeElem(si, co, s.Elem(run.row, run.col))
+		return
+	}
+	if a.isFailed(run.col) {
+		return
+	}
+	cb := a.getColBuf(run.n * a.elemSize)
+	for k := 0; k < run.n; k++ {
+		copy(cb.b[k*a.elemSize:(k+1)*a.elemSize], s.Elem(run.row+k, run.col))
+	}
+	_, err := a.iodevs[run.col].WriteAtN(cb.b, a.deviceOffset(si, run.row), int64(run.n))
+	a.putColBuf(cb)
+	if err != nil {
+		// Retry element-at-a-time so a partially failing device still gets
+		// the cells it can take; writeElem marks the disk failed on error.
+		for k := 0; k < run.n; k++ {
+			co := erasure.Coord{Row: run.row + k, Col: run.col}
+			_ = a.writeElem(si, co, s.Elem(co.Row, co.Col))
+		}
+	}
+}
+
+// writeColumn writes one whole column of a stripe as a single coalesced
+// device call, bypassing the failure mark — Rebuild uses it to fill the
+// replaced device, which is still marked failed. Unlike the best-effort
+// data-path writes, a rebuild must land every byte, so errors propagate.
+func (a *Array) writeColumn(si int64, col int, s *stripe.Stripe) error {
+	rows := a.code.Rows()
+	cb := a.getColBuf(rows * a.elemSize)
+	defer a.putColBuf(cb)
+	for r := 0; r < rows; r++ {
+		copy(cb.b[r*a.elemSize:(r+1)*a.elemSize], s.Elem(r, col))
+	}
+	_, err := a.iodevs[col].WriteAtN(cb.b, a.deviceOffset(si, 0), int64(rows))
+	return err
+}
+
+// colBuf is a pooled staging buffer for coalesced column I/O. The slice is
+// boxed in a struct so Get/Put round trips don't allocate a slice header.
+type colBuf struct{ b []byte }
+
+func (a *Array) getColBuf(n int) *colBuf {
+	if v := a.colPool.Get(); v != nil {
+		cb := v.(*colBuf)
+		if cap(cb.b) >= n {
+			cb.b = cb.b[:n]
+			return cb
+		}
+	}
+	return &colBuf{b: make([]byte, n)}
+}
+
+func (a *Array) putColBuf(cb *colBuf) { a.colPool.Put(cb) }
+
+// opScratch is the pooled per-stripe-task scratch: one stripe buffer used as
+// the element arena, mark bitmaps (consumers clear the ones they use before
+// use — pooled state is stale by design), coordinate and run lists, an XOR
+// gather list, and two element-sized RMW buffers. One opScratch serves one
+// stripe task at a time; the per-column goroutines under it only touch
+// disjoint cells of sc.s and the shared run list built before the fan-out.
+type opScratch struct {
+	s      *stripe.Stripe
+	seen   []bool // rows×cols cell marks
+	part   []bool // rows×cols partial-write marks
+	gseen  []bool // per-group marks
+	coords []erasure.Coord
+	fetch  []erasure.Coord
+	srcs   [][]byte
+	runs   []cellRun
+	b1, b2 []byte // element-sized RMW scratch (new value, delta)
+}
+
+func (a *Array) getScratch() *opScratch {
+	if v := a.scratch.Get(); v != nil {
+		return v.(*opScratch)
+	}
+	cells := a.code.Rows() * a.code.Cols()
+	return &opScratch{
+		s:     a.code.NewStripe(a.elemSize),
+		seen:  make([]bool, cells),
+		part:  make([]bool, cells),
+		gseen: make([]bool, len(a.code.Groups())),
+		b1:    make([]byte, a.elemSize),
+		b2:    make([]byte, a.elemSize),
+	}
+}
+
+func (a *Array) putScratch(sc *opScratch) { a.scratch.Put(sc) }
+
+// opBuf is the pooled call-level state of ReadAt/WriteAt: the element ranges
+// of the byte range and their grouping into per-stripe runs.
+type opBuf struct {
+	ranges []elemRange
+	runs   []stripeRun
+}
+
+func (a *Array) getOpBuf() *opBuf {
+	if v := a.opBufs.Get(); v != nil {
+		return v.(*opBuf)
+	}
+	return &opBuf{}
+}
+
+func (a *Array) putOpBuf(ob *opBuf) { a.opBufs.Put(ob) }
+
+// stripeRun says ranges[lo:hi] all belong to stripe si; splitBytes emits
+// ranges with non-decreasing stripe indices, so grouping is a linear scan.
+type stripeRun struct {
+	si     int64
+	lo, hi int
+}
+
+func stripeRuns(ranges []elemRange, out []stripeRun) []stripeRun {
+	for k := 0; k < len(ranges); {
+		j := k + 1
+		for j < len(ranges) && ranges[j].stripeIdx == ranges[k].stripeIdx {
+			j++
+		}
+		out = append(out, stripeRun{si: ranges[k].stripeIdx, lo: k, hi: j})
+		k = j
+	}
+	return out
+}
+
+func defaultConcurrency() int { return runtime.GOMAXPROCS(0) }

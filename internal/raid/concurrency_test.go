@@ -1,0 +1,334 @@
+package raid
+
+import (
+	"bytes"
+	"runtime"
+	"sync"
+	"testing"
+
+	"dcode/internal/blockdev"
+	"dcode/internal/codes"
+	"dcode/internal/erasure"
+)
+
+func newArrayConc(t *testing.T, id string, p int, stripes int64, opts ...Option) (*Array, []*blockdev.MemDevice) {
+	t.Helper()
+	code := codes.MustNew(id, p)
+	devs := make([]blockdev.Device, code.Cols())
+	mems := make([]*blockdev.MemDevice, code.Cols())
+	devSize := stripes * int64(code.Rows()) * elemSize
+	for i := range devs {
+		mems[i] = blockdev.NewMem(devSize)
+		devs[i] = mems[i]
+	}
+	a, err := New(code, devs, elemSize, stripes, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, mems
+}
+
+func TestConcurrencyOption(t *testing.T) {
+	a, _ := newArrayConc(t, "dcode", 5, 2)
+	if got, want := a.Concurrency(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("default Concurrency = %d, want GOMAXPROCS = %d", got, want)
+	}
+	a, _ = newArrayConc(t, "dcode", 5, 2, WithConcurrency(3))
+	if a.Concurrency() != 3 {
+		t.Fatalf("Concurrency = %d, want 3", a.Concurrency())
+	}
+	a, _ = newArrayConc(t, "dcode", 5, 2, WithConcurrency(0), WithConcurrency(-4))
+	if got, want := a.Concurrency(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("non-positive bounds should keep the default; Concurrency = %d, want %d", got, want)
+	}
+}
+
+func TestFanOutVisitsAllAndReportsError(t *testing.T) {
+	for _, conc := range []int{1, 2, 4, 9} {
+		a, _ := newArrayConc(t, "dcode", 5, 2, WithConcurrency(conc))
+		const n = 57
+		var mu sync.Mutex
+		seen := make([]int, n)
+		if err := a.fanOut(n, func(i int) error {
+			mu.Lock()
+			seen[i]++
+			mu.Unlock()
+			return nil
+		}); err != nil {
+			t.Fatalf("conc=%d: unexpected error %v", conc, err)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("conc=%d: index %d run %d times", conc, i, c)
+			}
+		}
+		wantErr := blockdev.ErrFailed
+		err := a.fanOut(n, func(i int) error {
+			if i == 13 {
+				return wantErr
+			}
+			return nil
+		})
+		if err != wantErr {
+			t.Fatalf("conc=%d: fanOut error = %v, want %v", conc, err, wantErr)
+		}
+	}
+}
+
+// TestRoundTripAcrossConcurrency checks that every fan-out bound produces the
+// same user-visible data and the same bytes on every device as the fully
+// serial array — the coalesced, pipelined path must be indistinguishable from
+// the element-wise one.
+func TestRoundTripAcrossConcurrency(t *testing.T) {
+	const stripes = 6
+	ref, refMems := newArrayConc(t, "dcode", 7, stripes, WithConcurrency(1))
+	data := pattern(int(ref.Size()), 5)
+	if _, err := ref.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, conc := range []int{2, 4, 16} {
+		a, mems := newArrayConc(t, "dcode", 7, stripes, WithConcurrency(conc))
+		if _, err := a.WriteAt(data, 0); err != nil {
+			t.Fatalf("conc=%d: %v", conc, err)
+		}
+		got := make([]byte, a.Size())
+		if _, err := a.ReadAt(got, 0); err != nil {
+			t.Fatalf("conc=%d: %v", conc, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("conc=%d: read-back mismatch", conc)
+		}
+		for i := range mems {
+			want := make([]byte, refMems[i].Size())
+			have := make([]byte, mems[i].Size())
+			if _, err := refMems[i].ReadAt(want, 0); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := mems[i].ReadAt(have, 0); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(want, have) {
+				t.Fatalf("conc=%d: device %d contents differ from serial array", conc, i)
+			}
+		}
+	}
+}
+
+// TestWritePathsProduceIdenticalDevices drives the same logical contents
+// through the two write strategies — one coalesced full-volume write versus
+// many small unaligned RMW writes — and requires byte-identical devices:
+// parity and layout must not depend on which physical path ran.
+func TestWritePathsProduceIdenticalDevices(t *testing.T) {
+	const stripes = 4
+	full, fullMems := newArrayConc(t, "dcode", 7, stripes, WithConcurrency(4))
+	rmw, rmwMems := newArrayConc(t, "dcode", 7, stripes, WithConcurrency(1))
+	data := pattern(int(full.Size()), 9)
+	if _, err := full.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	// 37 is coprime with the element size, so every chunk boundary is
+	// unaligned and the writes go through the read-modify-write path.
+	for off := 0; off < len(data); off += 37 {
+		end := min(off+37, len(data))
+		if _, err := rmw.WriteAt(data[off:end], int64(off)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range fullMems {
+		want := make([]byte, fullMems[i].Size())
+		have := make([]byte, rmwMems[i].Size())
+		if _, err := fullMems[i].ReadAt(want, 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rmwMems[i].ReadAt(have, 0); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, have) {
+			t.Fatalf("device %d: full-stripe and RMW paths left different bytes", i)
+		}
+	}
+}
+
+// TestTalliesIdenticalAcrossConcurrency runs one op sequence at fan-out 1 and
+// 4 and requires the observability tallies — per-disk element I/O counts and
+// executed XOR volume — to be exactly equal: concurrency and coalescing must
+// change scheduling, never accounting.
+func TestTalliesIdenticalAcrossConcurrency(t *testing.T) {
+	run := func(conc int) Snapshot {
+		const stripes = 5
+		a, mems := newArrayConc(t, "dcode", 7, stripes, WithConcurrency(conc))
+		data := pattern(int(a.Size()), 3)
+		if _, err := a.WriteAt(data, 0); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 3*elemSize+11)
+		for off := int64(0); off+int64(len(buf)) < a.Size(); off += 7 * elemSize {
+			if _, err := a.ReadAt(buf, off); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := a.WriteAt(buf, off+13); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := a.FailDisk(2); err != nil {
+			t.Fatal(err)
+		}
+		mems[2].Replace()
+		if err := a.Rebuild(2); err != nil {
+			t.Fatal(err)
+		}
+		return a.Snapshot()
+	}
+	s1, s4 := run(1), run(4)
+	for i := range s1.Devices {
+		if s1.Devices[i].Reads != s4.Devices[i].Reads || s1.Devices[i].Writes != s4.Devices[i].Writes {
+			t.Errorf("device %d: conc=1 R/W %d/%d, conc=4 %d/%d",
+				i, s1.Devices[i].Reads, s1.Devices[i].Writes, s4.Devices[i].Reads, s4.Devices[i].Writes)
+		}
+		if s1.Devices[i].BytesRead != s4.Devices[i].BytesRead || s1.Devices[i].BytesWritten != s4.Devices[i].BytesWritten {
+			t.Errorf("device %d: byte tallies differ across concurrency", i)
+		}
+	}
+	if s1.XOR != s4.XOR {
+		t.Errorf("XOR tallies differ: conc=1 %+v, conc=4 %+v", s1.XOR, s4.XOR)
+	}
+	if s1.Load.CV != s4.Load.CV {
+		t.Errorf("load CV differs: %v vs %v", s1.Load.CV, s4.Load.CV)
+	}
+}
+
+// TestOpsRacingFailDisk hammers the concurrent data path while disks fail and
+// a rebuild runs; run under -race this exercises the locking of the stripe
+// pipeline against failure discovery. Operations may legitimately fail once
+// more than two disks are gone, but never corrupt: the final read-back after
+// rebuild must match the last fully-written pattern.
+func TestOpsRacingFailDisk(t *testing.T) {
+	const stripes = 4
+	a, mems := newArrayConc(t, "dcode", 7, stripes, WithConcurrency(4))
+	data := pattern(int(a.Size()), 1)
+	if _, err := a.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(seed byte) {
+			defer wg.Done()
+			buf := make([]byte, 2*elemSize+5)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				off := int64((i * 613) % (int(a.Size()) - len(buf)))
+				if i%2 == 0 {
+					_, _ = a.ReadAt(buf, off)
+				} else {
+					_, _ = a.WriteAt(pattern(len(buf), seed+byte(i)), off)
+				}
+			}
+		}(byte(w))
+	}
+
+	if err := a.FailDisk(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.FailDisk(4); err != nil {
+		t.Fatal(err)
+	}
+	mems[1].Replace()
+	if err := a.Rebuild(1); err != nil {
+		t.Fatal(err)
+	}
+	mems[4].Replace()
+	if err := a.Rebuild(4); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	// Quiesce and verify self-consistency: overwrite with a known pattern and
+	// read it back through a degraded-free array.
+	final := pattern(int(a.Size()), 77)
+	if _, err := a.WriteAt(final, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, a.Size())
+	if _, err := a.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, final) {
+		t.Fatal("read-back mismatch after racing failures and rebuilds")
+	}
+	if n, err := a.Scrub(); err != nil || n != 0 {
+		t.Fatalf("scrub after race: fixed=%d err=%v, want 0 and nil", n, err)
+	}
+}
+
+// TestSteadyStateAllocs pins the allocation-free steady state of the pooled
+// serial data path: aligned reads and full-stripe writes must not allocate
+// once the pools are warm.
+func TestSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; counts are meaningless under -race")
+	}
+	const stripes = 4
+	a, _ := newArrayConc(t, "dcode", 7, stripes, WithConcurrency(1))
+	data := pattern(int(a.Size()), 2)
+	if _, err := a.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, a.Size())
+
+	// Warm every pool on both paths before measuring.
+	for i := 0; i < 3; i++ {
+		if _, err := a.WriteAt(data, 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.ReadAt(buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if avg := testing.AllocsPerRun(50, func() {
+		if _, err := a.ReadAt(buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}); avg >= 1 {
+		t.Errorf("aligned ReadAt allocates %.1f/op in steady state, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(50, func() {
+		if _, err := a.WriteAt(data, 0); err != nil {
+			t.Fatal(err)
+		}
+	}); avg >= 1 {
+		t.Errorf("full-stripe WriteAt allocates %.1f/op in steady state, want 0", avg)
+	}
+}
+
+// TestCoalesceRuns checks the run splitter: same-column row-adjacent cells
+// merge, anything else starts a new run.
+func TestCoalesceRuns(t *testing.T) {
+	sc := &opScratch{}
+	cells := []erasure.Coord{
+		{Row: 2, Col: 1}, {Row: 0, Col: 0}, {Row: 1, Col: 1},
+		{Row: 1, Col: 0}, {Row: 4, Col: 1}, {Row: 3, Col: 3},
+	}
+	runs := coalesce(cells, sc)
+	want := []cellRun{
+		{col: 0, row: 0, n: 2},
+		{col: 1, row: 1, n: 2},
+		{col: 1, row: 4, n: 1},
+		{col: 3, row: 3, n: 1},
+	}
+	if len(runs) != len(want) {
+		t.Fatalf("coalesce = %+v, want %+v", runs, want)
+	}
+	for i := range want {
+		if runs[i] != want[i] {
+			t.Fatalf("run %d = %+v, want %+v", i, runs[i], want[i])
+		}
+	}
+}

@@ -129,8 +129,8 @@ func (j *journal) log(typ byte, seq uint64, stripe int64) (uint64, error) {
 // healthy array — with disks missing, stale parity cannot be told apart from
 // stale data, so mounting dirty and degraded is refused.
 func NewJournaled(code *erasure.Code, devs []blockdev.Device, elemSize int, stripes int64,
-	journalDev blockdev.Device) (*Array, error) {
-	a, err := New(code, devs, elemSize, stripes)
+	journalDev blockdev.Device, opts ...Option) (*Array, error) {
+	a, err := New(code, devs, elemSize, stripes, opts...)
 	if err != nil {
 		return nil, err
 	}

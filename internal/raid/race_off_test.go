@@ -1,0 +1,8 @@
+//go:build !race
+
+package raid
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-count tests are skipped under it (the instrumentation and the
+// detector's sync.Pool handling both allocate).
+const raceEnabled = false

@@ -1,0 +1,5 @@
+//go:build race
+
+package raid
+
+const raceEnabled = true

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dcode/internal/blockdev"
@@ -56,6 +57,14 @@ type Array struct {
 	// jnl, when non-nil, brackets every stripe mutation with intent/commit
 	// records (see journal.go).
 	jnl *journal
+
+	// conc bounds each fan-out point of the data path (see concurrency.go);
+	// scratch, opBufs and colPool recycle the per-operation buffers so the
+	// steady-state data path does not allocate.
+	conc    int
+	scratch sync.Pool
+	opBufs  sync.Pool
+	colPool sync.Pool
 }
 
 func (a *Array) lockStripe(si int64) *sync.Mutex {
@@ -99,7 +108,8 @@ type Stats struct {
 
 // New assembles an array from one device per column of the code. Every
 // device must hold at least `stripes` stripes of rows×elemSize bytes.
-func New(code *erasure.Code, devs []blockdev.Device, elemSize int, stripes int64) (*Array, error) {
+// Options tune the array; see WithConcurrency.
+func New(code *erasure.Code, devs []blockdev.Device, elemSize int, stripes int64, opts ...Option) (*Array, error) {
 	if len(devs) != code.Cols() {
 		return nil, fmt.Errorf("raid: %d devices for a %d-column code", len(devs), code.Cols())
 	}
@@ -122,10 +132,14 @@ func New(code *erasure.Code, devs []blockdev.Device, elemSize int, stripes int64
 		stripes:  stripes,
 		iodevs:   make([]*blockdev.Instrumented, len(devs)),
 		devs:     make([]blockdev.Device, len(devs)),
+		conc:     defaultConcurrency(),
 	}
 	for i, d := range devs {
 		a.iodevs[i] = blockdev.Instrument(d)
 		a.devs[i] = a.iodevs[i]
+	}
+	for _, opt := range opts {
+		opt(a)
 	}
 	return a, nil
 }
@@ -262,58 +276,57 @@ func (a *Array) writeElem(stripeIdx int64, co erasure.Coord, src []byte) error {
 	return err
 }
 
-// loadStripe reads a full stripe from the surviving disks and reconstructs
-// any failed columns. A device that fails silently is discovered here (the
-// read errors and marks it), in which case the load restarts without it, up
-// to the code's two-failure tolerance.
-func (a *Array) loadStripe(stripeIdx int64) (*stripe.Stripe, error) {
-retry:
+// loadStripe reads a full stripe from the surviving disks into s and
+// reconstructs any failed columns — one goroutine per surviving column, each
+// column as one coalesced device read. A device that fails silently is
+// discovered here (the read errors and marks it), in which case the load
+// restarts without it, up to the code's two-failure tolerance.
+func (a *Array) loadStripe(stripeIdx int64, s *stripe.Stripe) error {
+	rows := a.code.Rows()
 	for {
 		failed := a.failedList()
 		if len(failed) > 2 {
-			return nil, ErrTooManyFailures
+			return ErrTooManyFailures
 		}
-		down := make(map[int]bool, len(failed))
-		for _, c := range failed {
-			down[c] = true
-		}
-		s := a.code.NewStripe(a.elemSize)
-		for r := 0; r < a.code.Rows(); r++ {
-			for c := 0; c < a.code.Cols(); c++ {
-				if down[c] {
-					continue
-				}
-				if err := a.readElem(stripeIdx, erasure.Coord{Row: r, Col: c}, s.Elem(r, c)); err != nil {
-					// readElem marked the disk failed; restart the load
-					// degraded (or give up via the failure-count check).
-					continue retry
+		err := a.fanOut(a.code.Cols(), func(c int) error {
+			for _, f := range failed {
+				if f == c {
+					return nil
 				}
 			}
+			return a.readRun(stripeIdx, cellRun{col: c, row: 0, n: rows}, s)
+		})
+		if err != nil {
+			// The failing read marked its disk; restart the load degraded
+			// (or give up via the failure-count check — the failed set only
+			// grows, so this terminates).
+			continue
 		}
 		if len(failed) > 0 {
 			if err := a.code.Reconstruct(s, failed...); err != nil {
-				return nil, err
+				return err
 			}
 		}
-		return s, nil
+		return nil
 	}
 }
 
-// storeStripe writes a full encoded stripe to every surviving disk. A disk
+// storeStripe writes a full encoded stripe to every surviving disk — one
+// goroutine per column, each column as one coalesced device write. A disk
 // that fails during the store is skipped — its content is moot and the
 // stripe stays reconstructable — unless that pushes the array past two
 // failures.
 func (a *Array) storeStripe(stripeIdx int64, s *stripe.Stripe) error {
-	for r := 0; r < a.code.Rows(); r++ {
-		for c := 0; c < a.code.Cols(); c++ {
-			if a.isFailed(c) {
-				continue
-			}
-			// writeElem marks the disk failed on error; keep going so the
-			// surviving disks still receive a consistent stripe.
-			_ = a.writeElem(stripeIdx, erasure.Coord{Row: r, Col: c}, s.Elem(r, c))
+	rows := a.code.Rows()
+	_ = a.fanOut(a.code.Cols(), func(c int) error {
+		if a.isFailed(c) {
+			return nil
 		}
-	}
+		// writeRunBestEffort marks a disk failed on error and keeps going so
+		// the surviving disks still receive a consistent stripe.
+		a.writeRunBestEffort(stripeIdx, cellRun{col: c, row: 0, n: rows}, s)
+		return nil
+	})
 	if a.failedCount() > 2 {
 		return ErrTooManyFailures
 	}
@@ -329,12 +342,13 @@ type elemRange struct {
 	bufOff    int // offset within the caller's buffer
 }
 
-// splitBytes maps a byte range of the volume onto element ranges.
-func (a *Array) splitBytes(off int64, n int) ([]elemRange, error) {
+// splitBytes maps a byte range of the volume onto element ranges, appending
+// to out (pooled by the caller). Ranges are emitted in volume order, so
+// their stripe indices are non-decreasing — stripeRuns relies on that.
+func (a *Array) splitBytes(off int64, n int, out []elemRange) ([]elemRange, error) {
 	if off < 0 || off+int64(n) > a.Size() {
-		return nil, fmt.Errorf("raid: range [%d,%d) outside volume of %d bytes", off, off+int64(n), a.Size())
+		return out, fmt.Errorf("raid: range [%d,%d) outside volume of %d bytes", off, off+int64(n), a.Size())
 	}
-	var out []elemRange
 	d := int64(a.code.DataElems())
 	bufOff := 0
 	for n > 0 {
@@ -359,49 +373,67 @@ func (a *Array) splitBytes(off int64, n int) ([]elemRange, error) {
 }
 
 // ReadAt reads len(p) bytes at offset off, reconstructing data on failed
-// disks transparently. With a single disk down, only the elements of the
-// chosen recovery groups are fetched (the erasure engine's degraded plan,
-// the paper's low-I/O degraded read); a double failure falls back to
+// disks transparently. Independent stripes are served concurrently (bounded
+// by the Concurrency option; the per-stripe locks keep same-stripe work
+// serialized). With a single disk down, only the elements of the chosen
+// recovery groups are fetched (the erasure engine's degraded plan, the
+// paper's low-I/O degraded read); a double failure falls back to
 // whole-stripe reconstruction.
 func (a *Array) ReadAt(p []byte, off int64) (int, error) {
 	start := time.Now()
 	defer func() { a.m.readLatency.Observe(time.Since(start)) }()
 	a.opMu.RLock()
 	defer a.opMu.RUnlock()
-	ranges, err := a.splitBytes(off, len(p))
+	ob := a.getOpBuf()
+	defer a.putOpBuf(ob)
+	ranges, err := a.splitBytes(off, len(p), ob.ranges[:0])
+	ob.ranges = ranges
 	if err != nil {
 		return 0, err
 	}
 	a.m.reads.Inc()
 
-	byStripe := make(map[int64][]elemRange)
-	var order []int64
-	for _, er := range ranges {
-		if _, ok := byStripe[er.stripeIdx]; !ok {
-			order = append(order, er.stripeIdx)
+	runs := stripeRuns(ranges, ob.runs[:0])
+	ob.runs = runs
+	// Serial fast path: constructing the fanOut closure heap-allocates (it
+	// escapes into the goroutine path), so loop directly when not fanning out.
+	if a.conc <= 1 || len(runs) <= 1 {
+		for _, r := range runs {
+			if err := a.readStripeRun(r, ranges, p); err != nil {
+				return 0, err
+			}
 		}
-		byStripe[er.stripeIdx] = append(byStripe[er.stripeIdx], er)
+		return len(p), nil
 	}
-	for _, si := range order {
-		mu := a.lockStripe(si)
-		mu.Lock()
-		err := a.readStripeRanges(si, byStripe[si], p)
-		mu.Unlock()
-		if err != nil {
-			return 0, err
-		}
+	err = a.fanOut(len(runs), func(i int) error {
+		return a.readStripeRun(runs[i], ranges, p)
+	})
+	if err != nil {
+		return 0, err
 	}
 	return len(p), nil
 }
 
+// readStripeRun serves one stripe's slice of the call's element ranges under
+// that stripe's lock, with its own pooled scratch.
+func (a *Array) readStripeRun(r stripeRun, ranges []elemRange, p []byte) error {
+	sc := a.getScratch()
+	defer a.putScratch(sc)
+	mu := a.lockStripe(r.si)
+	mu.Lock()
+	defer mu.Unlock()
+	return a.readStripeRanges(r.si, ranges[r.lo:r.hi], p, sc)
+}
+
 // readStripeRanges serves one stripe's element ranges, retrying with
-// progressively degraded strategies as failures are discovered.
-func (a *Array) readStripeRanges(si int64, ers []elemRange, p []byte) error {
+// progressively degraded strategies as failures are discovered. The fetched
+// elements land in sc.s.
+func (a *Array) readStripeRanges(si int64, ers []elemRange, p []byte, sc *opScratch) error {
 	for {
 		if a.failedCount() > 2 {
 			return ErrTooManyFailures
 		}
-		elems, err := a.fetchStripeElems(si, ers)
+		err := a.fetchStripeElems(si, ers, sc)
 		if err == errRetryDegraded {
 			continue // a disk was discovered failed; re-plan
 		}
@@ -409,7 +441,8 @@ func (a *Array) readStripeRanges(si int64, ers []elemRange, p []byte) error {
 			return err
 		}
 		for _, er := range ers {
-			copy(p[er.bufOff:er.bufOff+er.length], elems[er.coord][er.start:er.start+er.length])
+			copy(p[er.bufOff:er.bufOff+er.length],
+				sc.s.Elem(er.coord.Row, er.coord.Col)[er.start:er.start+er.length])
 		}
 		return nil
 	}
@@ -419,46 +452,35 @@ func (a *Array) readStripeRanges(si int64, ers []elemRange, p []byte) error {
 // the stripe should be re-planned.
 var errRetryDegraded = errors.New("raid: retry degraded")
 
-// fetchStripeElems obtains the full contents of every element the ranges
-// touch, choosing the cheapest strategy for the current failure state.
-func (a *Array) fetchStripeElems(si int64, ers []elemRange) (map[erasure.Coord][]byte, error) {
+// fetchStripeElems reads the full contents of every element the ranges touch
+// into sc.s, choosing the cheapest strategy for the current failure state.
+func (a *Array) fetchStripeElems(si int64, ers []elemRange, sc *opScratch) error {
 	failed := a.failedList()
-	down := make(map[int]bool, len(failed))
-	for _, c := range failed {
-		down[c] = true
-	}
-	wanted := make([]erasure.Coord, 0, len(ers))
-	seen := make(map[erasure.Coord]bool, len(ers))
+	cols := a.code.Cols()
+	clear(sc.seen)
+	wanted := sc.coords[:0]
 	needLost := false
 	for _, er := range ers {
-		if !seen[er.coord] {
-			seen[er.coord] = true
+		idx := er.coord.Row*cols + er.coord.Col
+		if !sc.seen[idx] {
+			sc.seen[idx] = true
 			wanted = append(wanted, er.coord)
 		}
-		if down[er.coord.Col] {
-			needLost = true
+		for _, f := range failed {
+			if er.coord.Col == f {
+				needLost = true
+			}
 		}
 	}
-
-	elems := make(map[erasure.Coord][]byte, len(wanted))
-	read := func(co erasure.Coord) error {
-		buf := make([]byte, a.elemSize)
-		if err := a.readElem(si, co, buf); err != nil {
-			return err
-		}
-		elems[co] = buf
-		return nil
-	}
+	sc.coords = wanted
 
 	switch {
 	case !needLost:
 		// All wanted elements live on healthy disks.
-		for _, co := range wanted {
-			if err := read(co); err != nil {
-				return nil, errRetryDegraded
-			}
+		if err := a.readCells(si, wanted, sc.s, sc); err != nil {
+			return errRetryDegraded
 		}
-		return elems, nil
+		return nil
 
 	case len(failed) == 1:
 		// Single failure: fetch only the recovery plan's cells.
@@ -467,40 +489,47 @@ func (a *Array) fetchStripeElems(si int64, ers []elemRange) (map[erasure.Coord][
 		a.m.degradedReads.Inc()
 		plan, err := a.code.PlanDegraded(failed[0], wanted, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for _, co := range plan.Fetch {
-			if err := read(co); err != nil {
-				return nil, errRetryDegraded
-			}
+		if err := a.readCells(si, plan.Fetch, sc.s, sc); err != nil {
+			return errRetryDegraded
 		}
 		for _, step := range plan.Steps {
+			// Recover target = XOR of its group's other cells; seed with the
+			// first and fold the rest through the multi-source kernel. One
+			// XOR op per non-target cell, same count as the iterated path.
 			g := a.code.Groups()[step.Group]
-			dst := make([]byte, a.elemSize)
-			for _, cell := range append(append([]erasure.Coord{}, g.Members...), g.Parity) {
+			dst := sc.s.Elem(step.Target.Row, step.Target.Col)
+			srcs := sc.srcs[:0]
+			var seed []byte
+			addCell := func(cell erasure.Coord) {
 				if cell == step.Target {
-					continue
+					return
 				}
-				stripe.XOR(dst, elems[cell])
-				a.countDecodeXOR(1)
+				e := sc.s.Elem(cell.Row, cell.Col)
+				if seed == nil {
+					seed = e
+					return
+				}
+				srcs = append(srcs, e)
 			}
-			elems[step.Target] = dst
+			for _, cell := range g.Members {
+				addCell(cell)
+			}
+			addCell(g.Parity)
+			copy(dst, seed)
+			stripe.XORMulti(dst, srcs...)
+			sc.srcs = srcs
+			a.countDecodeXOR(1 + len(srcs))
 		}
-		return elems, nil
+		return nil
 
 	default:
 		// Double failure: whole-stripe reconstruction.
 		start := time.Now()
 		defer func() { a.m.degradedReadLatency.Observe(time.Since(start)) }()
 		a.m.degradedReads.Inc()
-		s, err := a.loadStripe(si)
-		if err != nil {
-			return nil, err
-		}
-		for _, co := range wanted {
-			elems[co] = s.Elem(co.Row, co.Col)
-		}
-		return elems, nil
+		return a.loadStripe(si, sc.s)
 	}
 }
 
@@ -513,42 +542,59 @@ func (a *Array) WriteAt(p []byte, off int64) (int, error) {
 	defer func() { a.m.writeLatency.Observe(time.Since(start)) }()
 	a.opMu.RLock()
 	defer a.opMu.RUnlock()
-	ranges, err := a.splitBytes(off, len(p))
+	ob := a.getOpBuf()
+	defer a.putOpBuf(ob)
+	ranges, err := a.splitBytes(off, len(p), ob.ranges[:0])
+	ob.ranges = ranges
 	if err != nil {
 		return 0, err
 	}
 	a.m.writes.Inc()
 
-	// Group element ranges by stripe.
-	byStripe := make(map[int64][]elemRange)
-	var order []int64
-	for _, er := range ranges {
-		if _, ok := byStripe[er.stripeIdx]; !ok {
-			order = append(order, er.stripeIdx)
-		}
-		byStripe[er.stripeIdx] = append(byStripe[er.stripeIdx], er)
-	}
-
-	for _, si := range order {
-		mu := a.lockStripe(si)
-		mu.Lock()
-		var seq uint64
-		if a.jnl != nil {
-			if seq, err = a.jnl.log(recIntent, 0, si); err != nil {
-				mu.Unlock()
+	// Independent stripes proceed concurrently; the journal serializes its
+	// own ring internally, and intent/commit bracket each stripe's mutation
+	// exactly as on the serial path.
+	runs := stripeRuns(ranges, ob.runs[:0])
+	ob.runs = runs
+	// Serial fast path, as in ReadAt: skip the heap-allocating closure.
+	if a.conc <= 1 || len(runs) <= 1 {
+		for _, r := range runs {
+			if err := a.writeStripeRun(r, ranges, p); err != nil {
 				return 0, err
 			}
 		}
-		err := a.writeStripeRanges(si, byStripe[si], p)
-		if err == nil && a.jnl != nil {
-			_, err = a.jnl.log(recCommit, seq, si)
-		}
-		mu.Unlock()
-		if err != nil {
-			return 0, err
-		}
+		return len(p), nil
+	}
+	err = a.fanOut(len(runs), func(i int) error {
+		return a.writeStripeRun(runs[i], ranges, p)
+	})
+	if err != nil {
+		return 0, err
 	}
 	return len(p), nil
+}
+
+// writeStripeRun applies one stripe's slice of the call's element ranges
+// under that stripe's lock, bracketed by journal intent/commit records when a
+// journal is attached.
+func (a *Array) writeStripeRun(r stripeRun, ranges []elemRange, p []byte) error {
+	sc := a.getScratch()
+	defer a.putScratch(sc)
+	mu := a.lockStripe(r.si)
+	mu.Lock()
+	defer mu.Unlock()
+	var seq uint64
+	var jerr error
+	if a.jnl != nil {
+		if seq, jerr = a.jnl.log(recIntent, 0, r.si); jerr != nil {
+			return jerr
+		}
+	}
+	werr := a.writeStripeRanges(r.si, ranges[r.lo:r.hi], p, sc)
+	if werr == nil && a.jnl != nil {
+		_, werr = a.jnl.log(recCommit, seq, r.si)
+	}
+	return werr
 }
 
 // writeStripeRanges applies one stripe's element ranges. On a healthy array
@@ -563,22 +609,38 @@ func (a *Array) WriteAt(p []byte, off int64) (int, error) {
 // A degraded array (including failures discovered mid-write) takes the
 // load-reconstruct-encode-store path. Elements already committed by RMW stay
 // consistent, so falling back mid-stripe is safe.
-func (a *Array) writeStripeRanges(si int64, ers []elemRange, p []byte) error {
+func (a *Array) writeStripeRanges(si int64, ers []elemRange, p []byte, sc *opScratch) error {
 	if a.failedCount() == 0 {
-		elemSet := make(map[erasure.Coord]bool, len(ers))
-		coords := make([]erasure.Coord, 0, len(ers))
+		cols := a.code.Cols()
+		clear(sc.seen)
+		clear(sc.part)
+		clear(sc.gseen)
+		coords := sc.coords[:0]
 		partials := 0
 		for _, er := range ers {
-			if !elemSet[er.coord] {
-				elemSet[er.coord] = true
+			idx := er.coord.Row*cols + er.coord.Col
+			if !sc.seen[idx] {
+				sc.seen[idx] = true
 				coords = append(coords, er.coord)
 			}
 			if er.start != 0 || er.length != a.elemSize {
 				partials++
+				sc.part[idx] = true
 			}
 		}
+		sc.coords = coords
 		w := len(coords)
-		pCnt := len(a.code.GroupsTouchedBy(coords))
+		// Count the distinct parities the write touches via the gseen bitmap
+		// — same set GroupsTouchedBy computes, without its map and sort.
+		pCnt := 0
+		for _, co := range coords {
+			for _, gi := range a.code.UpdateGroups(co.Row, co.Col) {
+				if !sc.gseen[gi] {
+					sc.gseen[gi] = true
+					pCnt++
+				}
+			}
+		}
 		d := a.code.DataElems()
 		g := len(a.code.Groups())
 		rmwCost := 2*w + 2*pCnt
@@ -586,7 +648,7 @@ func (a *Array) writeStripeRanges(si int64, ers []elemRange, p []byte) error {
 
 		var err error
 		if rwCost < rmwCost {
-			err = a.reconstructWrite(si, ers, elemSet, p)
+			err = a.reconstructWrite(si, ers, p, sc)
 			if err == nil {
 				a.m.fullStripeWrites.Inc()
 				return nil
@@ -594,7 +656,7 @@ func (a *Array) writeStripeRanges(si int64, ers []elemRange, p []byte) error {
 		} else {
 			ok := true
 			for _, er := range ers {
-				if err = a.rmwElement(si, er, p); err != nil {
+				if err = a.rmwElement(si, er, p, sc); err != nil {
 					ok = false
 					break
 				}
@@ -609,16 +671,15 @@ func (a *Array) writeStripeRanges(si int64, ers []elemRange, p []byte) error {
 		}
 		// A disk failed mid-write; redo the stripe degraded.
 	}
-	s, err := a.loadStripe(si)
-	if err != nil {
+	if err := a.loadStripe(si, sc.s); err != nil {
 		return err
 	}
 	for _, er := range ers {
-		copy(s.Elem(er.coord.Row, er.coord.Col)[er.start:er.start+er.length],
+		copy(sc.s.Elem(er.coord.Row, er.coord.Col)[er.start:er.start+er.length],
 			p[er.bufOff:er.bufOff+er.length])
 	}
-	a.code.Encode(s)
-	if err := a.storeStripe(si, s); err != nil {
+	a.code.Encode(sc.s)
+	if err := a.storeStripe(si, sc.s); err != nil {
 		return err
 	}
 	a.m.fullStripeWrites.Inc()
@@ -628,44 +689,42 @@ func (a *Array) writeStripeRanges(si int64, ers []elemRange, p []byte) error {
 // reconstructWrite serves a large partial write on a healthy array: it reads
 // only the untouched data elements (plus partially overwritten ones),
 // re-encodes the stripe in memory, and writes the new data elements and
-// every parity. It never reads old parity.
-func (a *Array) reconstructWrite(si int64, ers []elemRange, written map[erasure.Coord]bool, p []byte) error {
-	s := a.code.NewStripe(a.elemSize)
-	// Read untouched data cells.
+// every parity. It never reads old parity. The written set and partial marks
+// arrive in sc.seen/sc.part from writeStripeRanges; both the reads and the
+// commit are coalesced per column.
+func (a *Array) reconstructWrite(si int64, ers []elemRange, p []byte, sc *opScratch) error {
+	cols := a.code.Cols()
+	// Read set: untouched data cells, plus partially overwritten ones (they
+	// need their old content under the new bytes).
+	fetch := sc.fetch[:0]
 	for i := 0; i < a.code.DataElems(); i++ {
 		co := a.code.DataCoord(i)
-		if written[co] {
+		idx := co.Row*cols + co.Col
+		if sc.seen[idx] && !sc.part[idx] {
 			continue
 		}
-		if err := a.readElem(si, co, s.Elem(co.Row, co.Col)); err != nil {
-			return err
-		}
+		fetch = append(fetch, co)
 	}
-	// Partially overwritten elements need their old content too.
-	partialDone := make(map[erasure.Coord]bool)
-	for _, er := range ers {
-		if (er.start != 0 || er.length != a.elemSize) && !partialDone[er.coord] {
-			partialDone[er.coord] = true
-			if err := a.readElem(si, er.coord, s.Elem(er.coord.Row, er.coord.Col)); err != nil {
-				return err
-			}
-		}
+	sc.fetch = fetch
+	if err := a.readCells(si, fetch, sc.s, sc); err != nil {
+		return err
 	}
 	for _, er := range ers {
-		copy(s.Elem(er.coord.Row, er.coord.Col)[er.start:er.start+er.length],
+		copy(sc.s.Elem(er.coord.Row, er.coord.Col)[er.start:er.start+er.length],
 			p[er.bufOff:er.bufOff+er.length])
 	}
-	a.code.Encode(s)
+	a.code.Encode(sc.s)
 	// Commit: written data elements plus every parity cell. Like storeStripe,
 	// a device failing mid-commit is skipped — aborting here would leave the
 	// surviving cells half old, half new; completing the commit keeps them
 	// mutually consistent and the failed column reconstructable.
-	for co := range written {
-		_ = a.writeElem(si, co, s.Elem(co.Row, co.Col))
-	}
+	commit := sc.fetch[:0]
+	commit = append(commit, sc.coords...)
 	for _, g := range a.code.Groups() {
-		_ = a.writeElem(si, g.Parity, s.Elem(g.Parity.Row, g.Parity.Col))
+		commit = append(commit, g.Parity)
 	}
+	sc.fetch = commit
+	a.writeCellsBestEffort(si, commit, sc.s, sc)
 	if a.failedCount() > 2 {
 		return ErrTooManyFailures
 	}
@@ -674,37 +733,37 @@ func (a *Array) reconstructWrite(si int64, ers []elemRange, written map[erasure.
 
 // rmwElement performs a read-modify-write of one (possibly partial) data
 // element in two phases. Phase one gathers the old data and every old parity
-// without mutating anything, so a read failure (which marks the disk) is
-// safe to retry on the degraded path. Phase two commits the new data and the
-// patched parities; a disk that fails during commit is skipped — its
-// contents are moot and the delta applied to the surviving parities keeps
-// the new value reconstructable.
-func (a *Array) rmwElement(stripeIdx int64, er elemRange, p []byte) error {
-	// Phase 1: gather.
-	old := make([]byte, a.elemSize)
-	if err := a.readElem(stripeIdx, er.coord, old); err != nil {
-		return err
-	}
+// (coalesced where adjacent) without mutating anything, so a read failure
+// (which marks the disk) is safe to retry on the degraded path. Phase two
+// commits the new data and the patched parities; a disk that fails during
+// commit is skipped — its contents are moot and the delta applied to the
+// surviving parities keeps the new value reconstructable.
+func (a *Array) rmwElement(stripeIdx int64, er elemRange, p []byte, sc *opScratch) error {
+	// Phase 1: gather old data + old parities into sc.s.
 	groups := a.code.UpdateGroups(er.coord.Row, er.coord.Col)
-	parities := make([][]byte, len(groups))
-	for i, gi := range groups {
-		parities[i] = make([]byte, a.elemSize)
-		pc := a.code.Groups()[gi].Parity
-		if err := a.readElem(stripeIdx, pc, parities[i]); err != nil {
-			return err
-		}
+	fetch := sc.fetch[:0]
+	fetch = append(fetch, er.coord)
+	for _, gi := range groups {
+		fetch = append(fetch, a.code.Groups()[gi].Parity)
+	}
+	sc.fetch = fetch
+	if err := a.readCells(stripeIdx, fetch, sc.s, sc); err != nil {
+		return err
 	}
 
 	// Phase 2: commit.
-	newVal := append([]byte(nil), old...)
+	old := sc.s.Elem(er.coord.Row, er.coord.Col)
+	newVal := sc.b1
+	copy(newVal, old)
 	copy(newVal[er.start:er.start+er.length], p[er.bufOff:er.bufOff+er.length])
-	delta := make([]byte, a.elemSize)
+	delta := sc.b2
 	stripe.XORInto(delta, old, newVal)
 	_ = a.writeElem(stripeIdx, er.coord, newVal)
-	for i, gi := range groups {
+	for _, gi := range groups {
 		pc := a.code.Groups()[gi].Parity
-		stripe.XOR(parities[i], delta)
-		_ = a.writeElem(stripeIdx, pc, parities[i])
+		pe := sc.s.Elem(pc.Row, pc.Col)
+		stripe.XOR(pe, delta)
+		_ = a.writeElem(stripeIdx, pc, pe)
 	}
 	if a.failedCount() > 2 {
 		return ErrTooManyFailures
@@ -735,107 +794,133 @@ func (a *Array) Rebuild(col int) error {
 			plan = &pl
 		}
 	}
-	for si := int64(0); si < a.stripes; si++ {
+	err := a.fanOut(int(a.stripes), func(i int) error {
+		si := int64(i)
+		sc := a.getScratch()
+		defer a.putScratch(sc)
 		stripeStart := time.Now()
 		rebuilt := false
 		if plan != nil && a.failedCount() == 1 {
-			if err := a.rebuildStripePlanned(si, col, plan); err == nil {
+			if err := a.rebuildStripePlanned(si, col, plan, sc); err == nil {
 				rebuilt = true
 			}
 			// On error a new failure was likely discovered; fall back.
 		}
 		if !rebuilt {
-			s, err := a.loadStripe(si)
-			if err != nil {
+			if err := a.loadStripe(si, sc.s); err != nil {
 				return err
 			}
-			for r := 0; r < a.code.Rows(); r++ {
-				off := a.deviceOffset(si, r)
-				if _, err := a.devs[col].WriteAt(s.Elem(r, col), off); err != nil {
-					return fmt.Errorf("raid: rebuilding disk %d stripe %d: %w", col, si, err)
-				}
+			if err := a.writeColumn(si, col, sc.s); err != nil {
+				return fmt.Errorf("raid: rebuilding disk %d stripe %d: %w", col, si, err)
 			}
 		}
 		a.m.stripesRebuilt.Inc()
 		a.m.rebuildLatency.Observe(time.Since(stripeStart))
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	a.clearFailed(col)
 	return nil
 }
 
 // rebuildStripePlanned rebuilds column col of one stripe reading only the
-// elements the recovery plan needs.
-func (a *Array) rebuildStripePlanned(si int64, col int, plan *recovery.Plan) error {
+// elements the recovery plan needs (coalesced per column) and writing the
+// rebuilt column in one device call.
+func (a *Array) rebuildStripePlanned(si int64, col int, plan *recovery.Plan, sc *opScratch) error {
+	cols := a.code.Cols()
+	rows := a.code.Rows()
 	// Gather the read set: every surviving cell any chosen group references,
-	// plus the members of the column's own parity groups.
-	need := make(map[erasure.Coord]bool)
+	// plus the members of the column's own parity groups. sc.seen doubles as
+	// the "cell available in sc.s" mark for the recovery passes below.
+	clear(sc.seen)
+	need := sc.fetch[:0]
 	addGroup := func(gi int) {
 		g := a.code.Groups()[gi]
-		for _, m := range g.Members {
-			if m.Col != col {
-				need[m] = true
+		add := func(co erasure.Coord) {
+			idx := co.Row*cols + co.Col
+			if co.Col != col && !sc.seen[idx] {
+				sc.seen[idx] = true
+				need = append(need, co)
 			}
 		}
-		if g.Parity.Col != col {
-			need[g.Parity] = true
+		for _, m := range g.Members {
+			add(m)
 		}
+		add(g.Parity)
 	}
-	for r := 0; r < a.code.Rows(); r++ {
+	for r := 0; r < rows; r++ {
 		if gi := plan.GroupChoice[r]; gi >= 0 {
 			addGroup(gi)
 		} else if gi := a.code.ParityGroup(r, col); gi >= 0 {
 			addGroup(gi)
 		}
 	}
-	elems := make(map[erasure.Coord][]byte, len(need))
-	for co := range need {
-		buf := make([]byte, a.elemSize)
-		if err := a.readElem(si, co, buf); err != nil {
-			return err
-		}
-		elems[co] = buf
+	sc.fetch = need
+	if err := a.readCells(si, need, sc.s, sc); err != nil {
+		return err
 	}
 	// Recover data rows through their chosen groups, then parity rows by
 	// re-encoding (their members may include just-recovered data cells).
-	column := make([][]byte, a.code.Rows())
-	for r := 0; r < a.code.Rows(); r++ {
+	// XOR-op accounting matches the serial path: one op per sourced cell.
+	for r := 0; r < rows; r++ {
 		if gi := plan.GroupChoice[r]; gi >= 0 {
 			g := a.code.Groups()[gi]
-			dst := make([]byte, a.elemSize)
 			target := erasure.Coord{Row: r, Col: col}
-			for _, cell := range append(append([]erasure.Coord{}, g.Members...), g.Parity) {
+			dst := sc.s.Elem(r, col)
+			srcs := sc.srcs[:0]
+			var seed []byte
+			addCell := func(cell erasure.Coord) {
 				if cell == target {
-					continue
+					return
 				}
-				stripe.XOR(dst, elems[cell])
-				a.countDecodeXOR(1)
+				e := sc.s.Elem(cell.Row, cell.Col)
+				if seed == nil {
+					seed = e
+					return
+				}
+				srcs = append(srcs, e)
 			}
-			column[r] = dst
-			elems[target] = dst
+			for _, cell := range g.Members {
+				addCell(cell)
+			}
+			addCell(g.Parity)
+			copy(dst, seed)
+			stripe.XORMulti(dst, srcs...)
+			sc.srcs = srcs
+			a.countDecodeXOR(1 + len(srcs))
+			sc.seen[r*cols+col] = true
 		}
 	}
-	for r := 0; r < a.code.Rows(); r++ {
+	for r := 0; r < rows; r++ {
 		if gi := a.code.ParityGroup(r, col); gi >= 0 {
 			g := a.code.Groups()[gi]
-			dst := make([]byte, a.elemSize)
+			dst := sc.s.Elem(r, col)
+			srcs := sc.srcs[:0]
+			var seed []byte
 			for _, m := range g.Members {
-				src, ok := elems[m]
-				if !ok {
+				if !sc.seen[m.Row*cols+m.Col] {
 					// A member this pass cannot source (e.g. an unrecovered
 					// parity cell on the failed column); let the caller fall
 					// back to whole-stripe reconstruction.
 					return fmt.Errorf("raid: planned rebuild cannot source %v", m)
 				}
-				stripe.XOR(dst, src)
-				a.countDecodeXOR(1)
+				e := sc.s.Elem(m.Row, m.Col)
+				if seed == nil {
+					seed = e
+					continue
+				}
+				srcs = append(srcs, e)
 			}
-			column[r] = dst
+			copy(dst, seed)
+			stripe.XORMulti(dst, srcs...)
+			sc.srcs = srcs
+			a.countDecodeXOR(1 + len(srcs))
 		}
 	}
-	for r := 0; r < a.code.Rows(); r++ {
-		if _, err := a.devs[col].WriteAt(column[r], a.deviceOffset(si, r)); err != nil {
-			return fmt.Errorf("raid: rebuilding disk %d stripe %d: %w", col, si, err)
-		}
+	if err := a.writeColumn(si, col, sc.s); err != nil {
+		return fmt.Errorf("raid: rebuilding disk %d stripe %d: %w", col, si, err)
 	}
 	return nil
 }
@@ -849,24 +934,27 @@ func (a *Array) Scrub() (int64, error) {
 	if n := a.failedCount(); n > 0 {
 		return 0, fmt.Errorf("raid: scrub requires a healthy array (%d disks failed)", n)
 	}
-	var fixed int64
-	for si := int64(0); si < a.stripes; si++ {
+	var fixed atomic.Int64
+	err := a.fanOut(int(a.stripes), func(i int) error {
+		si := int64(i)
+		sc := a.getScratch()
+		defer a.putScratch(sc)
 		stripeStart := time.Now()
-		s, err := a.loadStripe(si)
-		if err != nil {
-			return fixed, err
+		if err := a.loadStripe(si, sc.s); err != nil {
+			return err
 		}
-		if a.code.Verify(s) {
+		if a.code.Verify(sc.s) {
 			a.m.scrubLatency.Observe(time.Since(stripeStart))
-			continue
+			return nil
 		}
-		a.code.Encode(s)
-		if err := a.storeStripe(si, s); err != nil {
-			return fixed, err
+		a.code.Encode(sc.s)
+		if err := a.storeStripe(si, sc.s); err != nil {
+			return err
 		}
-		fixed++
+		fixed.Add(1)
 		a.m.scrubErrorsFixed.Inc()
 		a.m.scrubLatency.Observe(time.Since(stripeStart))
-	}
-	return fixed, nil
+		return nil
+	})
+	return fixed.Load(), err
 }

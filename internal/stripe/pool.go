@@ -1,0 +1,34 @@
+package stripe
+
+import "sync"
+
+// Pool recycles stripes of one fixed geometry so hot paths (the RAID
+// engine's per-stripe work, journal replay) don't allocate a rows×cols×elem
+// buffer per operation. Stripes come back from Get with arbitrary contents —
+// every consumer in this repository fully defines the cells it reads before
+// reading them, so Get does not pay for a memclr; call Zero explicitly when
+// stale bytes matter.
+type Pool struct {
+	rows, cols, elemSize int
+	p                    sync.Pool
+}
+
+// NewPool returns a pool of rows×cols stripes of elemSize-byte elements.
+func NewPool(rows, cols, elemSize int) *Pool {
+	pl := &Pool{rows: rows, cols: cols, elemSize: elemSize}
+	pl.p.New = func() any { return New(rows, cols, elemSize) }
+	return pl
+}
+
+// Get returns a stripe with the pool's geometry and arbitrary contents.
+func (pl *Pool) Get() *Stripe { return pl.p.Get().(*Stripe) }
+
+// Put returns a stripe to the pool. It panics if the stripe's geometry does
+// not match the pool's: mixing geometries would hand later Get callers a
+// stripe their code construction cannot address.
+func (pl *Pool) Put(s *Stripe) {
+	if s.rows != pl.rows || s.cols != pl.cols || s.elemSize != pl.elemSize {
+		panic("stripe: Pool.Put geometry mismatch")
+	}
+	pl.p.Put(s)
+}

@@ -6,7 +6,10 @@
 // disk within one stripe of a RAID-6 array.
 package stripe
 
-import "fmt"
+import (
+	"bytes"
+	"fmt"
+)
 
 // Stripe is a rows×cols matrix of equally sized byte elements.
 // The zero value is not usable; construct with New.
@@ -66,37 +69,24 @@ func (s *Stripe) Equal(o *Stripe) bool {
 	if s.rows != o.rows || s.cols != o.cols || s.elemSize != o.elemSize {
 		return false
 	}
-	for i := range s.buf {
-		if s.buf[i] != o.buf[i] {
-			return false
-		}
-	}
-	return true
+	return bytes.Equal(s.buf, o.buf)
 }
 
 // Zero clears every element.
 func (s *Stripe) Zero() {
-	for i := range s.buf {
-		s.buf[i] = 0
-	}
+	clear(s.buf)
 }
 
 // ZeroColumn clears every element of column c, simulating a failed disk.
 func (s *Stripe) ZeroColumn(c int) {
 	for r := 0; r < s.rows; r++ {
-		e := s.Elem(r, c)
-		for i := range e {
-			e[i] = 0
-		}
+		clear(s.Elem(r, c))
 	}
 }
 
 // ZeroElem clears the element at (r, c).
 func (s *Stripe) ZeroElem(r, c int) {
-	e := s.Elem(r, c)
-	for i := range e {
-		e[i] = 0
-	}
+	clear(s.Elem(r, c))
 }
 
 // Fill populates the whole stripe with a cheap deterministic byte stream
