@@ -112,6 +112,12 @@ type ArrayOption = raid.Option
 // or ≤ 0 uses GOMAXPROCS.
 func WithConcurrency(n int) ArrayOption { return raid.WithConcurrency(n) }
 
+// WithCache attaches a sharded LRU element cache with the given byte budget:
+// read hits skip device I/O, read-modify-write pre-reads of cached old data
+// and parity are absorbed, and degraded reads memoize reconstructed elements.
+// Omitted or ≤ 0 leaves the cache off (the default).
+func WithCache(bytes int64) ArrayOption { return raid.WithCache(bytes) }
+
 // NewArray assembles a RAID-6 volume from one device per column of the code,
 // with the given element size and stripe count.
 func NewArray(c *Code, devs []Device, elemSize int, stripes int64, opts ...ArrayOption) (*Array, error) {

@@ -1,0 +1,278 @@
+// Package cache is a sharded, lock-striped LRU cache for fixed-size array
+// elements. internal/raid puts one in front of its devices so read hits and
+// the old-data/old-parity pre-reads of read-modify-write updates are served
+// from memory instead of device I/O — the per-operation read cost the D-Code
+// paper's evaluation counts.
+//
+// Keys name one element of one column ((device, element index) pairs); all
+// values are exactly elemSize bytes and are copied on both Put and Get, so
+// callers never share buffers with the cache. The key space is split across
+// a fixed power-of-two number of shards, each with its own mutex, hash map,
+// intrusive LRU list and byte budget, so the cache composes with the raid
+// layer's bounded goroutine fan-out without becoming a global lock. The
+// shard count is fixed (not derived from GOMAXPROCS) so eviction order —
+// and therefore every cache counter — is deterministic for a serial,
+// seeded workload, which lets the benchmark harness compare hit rates
+// exactly across runs.
+package cache
+
+import (
+	"sync"
+
+	"dcode/internal/obs"
+)
+
+// shardCount must be a power of two. 16 shards keep contention negligible at
+// the raid layer's default fan-out while staying fully deterministic.
+const shardCount = 16
+
+// entryOverhead approximates the per-entry bookkeeping cost (map cell, entry
+// struct, slice header) charged against the byte budget alongside the
+// payload, so tiny elements cannot blow the budget through overhead alone.
+const entryOverhead = 96
+
+// Key names one cached element: the array column (device) it lives on and
+// its element index on that device (stripe*rows + row for the raid layout).
+type Key struct {
+	Col  int
+	Elem int64
+}
+
+// hash mixes the key into a well-distributed 64-bit value (splitmix64 on the
+// element index, column folded in) used for shard selection.
+func (k Key) hash() uint64 {
+	x := uint64(k.Elem)*0x9E3779B97F4A7C15 + uint64(uint32(k.Col))*0xBF58476D1CE4E5B9
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	return x ^ x>>31
+}
+
+// entry is one cached element on a shard's intrusive LRU list.
+type entry struct {
+	key        Key
+	prev, next *entry
+	buf        []byte
+}
+
+// shard is one lock stripe: a hash map plus an LRU list under one mutex.
+// list.next walks from most to least recently used.
+type shard struct {
+	mu      sync.Mutex
+	entries map[Key]*entry
+	head    *entry // most recently used
+	tail    *entry // least recently used
+	bytes   int64
+	budget  int64
+}
+
+// Cache is the sharded LRU element cache. All methods are safe for
+// concurrent use.
+type Cache struct {
+	elemSize int
+	shards   [shardCount]shard
+	pool     sync.Pool // *entry with elemSize-cap buffers
+	m        obs.CacheMetrics
+}
+
+// New builds a cache for elemSize-byte elements with a total byte budget.
+// The budget is split evenly across the shards; each shard is guaranteed
+// room for at least one entry, so the effective minimum budget is
+// shardCount × (elemSize + overhead).
+func New(budget int64, elemSize int) *Cache {
+	if elemSize <= 0 {
+		panic("cache: element size must be positive")
+	}
+	c := &Cache{elemSize: elemSize}
+	per := budget / shardCount
+	if min := int64(elemSize + entryOverhead); per < min {
+		per = min
+	}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[Key]*entry)
+		c.shards[i].budget = per
+	}
+	c.pool.New = func() any { return &entry{buf: make([]byte, elemSize)} }
+	return c
+}
+
+// ElemSize returns the element size the cache was built for.
+func (c *Cache) ElemSize() int { return c.elemSize }
+
+// Metrics returns the cache's metric set; callers snapshot or reset it.
+func (c *Cache) Metrics() *obs.CacheMetrics { return &c.m }
+
+// Bytes returns the current cached payload+overhead bytes across all shards.
+func (c *Cache) Bytes() int64 {
+	var total int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		total += s.bytes
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// Budget returns the total byte budget across all shards.
+func (c *Cache) Budget() int64 {
+	var total int64
+	for i := range c.shards {
+		total += c.shards[i].budget
+	}
+	return total
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Snapshot captures the cache's counters and occupancy.
+func (c *Cache) Snapshot() obs.CacheSnapshot {
+	return c.m.Snapshot(c.Bytes(), c.Budget())
+}
+
+func (c *Cache) shardFor(k Key) *shard {
+	return &c.shards[k.hash()&(shardCount-1)]
+}
+
+// Get copies the cached element for k into dst and promotes it to most
+// recently used. It reports whether the element was present; dst must be at
+// least elemSize bytes.
+func (c *Cache) Get(k Key, dst []byte) bool {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	e, ok := s.entries[k]
+	if !ok {
+		s.mu.Unlock()
+		c.m.Misses.Inc()
+		return false
+	}
+	copy(dst[:c.elemSize], e.buf)
+	s.promote(e)
+	s.mu.Unlock()
+	c.m.Hits.Inc()
+	c.m.BytesSaved.Add(int64(c.elemSize))
+	return true
+}
+
+// Put copies src (elemSize bytes) into the cache under k, overwriting any
+// existing entry and evicting least-recently-used entries until the shard
+// fits its budget.
+func (c *Cache) Put(k Key, src []byte) {
+	s := c.shardFor(k)
+	cost := int64(c.elemSize + entryOverhead)
+	s.mu.Lock()
+	if e, ok := s.entries[k]; ok {
+		copy(e.buf, src[:c.elemSize])
+		s.promote(e)
+		s.mu.Unlock()
+		return
+	}
+	var evicted int64
+	for s.bytes+cost > s.budget && s.tail != nil {
+		ev := s.tail
+		s.unlink(ev)
+		delete(s.entries, ev.key)
+		s.bytes -= cost
+		evicted++
+		c.pool.Put(ev)
+	}
+	e := c.pool.Get().(*entry)
+	e.key = k
+	copy(e.buf[:c.elemSize], src[:c.elemSize])
+	s.entries[k] = e
+	s.pushFront(e)
+	s.bytes += cost
+	s.mu.Unlock()
+	c.m.Inserts.Inc()
+	if evicted > 0 {
+		c.m.Evictions.Add(evicted)
+	}
+}
+
+// Invalidate drops the entry for k, if present.
+func (c *Cache) Invalidate(k Key) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	e, ok := s.entries[k]
+	if ok {
+		s.unlink(e)
+		delete(s.entries, k)
+		s.bytes -= int64(c.elemSize + entryOverhead)
+		c.pool.Put(e)
+	}
+	s.mu.Unlock()
+	if ok {
+		c.m.Invalidations.Inc()
+	}
+}
+
+// InvalidateColumn drops every entry whose key names the given column —
+// the raid layer calls it when a disk fails or is rebuilt.
+func (c *Cache) InvalidateColumn(col int) {
+	cost := int64(c.elemSize + entryOverhead)
+	var dropped int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for k, e := range s.entries {
+			if k.Col != col {
+				continue
+			}
+			s.unlink(e)
+			delete(s.entries, k)
+			s.bytes -= cost
+			dropped++
+			c.pool.Put(e)
+		}
+		s.mu.Unlock()
+	}
+	if dropped > 0 {
+		c.m.Invalidations.Add(dropped)
+	}
+}
+
+// promote moves e to the front of the shard's LRU list.
+func (s *shard) promote(e *entry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+func (s *shard) pushFront(e *entry) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *shard) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}

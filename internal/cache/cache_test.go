@@ -1,0 +1,264 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func elem(size int, seed byte) []byte {
+	b := make([]byte, size)
+	for i := range b {
+		b[i] = seed + byte(i*7)
+	}
+	return b
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	const size = 64
+	c := New(1<<20, size)
+	dst := make([]byte, size)
+	for col := 0; col < 5; col++ {
+		for e := int64(0); e < 20; e++ {
+			c.Put(Key{Col: col, Elem: e}, elem(size, byte(col*31+int(e))))
+		}
+	}
+	for col := 0; col < 5; col++ {
+		for e := int64(0); e < 20; e++ {
+			k := Key{Col: col, Elem: e}
+			if !c.Get(k, dst) {
+				t.Fatalf("missing %v", k)
+			}
+			if want := elem(size, byte(col*31+int(e))); !bytes.Equal(dst, want) {
+				t.Fatalf("%v: got %x want %x", k, dst[:4], want[:4])
+			}
+		}
+	}
+	if got := c.Len(); got != 100 {
+		t.Fatalf("Len = %d, want 100", got)
+	}
+	s := c.Snapshot()
+	if s.Hits != 100 || s.Misses != 0 || s.Inserts != 100 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.BytesSaved != 100*size {
+		t.Fatalf("BytesSaved = %d, want %d", s.BytesSaved, 100*size)
+	}
+	if s.HitRate != 1 {
+		t.Fatalf("HitRate = %v, want 1", s.HitRate)
+	}
+}
+
+func TestGetMissAndOverwrite(t *testing.T) {
+	const size = 32
+	c := New(1<<16, size)
+	dst := make([]byte, size)
+	k := Key{Col: 1, Elem: 7}
+	if c.Get(k, dst) {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(k, elem(size, 1))
+	c.Put(k, elem(size, 2)) // overwrite in place
+	if !c.Get(k, dst) {
+		t.Fatal("miss after put")
+	}
+	if !bytes.Equal(dst, elem(size, 2)) {
+		t.Fatal("overwrite did not take")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after overwrite, want 1", c.Len())
+	}
+	s := c.Snapshot()
+	if s.Misses != 1 || s.Hits != 1 || s.Inserts != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+func TestGetCopiesOut(t *testing.T) {
+	const size = 16
+	c := New(1<<16, size)
+	k := Key{Col: 0, Elem: 0}
+	src := elem(size, 9)
+	c.Put(k, src)
+	src[0] ^= 0xFF // caller's buffer must not alias the cache
+	dst := make([]byte, size)
+	c.Get(k, dst)
+	if dst[0] == src[0] {
+		t.Fatal("cache aliases the caller's Put buffer")
+	}
+	dst[1] ^= 0xFF
+	dst2 := make([]byte, size)
+	c.Get(k, dst2)
+	if dst2[1] == dst[1] {
+		t.Fatal("cache aliases the caller's Get buffer")
+	}
+}
+
+func TestBudgetAndLRUEviction(t *testing.T) {
+	const size = 128
+	// Budget for exactly 2 entries per shard.
+	c := New(shardCount*2*(size+entryOverhead), size)
+	if c.Budget() != shardCount*2*(size+entryOverhead) {
+		t.Fatalf("Budget = %d", c.Budget())
+	}
+	// Keys on one column hash to assorted shards; insert far more than fits.
+	const n = 40 * shardCount
+	for e := int64(0); e < n; e++ {
+		c.Put(Key{Col: 0, Elem: e}, elem(size, byte(e)))
+	}
+	if got, want := c.Len(), 2*shardCount; got > want {
+		t.Fatalf("Len = %d, want ≤ %d (budget)", got, want)
+	}
+	s := c.Snapshot()
+	if s.Evictions == 0 {
+		t.Fatal("no evictions despite exceeding the budget")
+	}
+	if s.Bytes > c.Budget() {
+		t.Fatalf("bytes %d exceed budget %d", s.Bytes, c.Budget())
+	}
+	// Whatever survived must be among the most recently inserted per shard
+	// (LRU discards the oldest); verify no entry is older than the newest
+	// evicted one on its shard by checking survivors read back correctly.
+	dst := make([]byte, size)
+	hits := 0
+	for e := int64(0); e < n; e++ {
+		k := Key{Col: 0, Elem: e}
+		if c.Get(k, dst) {
+			hits++
+			if !bytes.Equal(dst, elem(size, byte(e))) {
+				t.Fatalf("survivor %v corrupted", k)
+			}
+		}
+	}
+	if hits != c.Len() {
+		t.Fatalf("hits %d != Len %d", hits, c.Len())
+	}
+}
+
+func TestLRUPromotionOnGet(t *testing.T) {
+	const size = 8
+	// Single-entry-less budget: one shard holds 2 entries max.
+	c := New(shardCount*2*(size+entryOverhead), size)
+	// Find three keys on the same shard.
+	var keys []Key
+	target := Key{Col: 0, Elem: 0}.hash() & (shardCount - 1)
+	for e := int64(0); len(keys) < 3; e++ {
+		k := Key{Col: 0, Elem: e}
+		if k.hash()&(shardCount-1) == target {
+			keys = append(keys, k)
+		}
+	}
+	dst := make([]byte, size)
+	c.Put(keys[0], elem(size, 0))
+	c.Put(keys[1], elem(size, 1))
+	if !c.Get(keys[0], dst) { // promote keys[0] over keys[1]
+		t.Fatal("warmup miss")
+	}
+	c.Put(keys[2], elem(size, 2)) // evicts LRU = keys[1]
+	if !c.Get(keys[0], dst) {
+		t.Fatal("promoted entry was evicted")
+	}
+	if c.Get(keys[1], dst) {
+		t.Fatal("least-recently-used entry survived eviction")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	const size = 16
+	c := New(1<<16, size)
+	k := Key{Col: 2, Elem: 3}
+	c.Put(k, elem(size, 1))
+	c.Invalidate(k)
+	c.Invalidate(k) // absent: no-op, no double count
+	dst := make([]byte, size)
+	if c.Get(k, dst) {
+		t.Fatal("hit after invalidate")
+	}
+	if s := c.Snapshot(); s.Invalidations != 1 {
+		t.Fatalf("Invalidations = %d, want 1", s.Invalidations)
+	}
+	if c.Bytes() != 0 {
+		t.Fatalf("Bytes = %d after invalidate, want 0", c.Bytes())
+	}
+}
+
+func TestInvalidateColumn(t *testing.T) {
+	const size = 16
+	c := New(1<<20, size)
+	for col := 0; col < 4; col++ {
+		for e := int64(0); e < 50; e++ {
+			c.Put(Key{Col: col, Elem: e}, elem(size, byte(col)))
+		}
+	}
+	c.InvalidateColumn(2)
+	dst := make([]byte, size)
+	for col := 0; col < 4; col++ {
+		for e := int64(0); e < 50; e++ {
+			hit := c.Get(Key{Col: col, Elem: e}, dst)
+			if (col == 2) == hit {
+				t.Fatalf("col %d elem %d: hit=%v", col, e, hit)
+			}
+		}
+	}
+	if s := c.Snapshot(); s.Invalidations != 50 {
+		t.Fatalf("Invalidations = %d, want 50", s.Invalidations)
+	}
+}
+
+// TestDeterministicCounters pins that an identical serial operation sequence
+// produces identical counters — the property the benchmark harness relies on
+// to compare hit rates exactly across runs.
+func TestDeterministicCounters(t *testing.T) {
+	const size = 64
+	run := func() string {
+		c := New(shardCount*4*(size+entryOverhead), size)
+		dst := make([]byte, size)
+		for i := 0; i < 500; i++ {
+			k := Key{Col: i % 7, Elem: int64(i*i) % 97}
+			if !c.Get(k, dst) {
+				c.Put(k, elem(size, byte(i)))
+			}
+		}
+		s := c.Snapshot()
+		return fmt.Sprintf("%d/%d/%d/%d", s.Hits, s.Misses, s.Inserts, s.Evictions)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("non-deterministic counters: %s vs %s", a, b)
+	}
+}
+
+// TestConcurrentAccess hammers all operations from many goroutines; run with
+// -race this is the cache's data-race check.
+func TestConcurrentAccess(t *testing.T) {
+	const size = 32
+	c := New(shardCount*8*(size+entryOverhead), size)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			dst := make([]byte, size)
+			for i := 0; i < 2000; i++ {
+				k := Key{Col: (g + i) % 5, Elem: int64(i % 53)}
+				switch i % 4 {
+				case 0, 1:
+					c.Get(k, dst)
+				case 2:
+					c.Put(k, dst)
+				case 3:
+					if i%64 == 3 {
+						c.InvalidateColumn(k.Col)
+					} else {
+						c.Invalidate(k)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Bytes() > c.Budget() {
+		t.Fatalf("bytes %d exceed budget %d", c.Bytes(), c.Budget())
+	}
+}

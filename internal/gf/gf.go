@@ -10,6 +10,15 @@ const Poly = 0x11D
 var (
 	expTable [512]byte // doubled so Mul can skip a mod on the exponent sum
 	logTable [256]byte
+
+	// mulLow/mulHigh are 4-bit nibble product tables: mulLow[c][n] = c·n for
+	// a low nibble n, mulHigh[c][n] = c·(n<<4). Since GF multiplication
+	// distributes over XOR, c·v = mulLow[c][v&0xF] ^ mulHigh[c][v>>4], which
+	// turns the slice kernels below into two table lookups and one XOR per
+	// byte with no zero-test branches — the klauspost-style layout, 8 KiB
+	// total, built once at init.
+	mulLow  [256][16]byte
+	mulHigh [256][16]byte
 )
 
 func init() {
@@ -24,6 +33,12 @@ func init() {
 	}
 	for i := 255; i < 512; i++ {
 		expTable[i] = expTable[i-255]
+	}
+	for c := 0; c < 256; c++ {
+		for n := 0; n < 16; n++ {
+			mulLow[c][n] = Mul(byte(c), byte(n))
+			mulHigh[c][n] = Mul(byte(c), byte(n<<4))
+		}
 	}
 }
 
@@ -67,12 +82,50 @@ func Exp(n int) byte {
 	return expTable[n]
 }
 
-// MulSlice computes dst[i] = c · src[i] for every i. dst and src must have
-// equal length; dst may alias src.
+// MulSlice computes dst[i] = c · src[i] for every i in one branch-free pass
+// over the slice via the nibble product tables. dst and src must have equal
+// length; dst may alias src.
 func MulSlice(c byte, dst, src []byte) {
 	if len(dst) != len(src) {
 		panic("gf: MulSlice length mismatch")
 	}
+	switch c {
+	case 0:
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	case 1:
+		copy(dst, src)
+		return
+	}
+	lo, hi := &mulLow[c], &mulHigh[c]
+	dst = dst[:len(src)] // bounds-check elimination for dst[i]
+	for i, v := range src {
+		dst[i] = lo[v&0x0F] ^ hi[v>>4]
+	}
+}
+
+// MulSliceAdd computes dst[i] ^= c · src[i] for every i — the inner loop of
+// Reed-Solomon encoding — in one branch-free pass via the nibble tables.
+func MulSliceAdd(c byte, dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("gf: MulSliceAdd length mismatch")
+	}
+	if c == 0 {
+		return
+	}
+	lo, hi := &mulLow[c], &mulHigh[c]
+	dst = dst[:len(src)] // bounds-check elimination for dst[i]
+	for i, v := range src {
+		dst[i] ^= lo[v&0x0F] ^ hi[v>>4]
+	}
+}
+
+// mulSliceLogExp and mulSliceAddLogExp are the original per-byte log/exp
+// implementations, kept as the oracle the tests compare the nibble-table
+// kernels against.
+func mulSliceLogExp(c byte, dst, src []byte) {
 	if c == 0 {
 		for i := range dst {
 			dst[i] = 0
@@ -89,12 +142,7 @@ func MulSlice(c byte, dst, src []byte) {
 	}
 }
 
-// MulSliceAdd computes dst[i] ^= c · src[i] for every i — the inner loop of
-// Reed-Solomon encoding.
-func MulSliceAdd(c byte, dst, src []byte) {
-	if len(dst) != len(src) {
-		panic("gf: MulSliceAdd length mismatch")
-	}
+func mulSliceAddLogExp(c byte, dst, src []byte) {
 	if c == 0 {
 		return
 	}

@@ -1,0 +1,83 @@
+package obs
+
+// CacheMetrics instruments an element cache: hit/miss/insert/eviction/
+// invalidation counts and the device bytes hits saved. All fields are
+// lock-free counters, so the cache's hot path stays a couple of atomic adds.
+//
+// The zero value is ready to use. CacheMetrics must not be copied after
+// first use.
+type CacheMetrics struct {
+	Hits          Counter
+	Misses        Counter
+	Inserts       Counter
+	Evictions     Counter
+	Invalidations Counter
+	// BytesSaved is the payload volume served from memory instead of a
+	// device — elemSize per hit for an element cache.
+	BytesSaved Counter
+}
+
+// Reset zeroes every metric (quiescent writers only).
+func (m *CacheMetrics) Reset() {
+	m.Hits.Reset()
+	m.Misses.Reset()
+	m.Inserts.Reset()
+	m.Evictions.Reset()
+	m.Invalidations.Reset()
+	m.BytesSaved.Reset()
+}
+
+// Snapshot captures the cache metrics. Bytes and Budget describe the cache's
+// current occupancy and are supplied by the cache itself.
+func (m *CacheMetrics) Snapshot(bytes, budget int64) CacheSnapshot {
+	s := CacheSnapshot{
+		Hits:          m.Hits.Load(),
+		Misses:        m.Misses.Load(),
+		Inserts:       m.Inserts.Load(),
+		Evictions:     m.Evictions.Load(),
+		Invalidations: m.Invalidations.Load(),
+		BytesSaved:    m.BytesSaved.Load(),
+		Bytes:         bytes,
+		Budget:        budget,
+	}
+	s.recomputeHitRate()
+	return s
+}
+
+// CacheSnapshot is the JSON-friendly view of a CacheMetrics plus occupancy.
+type CacheSnapshot struct {
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Inserts       int64 `json:"inserts"`
+	Evictions     int64 `json:"evictions"`
+	Invalidations int64 `json:"invalidations"`
+	BytesSaved    int64 `json:"bytes_saved"`
+	Bytes         int64 `json:"bytes"`
+	Budget        int64 `json:"budget"`
+	// HitRate is Hits/(Hits+Misses), 0 when the cache was never consulted.
+	HitRate float64 `json:"hit_rate"`
+}
+
+func (s *CacheSnapshot) recomputeHitRate() {
+	if total := s.Hits + s.Misses; total > 0 {
+		s.HitRate = float64(s.Hits) / float64(total)
+	} else {
+		s.HitRate = 0
+	}
+}
+
+// Merge accumulates another snapshot into s. Occupancy fields take the
+// latest non-zero contribution (they are gauges, not counters).
+func (s *CacheSnapshot) Merge(o CacheSnapshot) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Inserts += o.Inserts
+	s.Evictions += o.Evictions
+	s.Invalidations += o.Invalidations
+	s.BytesSaved += o.BytesSaved
+	if o.Budget != 0 {
+		s.Bytes = o.Bytes
+		s.Budget = o.Budget
+	}
+	s.recomputeHitRate()
+}

@@ -1,0 +1,576 @@
+package raid
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"dcode/internal/blockdev"
+	"dcode/internal/codes"
+	"dcode/internal/workload"
+)
+
+// sumElemReads totals the array's per-device element-equivalent read tallies.
+func sumElemReads(a *Array) (n int64) {
+	for _, d := range a.Snapshot().Devices {
+		n += d.Reads
+	}
+	return n
+}
+
+func TestWithCacheOption(t *testing.T) {
+	a, _ := newArrayConc(t, "dcode", 5, 2)
+	if a.CacheEnabled() {
+		t.Fatal("cache enabled without WithCache")
+	}
+	if a.Snapshot().Cache != nil {
+		t.Fatal("snapshot carries a cache section without WithCache")
+	}
+	a, _ = newArrayConc(t, "dcode", 5, 2, WithCache(0), WithCache(-1))
+	if a.CacheEnabled() {
+		t.Fatal("non-positive budget enabled the cache")
+	}
+	a, _ = newArrayConc(t, "dcode", 5, 2, WithCache(1<<20))
+	if !a.CacheEnabled() {
+		t.Fatal("WithCache did not enable the cache")
+	}
+	if a.Snapshot().Cache == nil {
+		t.Fatal("snapshot misses the cache section with WithCache")
+	}
+}
+
+// The central property: with the cache on, every read returns bytes identical
+// to an uncached array driven through the same operation stream, across the
+// paper's three workload profiles. This is the "cached bytes never diverge
+// from logical content" invariant checked end to end.
+func TestCacheCoherenceAcrossProfiles(t *testing.T) {
+	for _, prof := range workload.Profiles {
+		t.Run(prof.Name, func(t *testing.T) {
+			const stripes = 6
+			plain, _ := newArrayConc(t, "dcode", 5, stripes)
+			cached, _ := newArrayConc(t, "dcode", 5, stripes,
+				WithCache(64<<10)) // small budget: evictions exercised too
+			fill := pattern(int(plain.Size()), 77)
+			if _, err := plain.WriteAt(fill, 0); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := cached.WriteAt(fill, 0); err != nil {
+				t.Fatal(err)
+			}
+
+			ops, err := workload.Generate(workload.Config{
+				Ops: 300, MaxLen: 20, MaxTimes: 2,
+				DataElems: int(stripes) * plain.Code().DataElems(),
+				Seed:      99,
+			}, prof)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bufA := make([]byte, 21*elemSize)
+			bufB := make([]byte, 21*elemSize)
+			for i, op := range ops {
+				off := int64(op.S) * elemSize
+				n := int64(op.L) * elemSize
+				if rem := plain.Size() - off; n > rem {
+					n = rem
+				}
+				if n <= 0 {
+					continue
+				}
+				for rep := 0; rep < op.T; rep++ {
+					if op.Kind == workload.Read {
+						if _, err := plain.ReadAt(bufA[:n], off); err != nil {
+							t.Fatal(err)
+						}
+						if _, err := cached.ReadAt(bufB[:n], off); err != nil {
+							t.Fatal(err)
+						}
+						if !bytes.Equal(bufA[:n], bufB[:n]) {
+							t.Fatalf("op %d: cached read diverges at offset %d", i, off)
+						}
+					} else {
+						w := pattern(int(n), byte(i))
+						if _, err := plain.WriteAt(w, off); err != nil {
+							t.Fatal(err)
+						}
+						if _, err := cached.WriteAt(w, off); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+			}
+			// Full-volume sweep plus an on-media consistency check.
+			gotA := make([]byte, plain.Size())
+			gotB := make([]byte, cached.Size())
+			if _, err := plain.ReadAt(gotA, 0); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := cached.ReadAt(gotB, 0); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(gotA, gotB) {
+				t.Fatal("full-volume contents diverge between cached and uncached arrays")
+			}
+			if fixed, err := cached.Scrub(); err != nil || fixed != 0 {
+				t.Fatalf("cached array inconsistent on media: fixed=%d err=%v", fixed, err)
+			}
+		})
+	}
+}
+
+// A warm cache must serve repeat reads with zero device I/O. The volume fill
+// is a reconstruct-write, which writes every element through the cache, so
+// the very first read window is already all hits.
+func TestCacheServesRepeatReadsWithoutDeviceIO(t *testing.T) {
+	a, _ := newArrayConc(t, "dcode", 5, 4, WithCache(8<<20))
+	data := pattern(int(a.Size()), 5)
+	if _, err := a.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	before := sumElemReads(a)
+	got := make([]byte, a.Size())
+	if _, err := a.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("cached read returned wrong data")
+	}
+	if reads := sumElemReads(a) - before; reads != 0 {
+		t.Fatalf("read of a write-through-warmed volume issued %d device reads, want 0", reads)
+	}
+	cs := a.Snapshot().Cache
+	if cs == nil || cs.Hits == 0 || cs.BytesSaved == 0 {
+		t.Fatalf("cache counters did not record the hits: %+v", cs)
+	}
+	if cs.HitRate != 1 {
+		t.Fatalf("hit rate = %v, want 1 for an all-hit read", cs.HitRate)
+	}
+}
+
+// Reads must populate on miss: after dropping the cache's warm state (cheaply
+// approximated by a fresh array whose fill bypassed the cache), the first
+// read pays device I/O and the second is free.
+func TestCachePopulatesOnMiss(t *testing.T) {
+	// Build the volume uncached, then re-open the same devices with a cache:
+	// the cache starts cold.
+	code := codes.MustNew("dcode", 5)
+	devs := make([]blockdev.Device, code.Cols())
+	mems := make([]*blockdev.MemDevice, code.Cols())
+	devSize := int64(4) * int64(code.Rows()) * elemSize
+	for i := range devs {
+		mems[i] = blockdev.NewMem(devSize)
+		devs[i] = mems[i]
+	}
+	plain, err := New(code, devs, elemSize, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := pattern(int(plain.Size()), 6)
+	if _, err := plain.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(code, devs, elemSize, 4, WithCache(8<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := make([]byte, 10*elemSize)
+	if _, err := a.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	first := sumElemReads(a)
+	if first == 0 {
+		t.Fatal("cold read issued no device reads; fill leaked into the new cache?")
+	}
+	if !bytes.Equal(got, data[:len(got)]) {
+		t.Fatal("cold read returned wrong data")
+	}
+	if _, err := a.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if again := sumElemReads(a) - first; again != 0 {
+		t.Fatalf("second read of the same range issued %d device reads, want 0", again)
+	}
+	if !bytes.Equal(got, data[:len(got)]) {
+		t.Fatal("warm read returned wrong data")
+	}
+}
+
+// RMW pre-reads of cached old data and parity must be absorbed: the classic
+// 4-I/O small write drops to its 2 commit writes.
+func TestCacheAbsorbsRMWPreReads(t *testing.T) {
+	a, _ := newArrayConc(t, "dcode", 5, 4, WithCache(8<<20))
+	if _, err := a.WriteAt(pattern(int(a.Size()), 7), 0); err != nil {
+		t.Fatal(err)
+	}
+	st0 := a.Stats()
+	before := sumElemReads(a)
+	if _, err := a.WriteAt(pattern(10, 42), 5); err != nil { // small: takes RMW
+		t.Fatal(err)
+	}
+	if a.Stats().RMWWrites == st0.RMWWrites {
+		t.Fatal("small write did not take the RMW path")
+	}
+	if reads := sumElemReads(a) - before; reads != 0 {
+		t.Fatalf("warm RMW issued %d device pre-reads, want 0", reads)
+	}
+	snap := a.Snapshot()
+	if snap.Counters.RMWPreReadsAbsorbed == 0 {
+		t.Fatal("rmw_prereads_absorbed not counted")
+	}
+	// The patched parity was written through; the stripe must verify clean.
+	if fixed, err := a.Scrub(); err != nil || fixed != 0 {
+		t.Fatalf("stripe inconsistent after absorbed RMW: fixed=%d err=%v", fixed, err)
+	}
+}
+
+// Degraded reads must memoize reconstructed elements: reconstruction is paid
+// once, repeats are served from memory with zero device I/O.
+func TestCacheMemoizesDegradedReads(t *testing.T) {
+	a, _ := newArrayConc(t, "dcode", 7, 2, WithCache(8<<20))
+	data := pattern(int(a.Size()), 8)
+	if _, err := a.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.FailDisk(3); err != nil { // invalidates column 3
+		t.Fatal(err)
+	}
+	// One data element on the failed column.
+	lostIdx := -1
+	for i := 0; i < a.Code().DataElems(); i++ {
+		if a.Code().DataCoord(i).Col == 3 {
+			lostIdx = i
+			break
+		}
+	}
+	off := int64(lostIdx) * elemSize
+	got := make([]byte, elemSize)
+	if _, err := a.ReadAt(got, off); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data[off:off+elemSize]) {
+		t.Fatal("degraded read returned wrong data")
+	}
+	// FailDisk invalidated the column, so the first read had to reconstruct
+	// (the surviving group cells may themselves be cache hits — that is the
+	// point — but the XOR work and the degraded-read count are real).
+	snap1 := a.Snapshot()
+	if snap1.Counters.DegradedReads == 0 || snap1.XOR.DecodeOps == 0 {
+		t.Fatalf("first read after FailDisk did not reconstruct: %+v", snap1.Counters)
+	}
+	reads1 := sumElemReads(a)
+	if _, err := a.ReadAt(got, off); err != nil {
+		t.Fatal(err)
+	}
+	snap2 := a.Snapshot()
+	if snap2.Counters.DegradedReads != snap1.Counters.DegradedReads {
+		t.Fatal("repeated degraded read reconstructed again instead of hitting the cache")
+	}
+	if snap2.XOR.DecodeOps != snap1.XOR.DecodeOps {
+		t.Fatal("repeated degraded read redid XOR reconstruction work")
+	}
+	if again := sumElemReads(a) - reads1; again != 0 {
+		t.Fatalf("repeated degraded read issued %d device reads, want 0", again)
+	}
+	if !bytes.Equal(got, data[off:off+elemSize]) {
+		t.Fatal("memoized degraded read returned wrong data")
+	}
+}
+
+// Scrub rewrites stripes whose parity disagrees with data — afterwards the
+// cache must reflect the device truth, not the pre-corruption content it
+// cached. (Corrupting a data element makes the corrupted bytes the new
+// logical content once scrub re-encodes parity from them.)
+func TestCacheCoherentAfterScrub(t *testing.T) {
+	a, mems := newArrayConc(t, "dcode", 5, 2, WithCache(8<<20))
+	if _, err := a.WriteAt(pattern(int(a.Size()), 9), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the cache over stripe 0's first element, then corrupt it on media.
+	buf := make([]byte, elemSize)
+	if _, err := a.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	co := a.Code().DataCoord(0)
+	mems[co.Col].Corrupt(int64(co.Row) * elemSize)
+	fixed, err := a.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed != 1 {
+		t.Fatalf("scrub fixed %d stripes, want 1", fixed)
+	}
+	// The read must now return the device's (corrupted, re-encoded) content,
+	// not the stale cached value.
+	truth := make([]byte, elemSize)
+	if _, err := mems[co.Col].ReadAt(truth, int64(co.Row)*elemSize); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, truth) {
+		t.Fatal("cache served stale pre-scrub content")
+	}
+}
+
+// The full failure lifecycle with a cache attached: degraded writes update
+// the cached logical values of the failed column, and rebuild restores a
+// consistent array whose reads match.
+func TestCacheCoherentAcrossFailRebuild(t *testing.T) {
+	a, mems := newArrayConc(t, "dcode", 5, 3, WithCache(8<<20))
+	data := pattern(int(a.Size()), 10)
+	if _, err := a.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.FailDisk(2); err != nil {
+		t.Fatal(err)
+	}
+	patch := pattern(700, 61)
+	if _, err := a.WriteAt(patch, 200); err != nil {
+		t.Fatal(err)
+	}
+	copy(data[200:], patch)
+	// Degraded reads see the write-through values.
+	got := make([]byte, len(data))
+	if _, err := a.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("degraded read after degraded write diverges")
+	}
+	mems[2].Replace()
+	if err := a.Rebuild(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read after rebuild diverges")
+	}
+	if fixed, err := a.Scrub(); err != nil || fixed != 0 {
+		t.Fatalf("array inconsistent after cached fail/rebuild cycle: fixed=%d err=%v", fixed, err)
+	}
+}
+
+// Concurrent readers, writers, and a failure/rebuild cycle with the cache on.
+// Run under -race this checks the cache's lock striping composes with the
+// array's stripe locks and fan-out; in any mode the end state must verify.
+func TestCacheConcurrentOpsRace(t *testing.T) {
+	a, mems := newArrayConc(t, "dcode", 5, 6, WithConcurrency(4), WithCache(256<<10))
+	if _, err := a.WriteAt(pattern(int(a.Size()), 11), 0); err != nil {
+		t.Fatal(err)
+	}
+	const workers = 4
+	iters := 60
+	if testing.Short() {
+		iters = 15
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			buf := make([]byte, 4*elemSize)
+			for i := 0; i < iters; i++ {
+				off := rng.Int63n(a.Size() - int64(len(buf)))
+				if w%2 == 0 {
+					if _, err := a.ReadAt(buf, off); err != nil {
+						t.Errorf("worker %d: read: %v", w, err)
+						return
+					}
+				} else {
+					if _, err := a.WriteAt(pattern(len(buf), byte(i)), off); err != nil {
+						t.Errorf("worker %d: write: %v", w, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			if err := a.FailDisk(1); err != nil {
+				return
+			}
+			mems[1].Replace()
+			if err := a.Rebuild(1); err != nil {
+				t.Errorf("rebuild: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	got := make([]byte, a.Size())
+	if _, err := a.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if fixed, err := a.Scrub(); err != nil || fixed != 0 {
+		t.Fatalf("array inconsistent after concurrent cached ops: fixed=%d err=%v", fixed, err)
+	}
+}
+
+// The plan memo must serve repeated degraded fetch signatures without
+// recomputing, and its answers must match direct planning bit for bit.
+func TestPlanMemoHitsAndEquivalence(t *testing.T) {
+	run := func(memoOff bool) ([]byte, int64) {
+		a, _ := newArrayConc(t, "dcode", 7, 2)
+		a.planMemoOff = memoOff
+		data := pattern(int(a.Size()), 13)
+		if _, err := a.WriteAt(data, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.FailDisk(2); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, a.Size())
+		for rep := 0; rep < 3; rep++ { // repeats share one failure signature
+			if _, err := a.ReadAt(got, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return got, a.Snapshot().Counters.DegradedPlanHits
+	}
+	memoized, hits := run(false)
+	direct, directHits := run(true)
+	if !bytes.Equal(memoized, direct) {
+		t.Fatal("memoized plans reconstruct different bytes than direct planning")
+	}
+	if hits == 0 {
+		t.Fatal("repeated degraded reads produced no plan-memo hits")
+	}
+	if directHits != 0 {
+		t.Fatalf("planMemoOff still counted %d hits", directHits)
+	}
+}
+
+func TestPlanMemoInvalidatedOnFailureEpoch(t *testing.T) {
+	a, mems := newArrayConc(t, "dcode", 5, 2)
+	if _, err := a.WriteAt(pattern(int(a.Size()), 14), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.FailDisk(1); err != nil {
+		t.Fatal(err)
+	}
+	// Read an element that lives on the failed column so planning runs.
+	lostIdx := -1
+	for i := 0; i < a.Code().DataElems(); i++ {
+		if a.Code().DataCoord(i).Col == 1 {
+			lostIdx = i
+			break
+		}
+	}
+	buf := make([]byte, elemSize)
+	if _, err := a.ReadAt(buf, int64(lostIdx)*elemSize); err != nil {
+		t.Fatal(err)
+	}
+	a.plans.mu.Lock()
+	populated := len(a.plans.plans)
+	a.plans.mu.Unlock()
+	if populated == 0 {
+		t.Fatal("degraded read did not populate the plan memo")
+	}
+	mems[1].Replace()
+	if err := a.Rebuild(1); err != nil {
+		t.Fatal(err)
+	}
+	a.plans.mu.Lock()
+	left := len(a.plans.plans)
+	a.plans.mu.Unlock()
+	if left != 0 {
+		t.Fatalf("plan memo kept %d entries across a failure epoch", left)
+	}
+}
+
+// BenchmarkDegradedRead measures the degraded single-element read path with
+// the plan memo on (the default) and off, isolating what memoization saves.
+func BenchmarkDegradedRead(b *testing.B) {
+	for _, memoOff := range []bool{false, true} {
+		name := "memo"
+		if memoOff {
+			name = "nomemo"
+		}
+		b.Run(name, func(b *testing.B) {
+			code := codes.MustNew("dcode", 7)
+			devs := make([]blockdev.Device, code.Cols())
+			devSize := int64(4) * int64(code.Rows()) * elemSize
+			for i := range devs {
+				devs[i] = blockdev.NewMem(devSize)
+			}
+			a, err := New(code, devs, elemSize, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			a.planMemoOff = memoOff
+			fill := make([]byte, a.Size())
+			for i := range fill {
+				fill[i] = byte(i * 31)
+			}
+			if _, err := a.WriteAt(fill, 0); err != nil {
+				b.Fatal(err)
+			}
+			if err := a.FailDisk(3); err != nil {
+				b.Fatal(err)
+			}
+			// Rotate through the failed column's data elements so several
+			// distinct signatures stay live in the memo.
+			var offs []int64
+			for i := 0; i < code.DataElems(); i++ {
+				if code.DataCoord(i).Col == 3 {
+					offs = append(offs, int64(i)*elemSize)
+				}
+			}
+			buf := make([]byte, elemSize)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := a.ReadAt(buf, offs[i%len(offs)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCachedRead contrasts repeat reads with the cache off and on.
+func BenchmarkCachedRead(b *testing.B) {
+	for _, budget := range []int64{0, 8 << 20} {
+		b.Run(fmt.Sprintf("cache=%d", budget), func(b *testing.B) {
+			code := codes.MustNew("dcode", 7)
+			devs := make([]blockdev.Device, code.Cols())
+			devSize := int64(8) * int64(code.Rows()) * elemSize
+			for i := range devs {
+				devs[i] = blockdev.NewMem(devSize)
+			}
+			var opts []Option
+			if budget > 0 {
+				opts = append(opts, WithCache(budget))
+			}
+			a, err := New(code, devs, elemSize, 8, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fill := make([]byte, a.Size())
+			if _, err := a.WriteAt(fill, 0); err != nil {
+				b.Fatal(err)
+			}
+			buf := make([]byte, 8*elemSize)
+			b.SetBytes(int64(len(buf)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				off := int64(i%8) * int64(len(buf))
+				if _, err := a.ReadAt(buf, off); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -126,22 +126,55 @@ func coalesce(cells []erasure.Coord, sc *opScratch) []cellRun {
 }
 
 // readCells reads the listed (distinct) cells of stripe si into s, one
-// goroutine per coalesced run, each run as a single device call.
-func (a *Array) readCells(si int64, cells []erasure.Coord, s *stripe.Stripe, sc *opScratch) error {
+// goroutine per coalesced run, each run as a single device call. With a
+// cache attached it first serves hits from memory — those cells cost no
+// device I/O at all — then reads only the misses, inserting them on the way
+// back so the working set converges to the cache. It returns how many cells
+// were served from the cache.
+func (a *Array) readCells(si int64, cells []erasure.Coord, s *stripe.Stripe, sc *opScratch) (int, error) {
+	hits := 0
+	if a.cache != nil {
+		miss := sc.miss[:0]
+		for _, co := range cells {
+			if a.cache.Get(a.cacheKey(si, co), s.Elem(co.Row, co.Col)) {
+				hits++
+			} else {
+				miss = append(miss, co)
+			}
+		}
+		sc.miss = miss
+		cells = miss
+	}
 	runs := coalesce(cells, sc)
 	// The serial case loops directly: the fanOut closure escapes into its
 	// goroutine path, so constructing it would heap-allocate on every call.
 	if a.conc <= 1 || len(runs) <= 1 {
 		for _, r := range runs {
 			if err := a.readRun(si, r, s); err != nil {
-				return err
+				return hits, err
 			}
 		}
-		return nil
+		a.cacheFill(si, cells, s)
+		return hits, nil
 	}
-	return a.fanOut(len(runs), func(i int) error {
+	if err := a.fanOut(len(runs), func(i int) error {
 		return a.readRun(si, runs[i], s)
-	})
+	}); err != nil {
+		return hits, err
+	}
+	a.cacheFill(si, cells, s)
+	return hits, nil
+}
+
+// cacheFill inserts freshly read cells; populate-on-miss happens here so a
+// partial failure (the caller retries degraded) caches nothing stale.
+func (a *Array) cacheFill(si int64, cells []erasure.Coord, s *stripe.Stripe) {
+	if a.cache == nil {
+		return
+	}
+	for _, co := range cells {
+		a.cache.Put(a.cacheKey(si, co), s.Elem(co.Row, co.Col))
+	}
 }
 
 // readRun reads one coalesced run into s. A single-cell run goes through
@@ -266,6 +299,7 @@ type opScratch struct {
 	gseen  []bool // per-group marks
 	coords []erasure.Coord
 	fetch  []erasure.Coord
+	miss   []erasure.Coord // readCells' cache-miss list
 	srcs   [][]byte
 	runs   []cellRun
 	b1, b2 []byte // element-sized RMW scratch (new value, delta)

@@ -31,6 +31,14 @@ type arrayMetrics struct {
 	// and are counted by its own XORCounters instead.
 	decodeXOROps   obs.Counter
 	decodeXORBytes obs.Counter
+
+	// rmwPreReadsAbsorbed counts old-data/old-parity pre-reads of
+	// read-modify-write updates that the element cache served — device
+	// reads the classic 4-I/O RMW no longer performs. Zero with no cache.
+	rmwPreReadsAbsorbed obs.Counter
+	// degradedPlanHits counts degraded/repair plans served from the
+	// per-array plan memo instead of recomputed.
+	degradedPlanHits obs.Counter
 }
 
 // countDecodeXOR records n element XORs executed by a raid-layer
@@ -66,6 +74,10 @@ type Snapshot struct {
 	// against it.
 	XOR                      XORSnapshot `json:"xor"`
 	AnalyticEncodeXORPerData float64     `json:"analytic_encode_xor_per_data"`
+
+	// Cache is the element cache's counters and occupancy; nil (omitted)
+	// when the array was built without WithCache.
+	Cache *obs.CacheSnapshot `json:"cache,omitempty"`
 }
 
 // XORSnapshot aliases the erasure engine's counter snapshot so Snapshot
@@ -77,16 +89,20 @@ type XORSnapshot struct {
 	DecodeBytes int64 `json:"decode_bytes"`
 }
 
-// CounterSnapshot mirrors Stats with JSON tags.
+// CounterSnapshot mirrors Stats with JSON tags. The cache- and memo-related
+// counters are omitted when zero so arrays without those features keep
+// their existing serialized form.
 type CounterSnapshot struct {
-	Reads            int64 `json:"reads"`
-	Writes           int64 `json:"writes"`
-	DegradedReads    int64 `json:"degraded_reads"`
-	FullStripeWrites int64 `json:"full_stripe_writes"`
-	RMWWrites        int64 `json:"rmw_writes"`
-	StripesRebuilt   int64 `json:"stripes_rebuilt"`
-	ScrubErrorsFixed int64 `json:"scrub_errors_fixed"`
-	SectorsRepaired  int64 `json:"sectors_repaired"`
+	Reads               int64 `json:"reads"`
+	Writes              int64 `json:"writes"`
+	DegradedReads       int64 `json:"degraded_reads"`
+	FullStripeWrites    int64 `json:"full_stripe_writes"`
+	RMWWrites           int64 `json:"rmw_writes"`
+	StripesRebuilt      int64 `json:"stripes_rebuilt"`
+	ScrubErrorsFixed    int64 `json:"scrub_errors_fixed"`
+	SectorsRepaired     int64 `json:"sectors_repaired"`
+	RMWPreReadsAbsorbed int64 `json:"rmw_prereads_absorbed,omitempty"`
+	DegradedPlanHits    int64 `json:"degraded_plan_hits,omitempty"`
 }
 
 // LatencySnapshot groups the array-level histograms.
@@ -106,14 +122,16 @@ func (a *Array) Snapshot() Snapshot {
 		Code:  a.code.Name(),
 		Disks: a.code.Cols(),
 		Counters: CounterSnapshot{
-			Reads:            a.m.reads.Load(),
-			Writes:           a.m.writes.Load(),
-			DegradedReads:    a.m.degradedReads.Load(),
-			FullStripeWrites: a.m.fullStripeWrites.Load(),
-			RMWWrites:        a.m.rmwWrites.Load(),
-			StripesRebuilt:   a.m.stripesRebuilt.Load(),
-			ScrubErrorsFixed: a.m.scrubErrorsFixed.Load(),
-			SectorsRepaired:  a.m.sectorsRepaired.Load(),
+			Reads:               a.m.reads.Load(),
+			Writes:              a.m.writes.Load(),
+			DegradedReads:       a.m.degradedReads.Load(),
+			FullStripeWrites:    a.m.fullStripeWrites.Load(),
+			RMWWrites:           a.m.rmwWrites.Load(),
+			StripesRebuilt:      a.m.stripesRebuilt.Load(),
+			ScrubErrorsFixed:    a.m.scrubErrorsFixed.Load(),
+			SectorsRepaired:     a.m.sectorsRepaired.Load(),
+			RMWPreReadsAbsorbed: a.m.rmwPreReadsAbsorbed.Load(),
+			DegradedPlanHits:    a.m.degradedPlanHits.Load(),
 		},
 		Latency: LatencySnapshot{
 			Read:         a.m.readLatency.Snapshot(),
@@ -138,6 +156,10 @@ func (a *Array) Snapshot() Snapshot {
 		DecodeBytes: x.DecodeBytes + a.m.decodeXORBytes.Load(),
 	}
 	s.AnalyticEncodeXORPerData = a.code.ComputeMetrics().EncodeXORPerData
+	if a.cache != nil {
+		cs := a.cache.Snapshot()
+		s.Cache = &cs
+	}
 	return s
 }
 
@@ -161,6 +183,8 @@ func (s *Snapshot) Merge(o Snapshot) {
 	s.Counters.StripesRebuilt += o.Counters.StripesRebuilt
 	s.Counters.ScrubErrorsFixed += o.Counters.ScrubErrorsFixed
 	s.Counters.SectorsRepaired += o.Counters.SectorsRepaired
+	s.Counters.RMWPreReadsAbsorbed += o.Counters.RMWPreReadsAbsorbed
+	s.Counters.DegradedPlanHits += o.Counters.DegradedPlanHits
 
 	s.Latency.Read.Merge(o.Latency.Read)
 	s.Latency.Write.Merge(o.Latency.Write)
@@ -180,6 +204,13 @@ func (s *Snapshot) Merge(o Snapshot) {
 	s.XOR.EncodeBytes += o.XOR.EncodeBytes
 	s.XOR.DecodeOps += o.XOR.DecodeOps
 	s.XOR.DecodeBytes += o.XOR.DecodeBytes
+
+	if o.Cache != nil {
+		if s.Cache == nil {
+			s.Cache = &obs.CacheSnapshot{}
+		}
+		s.Cache.Merge(*o.Cache)
+	}
 }
 
 // ResetMetrics zeroes every counter, histogram and device tally, including
@@ -203,8 +234,15 @@ func (a *Array) ResetMetrics() {
 	a.m.scrubLatency.Reset()
 	a.m.decodeXOROps.Reset()
 	a.m.decodeXORBytes.Reset()
+	a.m.rmwPreReadsAbsorbed.Reset()
+	a.m.degradedPlanHits.Reset()
 	for _, d := range a.iodevs {
 		d.Metrics().Reset()
+	}
+	// Cache counters reset with the other metrics; the cached CONTENTS stay
+	// — they remain coherent, and the bench harness measures a warm cache.
+	if a.cache != nil {
+		a.cache.Metrics().Reset()
 	}
 	a.code.ResetXORStats()
 }

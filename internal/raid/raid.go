@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"dcode/internal/blockdev"
+	"dcode/internal/cache"
 	"dcode/internal/erasure"
 	"dcode/internal/recovery"
 	"dcode/internal/stripe"
@@ -65,6 +66,17 @@ type Array struct {
 	scratch sync.Pool
 	opBufs  sync.Pool
 	colPool sync.Pool
+
+	// cache, when non-nil, is the sharded element cache serving read hits
+	// and absorbing RMW pre-reads without device I/O (see cache.go);
+	// cacheBytes carries the WithCache budget from option to construction.
+	cache      *cache.Cache
+	cacheBytes int64
+
+	// plans memoizes degraded-read plans per failure signature (see
+	// plancache.go); planMemoOff disables it for benchmarking the saving.
+	plans       planMemo
+	planMemoOff bool
 }
 
 func (a *Array) lockStripe(si int64) *sync.Mutex {
@@ -141,6 +153,9 @@ func New(code *erasure.Code, devs []blockdev.Device, elemSize int, stripes int64
 	for _, opt := range opts {
 		opt(a)
 	}
+	if a.cacheBytes > 0 {
+		a.cache = cache.New(a.cacheBytes, elemSize)
+	}
 	return a, nil
 }
 
@@ -195,6 +210,11 @@ func (a *Array) FailDisk(col int) error {
 		return fmt.Errorf("raid: disk %d out of range", col)
 	}
 	a.markFailed(col)
+	// The column's cached entries are still logically valid (they predate
+	// the failure), but dropping them — and the memoized plans — keeps the
+	// coherence argument local; see cache.go.
+	a.cacheInvalidateColumn(col)
+	a.invalidatePlans()
 	if a.failedCount() > 2 {
 		return ErrTooManyFailures
 	}
@@ -232,8 +252,9 @@ func (a *Array) readElem(stripeIdx int64, co erasure.Coord, dst []byte) error {
 func (a *Array) repairElem(stripeIdx int64, co erasure.Coord, dst []byte) error {
 	// Plan as if the whole column were down — conservative (it will not read
 	// sibling cells on the same disk, which are actually fine) but reuses
-	// the engine's group choice and never touches the bad cell itself.
-	plan, err := a.code.PlanDegraded(co.Col, []erasure.Coord{co}, nil)
+	// the engine's group choice and never touches the bad cell itself. The
+	// plan is memoized per (column, cell) signature; treat it as read-only.
+	plan, err := a.planDegraded(co.Col, []erasure.Coord{co})
 	if err != nil {
 		return err
 	}
@@ -261,6 +282,9 @@ func (a *Array) repairElem(stripeIdx int64, co erasure.Coord, dst []byte) error 
 	if _, err := a.devs[co.Col].WriteAt(dst, a.deviceOffset(stripeIdx, co.Row)); err != nil {
 		return err
 	}
+	// The rewritten sector now holds the reconstructed value; drop any
+	// cached copy so the next read re-verifies against the device.
+	a.cacheInvalidate(stripeIdx, co)
 	a.m.sectorsRepaired.Inc()
 	return nil
 }
@@ -454,6 +478,9 @@ var errRetryDegraded = errors.New("raid: retry degraded")
 
 // fetchStripeElems reads the full contents of every element the ranges touch
 // into sc.s, choosing the cheapest strategy for the current failure state.
+// With a cache attached, wanted cells on failed columns are served from it
+// when present — skipping reconstruction entirely — and healthy-column hits
+// are absorbed inside readCells.
 func (a *Array) fetchStripeElems(si int64, ers []elemRange, sc *opScratch) error {
 	failed := a.failedList()
 	cols := a.code.Cols()
@@ -462,36 +489,53 @@ func (a *Array) fetchStripeElems(si int64, ers []elemRange, sc *opScratch) error
 	needLost := false
 	for _, er := range ers {
 		idx := er.coord.Row*cols + er.coord.Col
-		if !sc.seen[idx] {
-			sc.seen[idx] = true
-			wanted = append(wanted, er.coord)
+		if sc.seen[idx] {
+			continue
 		}
+		sc.seen[idx] = true
+		lost := false
 		for _, f := range failed {
 			if er.coord.Col == f {
-				needLost = true
+				lost = true
 			}
+		}
+		if lost && a.cacheGet(si, er.coord, sc.s.Elem(er.coord.Row, er.coord.Col)) {
+			// A previously reconstructed (or pre-failure write-through)
+			// element: reconstruction is paid once, then served from memory.
+			continue
+		}
+		wanted = append(wanted, er.coord)
+		if lost {
+			needLost = true
 		}
 	}
 	sc.coords = wanted
+	if len(wanted) == 0 {
+		return nil
+	}
 
 	switch {
 	case !needLost:
 		// All wanted elements live on healthy disks.
-		if err := a.readCells(si, wanted, sc.s, sc); err != nil {
+		if _, err := a.readCells(si, wanted, sc.s, sc); err != nil {
 			return errRetryDegraded
 		}
 		return nil
 
 	case len(failed) == 1:
-		// Single failure: fetch only the recovery plan's cells.
+		// Single failure: fetch only the recovery plan's cells. The plan is
+		// memoized and shared — copy its fetch list before readCells, which
+		// sorts in place during coalescing.
 		start := time.Now()
 		defer func() { a.m.degradedReadLatency.Observe(time.Since(start)) }()
 		a.m.degradedReads.Inc()
-		plan, err := a.code.PlanDegraded(failed[0], wanted, nil)
+		plan, err := a.planDegraded(failed[0], wanted)
 		if err != nil {
 			return err
 		}
-		if err := a.readCells(si, plan.Fetch, sc.s, sc); err != nil {
+		fetch := append(sc.fetch[:0], plan.Fetch...)
+		sc.fetch = fetch
+		if _, err := a.readCells(si, fetch, sc.s, sc); err != nil {
 			return errRetryDegraded
 		}
 		for _, step := range plan.Steps {
@@ -521,6 +565,9 @@ func (a *Array) fetchStripeElems(si int64, ers []elemRange, sc *opScratch) error
 			stripe.XORMulti(dst, srcs...)
 			sc.srcs = srcs
 			a.countDecodeXOR(1 + len(srcs))
+			// Memoize the reconstruction so repeated reads of the failed
+			// column hit the cache instead of re-deriving the element.
+			a.cachePut(si, step.Target, dst)
 		}
 		return nil
 
@@ -529,7 +576,17 @@ func (a *Array) fetchStripeElems(si int64, ers []elemRange, sc *opScratch) error
 		start := time.Now()
 		defer func() { a.m.degradedReadLatency.Observe(time.Since(start)) }()
 		a.m.degradedReads.Inc()
-		return a.loadStripe(si, sc.s)
+		if err := a.loadStripe(si, sc.s); err != nil {
+			return err
+		}
+		// Insert the wanted cells (loadStripe bypasses the cache): the lost
+		// ones memoize reconstruction, the healthy ones the device read.
+		if a.cache != nil {
+			for _, co := range wanted {
+				a.cachePut(si, co, sc.s.Elem(co.Row, co.Col))
+			}
+		}
+		return nil
 	}
 }
 
@@ -682,6 +739,10 @@ func (a *Array) writeStripeRanges(si int64, ers []elemRange, p []byte, sc *opScr
 	if err := a.storeStripe(si, sc.s); err != nil {
 		return err
 	}
+	// Write the whole encoded stripe through: on a degraded array the cells
+	// of failed columns cannot be stored, but their logical value is exactly
+	// what sc.s holds, so subsequent degraded reads hit without rebuilding.
+	a.cachePutStripe(si, sc.s)
 	a.m.fullStripeWrites.Inc()
 	return nil
 }
@@ -706,7 +767,7 @@ func (a *Array) reconstructWrite(si int64, ers []elemRange, p []byte, sc *opScra
 		fetch = append(fetch, co)
 	}
 	sc.fetch = fetch
-	if err := a.readCells(si, fetch, sc.s, sc); err != nil {
+	if _, err := a.readCells(si, fetch, sc.s, sc); err != nil {
 		return err
 	}
 	for _, er := range ers {
@@ -725,6 +786,14 @@ func (a *Array) reconstructWrite(si int64, ers []elemRange, p []byte, sc *opScra
 	}
 	sc.fetch = commit
 	a.writeCellsBestEffort(si, commit, sc.s, sc)
+	// Write-through: the committed cells' new logical values. A device that
+	// failed mid-commit keeps the cached value correct — the surviving
+	// parities reconstruct exactly what sc.s holds.
+	if a.cache != nil {
+		for _, co := range commit {
+			a.cachePut(si, co, sc.s.Elem(co.Row, co.Col))
+		}
+	}
 	if a.failedCount() > 2 {
 		return ErrTooManyFailures
 	}
@@ -747,8 +816,14 @@ func (a *Array) rmwElement(stripeIdx int64, er elemRange, p []byte, sc *opScratc
 		fetch = append(fetch, a.code.Groups()[gi].Parity)
 	}
 	sc.fetch = fetch
-	if err := a.readCells(stripeIdx, fetch, sc.s, sc); err != nil {
+	hits, err := a.readCells(stripeIdx, fetch, sc.s, sc)
+	if err != nil {
 		return err
+	}
+	// Each pre-read served from cache is one device read the classic
+	// 4-I/O read-modify-write no longer performs.
+	if hits > 0 {
+		a.m.rmwPreReadsAbsorbed.Add(int64(hits))
 	}
 
 	// Phase 2: commit.
@@ -759,11 +834,13 @@ func (a *Array) rmwElement(stripeIdx int64, er elemRange, p []byte, sc *opScratc
 	delta := sc.b2
 	stripe.XORInto(delta, old, newVal)
 	_ = a.writeElem(stripeIdx, er.coord, newVal)
+	a.cachePut(stripeIdx, er.coord, newVal)
 	for _, gi := range groups {
 		pc := a.code.Groups()[gi].Parity
 		pe := sc.s.Elem(pc.Row, pc.Col)
 		stripe.XOR(pe, delta)
 		_ = a.writeElem(stripeIdx, pc, pe)
+		a.cachePut(stripeIdx, pc, pe)
 	}
 	if a.failedCount() > 2 {
 		return ErrTooManyFailures
@@ -822,6 +899,11 @@ func (a *Array) Rebuild(col int) error {
 		return err
 	}
 	a.clearFailed(col)
+	// The rebuilt device holds freshly written content; drop the column's
+	// cached entries (and the failure-epoch plans) rather than proving them
+	// equal to it.
+	a.cacheInvalidateColumn(col)
+	a.invalidatePlans()
 	return nil
 }
 
@@ -858,7 +940,7 @@ func (a *Array) rebuildStripePlanned(si int64, col int, plan *recovery.Plan, sc 
 		}
 	}
 	sc.fetch = need
-	if err := a.readCells(si, need, sc.s, sc); err != nil {
+	if _, err := a.readCells(si, need, sc.s, sc); err != nil {
 		return err
 	}
 	// Recover data rows through their chosen groups, then parity rows by
@@ -951,6 +1033,9 @@ func (a *Array) Scrub() (int64, error) {
 		if err := a.storeStripe(si, sc.s); err != nil {
 			return err
 		}
+		// The stripe disagreed with its parity, so some device diverged from
+		// what the engine believed: drop every cached cell of the stripe.
+		a.cacheInvalidateStripe(si)
 		fixed.Add(1)
 		a.m.scrubErrorsFixed.Inc()
 		a.m.scrubLatency.Observe(time.Since(stripeStart))
