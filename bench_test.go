@@ -338,7 +338,7 @@ func BenchmarkUpdateData(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
-// Ablations (DESIGN.md §8).
+// Ablations (DESIGN.md §9).
 
 // AblationDegradedPlanKinds compares D-Code's degraded fetch cost when the
 // planner may use both parity kinds versus horizontal-only versus

@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"text/tabwriter"
 
@@ -21,11 +22,21 @@ func main() {
 	p := flag.Int("p", 13, "prime parameter")
 	flag.Parse()
 
-	fmt.Printf("feature table at p=%d (paper §III-D); optima: encode 2-2/(n-2), decode n-3, update 2\n", *p)
-	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	if err := printFeatures(os.Stdout, *p); err != nil {
+		fmt.Fprintln(os.Stderr, "features:", err)
+		os.Exit(1)
+	}
+}
+
+// printFeatures renders the paper's feature-comparison table to out. The
+// returned error is the table writer's: a failed flush means the table the
+// caller sees is truncated, so it must not exit 0.
+func printFeatures(out io.Writer, p int) error {
+	fmt.Fprintf(out, "feature table at p=%d (paper §III-D); optima: encode 2-2/(n-2), decode n-3, update 2\n", p)
+	w := tabwriter.NewWriter(out, 2, 0, 2, ' ', 0)
 	fmt.Fprintln(w, "code\tdisks\tstorage-eff\tencXOR/data\tdecXOR/lost\tstalled-pairs\tparity-upd/write (max)\trecovery-saving")
 	for _, e := range codes.All() {
-		c, err := e.New(*p)
+		c, err := e.New(p)
 		if err != nil {
 			fmt.Fprintf(w, "%s\t-\tskip: %v\n", e.Name, err)
 			continue
@@ -40,5 +51,5 @@ func main() {
 			e.Name, c.Cols(), m.StorageEfficiency, m.EncodeXORPerData,
 			dec, stalled, m.UpdateAvg, m.UpdateMax, saving)
 	}
-	w.Flush()
+	return w.Flush()
 }

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+type errWriter struct{}
+
+func (errWriter) Write(p []byte) (int, error) { return 0, errors.New("sink failed") }
+
+func TestPrintFeatures(t *testing.T) {
+	var buf bytes.Buffer
+	if err := printFeatures(&buf, 5); err != nil {
+		t.Fatalf("printFeatures: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "feature table at p=5") {
+		t.Errorf("missing title line in output:\n%s", out)
+	}
+	if !strings.Contains(out, "storage-eff") {
+		t.Errorf("missing table header in output:\n%s", out)
+	}
+}
+
+func TestPrintFeaturesWriteError(t *testing.T) {
+	if err := printFeatures(errWriter{}, 5); err == nil {
+		t.Fatal("printFeatures on a failing writer returned nil; the flush error must surface")
+	}
+}

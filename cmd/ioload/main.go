@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"strconv"
@@ -79,25 +80,35 @@ func main() {
 
 		if *metric == "lf" || *metric == "both" {
 			fmt.Printf("Figure 4 — load balancing factor, %s workload (inf plotted as 30 in the paper)\n", profile.Name)
-			printTable(primes, func(id string, p int) string {
+			err := printTable(os.Stdout, primes, func(id string, p int) string {
 				lf := results[id][p].LF()
 				if math.IsInf(lf, 1) {
 					return "inf"
 				}
 				return fmt.Sprintf("%.2f", lf)
 			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ioload:", err)
+				os.Exit(1)
+			}
 		}
 		if *metric == "cost" || *metric == "both" {
 			fmt.Printf("Figure 5 — total I/O cost, %s workload\n", profile.Name)
-			printTable(primes, func(id string, p int) string {
+			err := printTable(os.Stdout, primes, func(id string, p int) string {
 				return fmt.Sprintf("%d", results[id][p].Cost())
 			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ioload:", err)
+				os.Exit(1)
+			}
 		}
 	}
 }
 
-func printTable(primes []int, cell func(id string, p int) string) {
-	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+// printTable renders one per-prime results table to out and reports the
+// table writer's flush error, so a truncated table cannot pass silently.
+func printTable(out io.Writer, primes []int, cell func(id string, p int) string) error {
+	w := tabwriter.NewWriter(out, 2, 0, 2, ' ', 0)
 	header := "code"
 	for _, p := range primes {
 		header += fmt.Sprintf("\tp=%d", p)
@@ -110,8 +121,11 @@ func printTable(primes []int, cell func(id string, p int) string) {
 		}
 		fmt.Fprintln(w, row)
 	}
-	w.Flush()
-	fmt.Println()
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(out)
+	return err
 }
 
 func parseInts(s string) ([]int, error) {

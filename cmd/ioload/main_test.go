@@ -1,0 +1,33 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+type errWriter struct{}
+
+func (errWriter) Write(p []byte) (int, error) { return 0, errors.New("sink failed") }
+
+func TestPrintTable(t *testing.T) {
+	var buf bytes.Buffer
+	err := printTable(&buf, []int{5, 7}, func(id string, p int) string { return "cell" })
+	if err != nil {
+		t.Fatalf("printTable: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"p=5", "p=7", "cell"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrintTableWriteError(t *testing.T) {
+	err := printTable(errWriter{}, []int{5}, func(id string, p int) string { return "x" })
+	if err == nil {
+		t.Fatal("printTable on a failing writer returned nil; the flush error must surface")
+	}
+}

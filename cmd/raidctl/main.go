@@ -20,6 +20,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -235,18 +236,28 @@ func doRead(dir string, off int64, n int, outFile string) {
 	}
 	persistFailed(dir, a)
 	persistStats(dir, a)
-	var w io.Writer = os.Stdout
-	if outFile != "-" {
-		f, err := os.Create(outFile)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		w = f
-	}
-	if _, err := w.Write(buf); err != nil {
+	if err := writeOutput(outFile, buf); err != nil {
 		fatal(err)
 	}
+}
+
+// writeOutput writes data to stdout ("-") or to a freshly created file. The
+// Close error is part of the contract: on many filesystems write-back
+// failures only surface there, and a read that silently drops its output
+// file defeats the point of running it.
+func writeOutput(outFile string, data []byte) error {
+	if outFile == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	f, err := os.Create(outFile)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return errors.Join(err, f.Close())
+	}
+	return f.Close()
 }
 
 func setFailed(dir string, disk int, failed bool) {

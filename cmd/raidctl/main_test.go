@@ -1,0 +1,30 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteOutputFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.bin")
+	data := []byte("payload")
+	if err := writeOutput(path, data); err != nil {
+		t.Fatalf("writeOutput: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading back: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("read back %q, want %q", got, data)
+	}
+}
+
+func TestWriteOutputCreateError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "missing-dir", "out.bin")
+	if err := writeOutput(path, []byte("x")); err == nil {
+		t.Fatal("writeOutput into a missing directory returned nil; the create error must surface")
+	}
+}

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -38,22 +39,32 @@ func main() {
 	}
 
 	if *mode == "normal" || *mode == "both" {
-		run(primes, "Figure 6 — normal-mode read speed", func(c *erasure.Code) (readperf.Result, error) {
+		err := run(os.Stdout, primes, "Figure 6 — normal-mode read speed", func(c *erasure.Code) (readperf.Result, error) {
 			return readperf.Normal(c, readperf.Config{Ops: *ops, Seed: *seed}), nil
 		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "readperf:", err)
+			os.Exit(1)
+		}
 	}
 	if *mode == "degraded" || *mode == "both" {
-		run(primes, "Figure 7 — degraded-mode read speed (all single data-disk failures)", func(c *erasure.Code) (readperf.Result, error) {
+		err := run(os.Stdout, primes, "Figure 7 — degraded-mode read speed (all single data-disk failures)", func(c *erasure.Code) (readperf.Result, error) {
 			return readperf.Degraded(c, readperf.Config{Ops: *dops, Seed: *seed})
 		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "readperf:", err)
+			os.Exit(1)
+		}
 	}
 }
 
 var showLatency bool
 
-func run(primes []int, title string, exp func(*erasure.Code) (readperf.Result, error)) {
-	fmt.Println(title)
-	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+// run renders one experiment table to out; the flush error surfaces so a
+// truncated table fails the command instead of printing partial results.
+func run(out io.Writer, primes []int, title string, exp func(*erasure.Code) (readperf.Result, error)) error {
+	fmt.Fprintln(out, title)
+	w := tabwriter.NewWriter(out, 2, 0, 2, ' ', 0)
 	fmt.Fprint(w, "code")
 	for _, p := range primes {
 		fmt.Fprintf(w, "\tp=%d MB/s (avg/disk)", p)
@@ -81,8 +92,11 @@ func run(primes []int, title string, exp func(*erasure.Code) (readperf.Result, e
 		}
 		fmt.Fprintln(w)
 	}
-	w.Flush()
-	fmt.Println()
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(out)
+	return err
 }
 
 func parseInts(s string) ([]int, error) {

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"dcode/internal/erasure"
+	"dcode/internal/readperf"
+)
+
+type errWriter struct{}
+
+func (errWriter) Write(p []byte) (int, error) { return 0, errors.New("sink failed") }
+
+func fakeExp(c *erasure.Code) (readperf.Result, error) {
+	return readperf.Result{SpeedMBps: 100, AvgSpeedMBps: 10}, nil
+}
+
+func TestRun(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []int{5}, "test table", fakeExp); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"test table", "p=5", "100.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunWriteError(t *testing.T) {
+	if err := run(errWriter{}, []int{5}, "t", fakeExp); err == nil {
+		t.Fatal("run on a failing writer returned nil; the flush error must surface")
+	}
+}

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -32,7 +33,7 @@ func main() {
 	flag.Parse()
 
 	if *single {
-		reportSingle(parseInts(*primesFlag))
+		fail(reportSingle(os.Stdout, parseInts(*primesFlag)))
 		return
 	}
 
@@ -74,9 +75,11 @@ func main() {
 		len(cols)*c.Rows(), 64)
 }
 
-func reportSingle(primes []int) {
-	fmt.Println("single-disk-failure recovery reads: optimized (hybrid parity choice) vs conventional")
-	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+// reportSingle renders the recovery-savings table to out; the flush error
+// surfaces so a truncated table fails the command.
+func reportSingle(out io.Writer, primes []int) error {
+	fmt.Fprintln(out, "single-disk-failure recovery reads: optimized (hybrid parity choice) vs conventional")
+	w := tabwriter.NewWriter(out, 2, 0, 2, ' ', 0)
 	fmt.Fprintln(w, "code\tp\tavg reads\tavg conventional\tsaving")
 	for _, entry := range codes.Comparison() {
 		for _, p := range primes {
@@ -87,7 +90,7 @@ func reportSingle(primes []int) {
 			fmt.Fprintf(w, "%s\t%d\t%.1f\t%.1f\t%.1f%%\n", entry.Name, p, reads, conv, saving*100)
 		}
 	}
-	w.Flush()
+	return w.Flush()
 }
 
 func fail(err error) {

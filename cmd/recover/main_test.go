@@ -1,0 +1,36 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+type errWriter struct{}
+
+func (errWriter) Write(p []byte) (int, error) { return 0, errors.New("sink failed") }
+
+func TestReportSingle(t *testing.T) {
+	var buf bytes.Buffer
+	if err := reportSingle(&buf, []int{5}); err != nil {
+		t.Fatalf("reportSingle: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "recovery reads") || !strings.Contains(out, "saving") {
+		t.Errorf("output missing expected headers:\n%s", out)
+	}
+}
+
+func TestReportSingleWriteError(t *testing.T) {
+	if err := reportSingle(errWriter{}, []int{5}); err == nil {
+		t.Fatal("reportSingle on a failing writer returned nil; the flush error must surface")
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	if got, want := parseInts("5, 7,11"), []int{5, 7, 11}; !reflect.DeepEqual(got, want) {
+		t.Errorf("parseInts = %v, want %v", got, want)
+	}
+}

@@ -184,8 +184,7 @@ func OpenFile(path string, size int64) (*FileDevice, error) {
 		return nil, err
 	}
 	if err := f.Truncate(size); err != nil {
-		f.Close()
-		return nil, err
+		return nil, errors.Join(err, f.Close())
 	}
 	return &FileDevice{f: f, size: size}, nil
 }

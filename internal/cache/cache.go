@@ -190,6 +190,7 @@ func (c *Cache) Put(k Key, src []byte) {
 	e := c.pool.Get().(*entry)
 	e.key = k
 	copy(e.buf[:c.elemSize], src[:c.elemSize])
+	//lint:escape cache entries live in the shard map until eviction or invalidation, which returns them to the pool; the shard lock serializes the hand-off
 	s.entries[k] = e
 	s.pushFront(e)
 	s.bytes += cost

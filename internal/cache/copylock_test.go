@@ -1,0 +1,37 @@
+package cache
+
+import (
+	"reflect"
+	"testing"
+)
+
+// vetGuarded mirrors the obs package's copy-safety audit: every type that
+// must not be copied after first use has to contain a sync or sync/atomic
+// type somewhere, so `go vet`'s copylocks check rejects by-value copies.
+func vetGuarded(t reflect.Type) bool {
+	switch t.Kind() {
+	case reflect.Struct:
+		if pkg := t.PkgPath(); pkg == "sync" || pkg == "sync/atomic" {
+			return true
+		}
+		for i := 0; i < t.NumField(); i++ {
+			if vetGuarded(t.Field(i).Type) {
+				return true
+			}
+		}
+	case reflect.Array:
+		return vetGuarded(t.Elem())
+	}
+	return false
+}
+
+func TestCacheIsCopylocksVisible(t *testing.T) {
+	for _, typ := range []reflect.Type{
+		reflect.TypeOf(Cache{}),
+		reflect.TypeOf(shard{}),
+	} {
+		if !vetGuarded(typ) {
+			t.Errorf("%s must stay copylocks-visible so vet rejects by-value copies", typ)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"path"
+	"strconv"
+	"strings"
+)
+
+// geomcheck keeps the erasure-code geometry honest. D-Code (and the
+// comparison codes: X-Code, RDP, H-Code, HDP, EVENODD) are defined over a
+// prime parameter p; every modulus and diagonal index in the construction
+// must be derived from the code's declared geometry, never hardcoded — a
+// literal that happens to equal p for the test configuration silently
+// corrupts parity placement for every other array width. The check flags,
+// in the code-construction packages only:
+//
+//   - `x % L` and erasure.Mod(x, L) with an integer literal L (2 is
+//     allowed: halving and parity-pair arithmetic is geometry-independent);
+//   - prime-named constants whose value is not actually prime.
+var geomCheckAnalyzer = &Analyzer{
+	Name: "geomcheck",
+	Doc:  "code-geometry arithmetic must derive from declared constants, not literals",
+	Run:  runGeomCheck,
+}
+
+// geomPackages are the code-construction package basenames the check covers.
+var geomPackages = map[string]bool{
+	"core": true, "xcode": true, "rdp": true,
+	"hcode": true, "hdp": true, "evenodd": true,
+}
+
+func runGeomCheck(ctx *Context) []Finding {
+	var out []Finding
+	for _, pkg := range ctx.M.Sorted {
+		if !geomPackages[path.Base(pkg.ImportPath)] {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch e := n.(type) {
+				case *ast.BinaryExpr:
+					if e.Op.String() != "%" {
+						return true
+					}
+					if lit, val, ok := intLiteral(e.Y); ok && val != 2 {
+						out = append(out, Finding{
+							Pos:      ctx.M.Position(lit.Pos()),
+							Analyzer: "geomcheck",
+							Message: fmt.Sprintf(
+								"modulus is the hardcoded literal %d; derive it from the code's geometry (the prime parameter) instead", val),
+						})
+					}
+				case *ast.CallExpr:
+					fn := staticCallee(pkg.Info, e)
+					if fn == nil || fn.Name() != "Mod" || len(e.Args) != 2 {
+						return true
+					}
+					if lit, val, ok := intLiteral(e.Args[1]); ok && val != 2 {
+						out = append(out, Finding{
+							Pos:      ctx.M.Position(lit.Pos()),
+							Analyzer: "geomcheck",
+							Message: fmt.Sprintf(
+								"%s modulus is the hardcoded literal %d; derive it from the code's geometry (the prime parameter) instead",
+								funcDisplayName(fn), val),
+						})
+					}
+				case *ast.ValueSpec:
+					out = append(out, primeNameFindings(ctx.M, pkg, e)...)
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// intLiteral matches an integer literal (possibly parenthesized or negated).
+func intLiteral(expr ast.Expr) (*ast.BasicLit, int64, bool) {
+	e := ast.Unparen(expr)
+	if u, ok := e.(*ast.UnaryExpr); ok {
+		e = ast.Unparen(u.X)
+	}
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind.String() != "INT" {
+		return nil, 0, false
+	}
+	v, err := strconv.ParseInt(lit.Value, 0, 64)
+	if err != nil {
+		return nil, 0, false
+	}
+	return lit, v, true
+}
+
+// primeNameFindings flags prime-named constants whose value is composite —
+// the whole construction (diagonal coverage, invertibility) collapses when
+// the declared "prime" is not one.
+func primeNameFindings(m *Module, pkg *Package, spec *ast.ValueSpec) []Finding {
+	var out []Finding
+	for _, name := range spec.Names {
+		if !strings.Contains(strings.ToLower(name.Name), "prime") {
+			continue
+		}
+		cst, ok := pkg.Info.Defs[name].(*types.Const)
+		if !ok {
+			continue
+		}
+		val, exact := constant.Int64Val(constant.ToInt(cst.Val()))
+		if !exact {
+			continue
+		}
+		if !isPrime(val) {
+			out = append(out, Finding{
+				Pos:      m.Position(name.Pos()),
+				Analyzer: "geomcheck",
+				Message: fmt.Sprintf(
+					"constant %s is named as a prime but its value %d is not prime", name.Name, val),
+			})
+		}
+	}
+	return out
+}
+
+func isPrime(n int64) bool {
+	if n < 2 {
+		return false
+	}
+	for d := int64(2); d*d <= n; d++ {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,584 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// poolcheck enforces get/put pairing for pooled buffers: every acquisition
+// from a sync.Pool, a stripe.Pool, or a module getX/putX wrapper pair (the
+// raid layer's getScratch/putScratch, getColBuf/putColBuf, getOpBuf/
+// putOpBuf and erasure's getScratch/putScratch are discovered from the
+// method pairs, not hardcoded) must reach a matching put on every return
+// path of the function that acquired it. A leaked buffer silently degrades
+// the steady-state zero-allocation property PR 2 pinned; worse, a pooled
+// buffer stored into a struct field or captured by a `go` statement can be
+// handed to another goroutine while a later Get reuses it — a data race no
+// test reliably catches.
+//
+// The analysis is a structured, path-sensitive walk over each function body
+// (branches fork the held set, merges keep the union, defers release for the
+// whole function). Intentional hand-offs — returning the value from a
+// get-named wrapper is recognized automatically — are annotated with
+// `//lint:escape <justification>` on the acquisition, store, or return line.
+//
+// Known approximations, chosen to keep the walk simple and the findings
+// high-confidence: a put is matched by callee name and argument, not by
+// proving it returns to the same pool instance; values passed to ordinary
+// calls are treated as borrows (the callee returns before the caller's next
+// statement — true for this codebase's synchronous helpers, including
+// fanOut, which blocks on its workers); only direct `go` statements count as
+// goroutine capture.
+var poolCheckAnalyzer = &Analyzer{
+	Name: "poolcheck",
+	Doc:  "pooled buffers must be returned to their pool on every path",
+	Run:  runPoolCheck,
+}
+
+func runPoolCheck(ctx *Context) []Finding {
+	var out []Finding
+	for _, pkg := range ctx.M.Sorted {
+		for _, fs := range functions(pkg) {
+			w := &poolWalker{
+				m:        ctx.M,
+				pkg:      pkg,
+				dirs:     ctx.Dirs,
+				getterOK: isGetterName(fs.decl.Name.Name),
+				reported: make(map[reportKey]bool),
+			}
+			w.walkBody(fs.decl.Body)
+			out = append(out, w.findings...)
+			// Each function literal is its own analysis unit: it has its own
+			// return paths, and its acquisitions must pair inside it.
+			ast.Inspect(fs.decl.Body, func(n ast.Node) bool {
+				lit, ok := n.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				lw := &poolWalker{m: ctx.M, pkg: pkg, dirs: ctx.Dirs, reported: make(map[reportKey]bool)}
+				lw.walkBody(lit.Body)
+				out = append(out, lw.findings...)
+				return true
+			})
+		}
+	}
+	return out
+}
+
+func isGetterName(name string) bool {
+	return strings.HasPrefix(name, "get") || strings.HasPrefix(name, "Get")
+}
+
+// poolHold is one live acquisition.
+type poolHold struct {
+	primary *types.Var
+	pos     token.Pos
+}
+
+// poolHolds maps every alias (including the primary) to its hold.
+type poolHolds map[*types.Var]*poolHold
+
+func (h poolHolds) clone() poolHolds {
+	out := make(poolHolds, len(h))
+	for k, v := range h {
+		out[k] = v
+	}
+	return out
+}
+
+func (h poolHolds) dropHold(hold *poolHold) {
+	for k, v := range h {
+		if v == hold {
+			delete(h, k)
+		}
+	}
+}
+
+func (h poolHolds) live() []*poolHold {
+	seen := make(map[*poolHold]bool)
+	var out []*poolHold
+	for _, v := range h {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+type reportKey struct {
+	at   token.Pos
+	hold *poolHold
+}
+
+type poolWalker struct {
+	m        *Module
+	pkg      *Package
+	dirs     *Directives
+	getterOK bool
+	findings []Finding
+	reported map[reportKey]bool
+}
+
+func (w *poolWalker) walkBody(body *ast.BlockStmt) {
+	held, terminated := w.walkStmts(body.List, make(poolHolds))
+	if !terminated {
+		w.reportLeaks(body.Rbrace, held)
+	}
+}
+
+// report emits one finding unless an escape directive covers the finding
+// line or the acquisition line.
+func (w *poolWalker) report(at token.Pos, hold *poolHold, msg string) {
+	key := reportKey{at: at, hold: hold}
+	if w.reported[key] {
+		return
+	}
+	w.reported[key] = true
+	pos := w.m.Position(at)
+	for _, line := range []token.Position{pos, w.m.Position(hold.pos)} {
+		if d := w.dirs.escapeAt(line.Filename, line.Line); d != nil {
+			d.used = true
+			return
+		}
+	}
+	w.findings = append(w.findings, Finding{Pos: pos, Analyzer: "poolcheck", Message: msg})
+}
+
+func (w *poolWalker) reportLeaks(at token.Pos, held poolHolds) {
+	for _, hold := range held.live() {
+		w.report(at, hold, fmt.Sprintf(
+			"pooled value %s (acquired at line %d) is not returned to its pool on this path",
+			hold.primary.Name(), w.m.Position(hold.pos).Line))
+	}
+}
+
+// walkStmts executes the list over the held set; it reports leaks at return
+// statements and returns the fall-through state.
+func (w *poolWalker) walkStmts(stmts []ast.Stmt, held poolHolds) (poolHolds, bool) {
+	for _, stmt := range stmts {
+		var terminated bool
+		held, terminated = w.walkStmt(stmt, held)
+		if terminated {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func (w *poolWalker) walkStmt(stmt ast.Stmt, held poolHolds) (poolHolds, bool) {
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		w.handleAssign(s, held)
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			w.handleCall(call, held)
+			if isTerminatingCall(w.pkg.Info, call) {
+				return held, true
+			}
+		}
+	case *ast.DeferStmt:
+		w.handleDefer(s.Call, held)
+	case *ast.GoStmt:
+		w.handleGo(s, held)
+	case *ast.ReturnStmt:
+		w.handleReturn(s, held)
+		return held, true
+	case *ast.BranchStmt:
+		// break/continue/goto leave this statement list; pairing across
+		// labels is out of scope for the walk.
+		return held, true
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, held)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held, _ = w.walkStmt(s.Init, held)
+		}
+		bodyStart, elseStart := held.clone(), held.clone()
+		// Nil-check narrowing: `if v := pool.Get(); v != nil { ... }` holds
+		// nothing on the nil branch — the classic miss-then-allocate pattern.
+		if v, nonNilInBody, isNilCheck := nilCheckedVar(w.pkg.Info, s.Cond); isNilCheck {
+			if hold, isHeld := held[v]; isHeld {
+				if nonNilInBody {
+					elseStart.dropHold(hold)
+				} else {
+					bodyStart.dropHold(hold)
+				}
+			}
+		}
+		bodyHeld, bodyTerm := w.walkStmts(s.Body.List, bodyStart)
+		elseHeld, elseTerm := elseStart, false
+		if s.Else != nil {
+			elseHeld, elseTerm = w.walkStmt(s.Else, elseStart)
+		}
+		switch {
+		case bodyTerm && elseTerm:
+			return held, true
+		case bodyTerm:
+			return elseHeld, false
+		case elseTerm:
+			return bodyHeld, false
+		default:
+			return mergeHolds(bodyHeld, elseHeld), false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held, _ = w.walkStmt(s.Init, held)
+		}
+		inner, _ := w.walkStmts(s.Body.List, held.clone())
+		w.flagLoopAcquisitions(s.Body.Rbrace, held, inner)
+		return held, false
+	case *ast.RangeStmt:
+		inner, _ := w.walkStmts(s.Body.List, held.clone())
+		w.flagLoopAcquisitions(s.Body.Rbrace, held, inner)
+		return held, false
+	case *ast.SwitchStmt:
+		return w.walkClauses(s.Init, s.Body.List, held)
+	case *ast.TypeSwitchStmt:
+		return w.walkClauses(s.Init, s.Body.List, held)
+	case *ast.SelectStmt:
+		return w.walkClauses(nil, s.Body.List, held)
+	}
+	return held, false
+}
+
+// walkClauses handles switch/select bodies: each clause forks the held set;
+// the result is the union of the fall-through clauses. Termination is only
+// claimed when every clause terminates and a default exists.
+func (w *poolWalker) walkClauses(init ast.Stmt, clauses []ast.Stmt, held poolHolds) (poolHolds, bool) {
+	if init != nil {
+		held, _ = w.walkStmt(init, held)
+	}
+	merged := poolHolds(nil)
+	allTerminated := true
+	hasDefault := false
+	for _, c := range clauses {
+		var body []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			body = cc.Body
+			if cc.List == nil {
+				hasDefault = true
+			}
+		case *ast.CommClause:
+			body = cc.Body
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		clauseHeld, term := w.walkStmts(body, held.clone())
+		if !term {
+			allTerminated = false
+			if merged == nil {
+				merged = clauseHeld
+			} else {
+				merged = mergeHolds(merged, clauseHeld)
+			}
+		}
+	}
+	if allTerminated && hasDefault && len(clauses) > 0 {
+		return held, true
+	}
+	if merged == nil {
+		merged = held
+	} else {
+		merged = mergeHolds(merged, held)
+	}
+	return merged, false
+}
+
+// flagLoopAcquisitions reports holds created inside a loop body that are
+// still live when an iteration falls through — each iteration leaks one.
+func (w *poolWalker) flagLoopAcquisitions(at token.Pos, outer, inner poolHolds) {
+	outerLive := make(map[*poolHold]bool)
+	for _, h := range outer.live() {
+		outerLive[h] = true
+	}
+	for _, h := range inner.live() {
+		if !outerLive[h] {
+			w.report(at, h, fmt.Sprintf(
+				"pooled value %s (acquired at line %d) is acquired inside a loop and not released each iteration",
+				h.primary.Name(), w.m.Position(h.pos).Line))
+		}
+	}
+}
+
+func mergeHolds(a, b poolHolds) poolHolds {
+	for k, v := range b {
+		a[k] = v
+	}
+	return a
+}
+
+// handleAssign processes acquisitions (v := pool.Get()), aliases
+// (w := v.(*T)), escaping stores (x.f = v, m[k] = v), and discarded
+// acquisitions (_ = pool.Get()).
+func (w *poolWalker) handleAssign(s *ast.AssignStmt, held poolHolds) {
+	// Escaping stores first: struct fields and indexed stores outlive the
+	// function, which breaks the pool's exclusive-ownership contract.
+	for i, lhs := range s.Lhs {
+		if i >= len(s.Rhs) {
+			break
+		}
+		rhsVar := identVar(w.pkg.Info, unwrapValue(s.Rhs[i]))
+		if rhsVar == nil {
+			continue
+		}
+		hold, isHeld := held[rhsVar]
+		if !isHeld {
+			continue
+		}
+		switch lhs.(type) {
+		case *ast.SelectorExpr, *ast.IndexExpr:
+			w.report(lhs.Pos(), hold, fmt.Sprintf(
+				"pooled value %s (acquired at line %d) is stored into a longer-lived structure",
+				hold.primary.Name(), w.m.Position(hold.pos).Line))
+			held.dropHold(hold) // ownership handed off; don't double-report
+		}
+	}
+	if len(s.Rhs) != 1 {
+		return
+	}
+	rhs := unwrapValue(s.Rhs[0])
+	// Alias: x := heldVar (possibly through a type assertion/conversion).
+	if v := identVar(w.pkg.Info, rhs); v != nil {
+		if hold, ok := held[v]; ok {
+			if lv := lhsVar(w.pkg.Info, s.Lhs[0]); lv != nil {
+				held[lv] = hold
+			}
+		}
+		return
+	}
+	// Acquisition.
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok || !w.isAcquisition(call) {
+		return
+	}
+	lv := lhsVar(w.pkg.Info, s.Lhs[0])
+	if lv == nil {
+		hold := &poolHold{pos: call.Pos()}
+		w.report(call.Pos(), hold, "pooled value is acquired and immediately discarded")
+		return
+	}
+	held[lv] = &poolHold{primary: lv, pos: call.Pos()}
+}
+
+// handleCall processes a statement-level call: releases drop their holds.
+func (w *poolWalker) handleCall(call *ast.CallExpr, held poolHolds) {
+	if !isReleaseCall(w.pkg.Info, call) {
+		return
+	}
+	for _, arg := range call.Args {
+		if v := identVar(w.pkg.Info, unwrapValue(arg)); v != nil {
+			if hold, ok := held[v]; ok {
+				held.dropHold(hold)
+			}
+		}
+	}
+}
+
+// handleDefer treats a deferred release (directly or via a closure) as
+// releasing for the whole function — defers run on every exit path.
+func (w *poolWalker) handleDefer(call *ast.CallExpr, held poolHolds) {
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if inner, ok := n.(*ast.CallExpr); ok {
+				w.handleCall(inner, held)
+			}
+			return true
+		})
+		return
+	}
+	w.handleCall(call, held)
+}
+
+// handleGo flags pooled values captured by a spawned goroutine: the caller
+// may put the buffer back while the goroutine still uses it.
+func (w *poolWalker) handleGo(s *ast.GoStmt, held poolHolds) {
+	check := func(root ast.Node) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			if v := identVar(w.pkg.Info, n); v != nil {
+				if hold, okHeld := held[v]; okHeld {
+					w.report(n.Pos(), hold, fmt.Sprintf(
+						"pooled value %s (acquired at line %d) is captured by a goroutine",
+						hold.primary.Name(), w.m.Position(hold.pos).Line))
+				}
+			}
+			return true
+		})
+	}
+	if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+		check(lit.Body)
+	}
+	for _, arg := range s.Call.Args {
+		check(arg)
+	}
+}
+
+// handleReturn releases holds returned by get-named wrappers, flags other
+// escapes, and reports leaks for everything still held.
+func (w *poolWalker) handleReturn(s *ast.ReturnStmt, held poolHolds) {
+	for _, res := range s.Results {
+		v := identVar(w.pkg.Info, unwrapValue(res))
+		if v == nil {
+			continue
+		}
+		hold, ok := held[v]
+		if !ok {
+			continue
+		}
+		if !w.getterOK {
+			w.report(res.Pos(), hold, fmt.Sprintf(
+				"pooled value %s (acquired at line %d) escapes by return from a non-getter function",
+				hold.primary.Name(), w.m.Position(hold.pos).Line))
+		}
+		held.dropHold(hold) // ownership transferred to the caller
+	}
+	w.reportLeaks(s.Pos(), held)
+}
+
+// nilCheckedVar matches a `v != nil` / `v == nil` condition, returning the
+// variable and whether the non-nil case is the if-body.
+func nilCheckedVar(info *types.Info, cond ast.Expr) (*types.Var, bool, bool) {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.NEQ && bin.Op != token.EQL) {
+		return nil, false, false
+	}
+	x, y := ast.Unparen(bin.X), ast.Unparen(bin.Y)
+	if isNilIdent(info, x) {
+		x, y = y, x
+	}
+	if !isNilIdent(info, y) {
+		return nil, false, false
+	}
+	v := identVar(info, x)
+	if v == nil {
+		return nil, false, false
+	}
+	return v, bin.Op == token.NEQ, true
+}
+
+func isNilIdent(info *types.Info, expr ast.Expr) bool {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// unwrapValue strips parens, type assertions and conversions so aliasing
+// through `v.(*T)` or `T(v)` is tracked.
+func unwrapValue(expr ast.Expr) ast.Expr {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.TypeAssertExpr:
+			expr = e.X
+		default:
+			return e
+		}
+	}
+}
+
+// identVar resolves an expression to the local variable it names, nil
+// otherwise.
+func identVar(info *types.Info, n ast.Node) *types.Var {
+	id, ok := n.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if v, ok := info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := info.Defs[id].(*types.Var)
+	return v
+}
+
+func lhsVar(info *types.Info, lhs ast.Expr) *types.Var {
+	id, ok := lhs.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	return identVar(info, id)
+}
+
+// isAcquisition reports whether the call takes ownership of a pooled value:
+// sync.Pool.Get, or a module get-named method whose receiver type also has
+// the matching put-named method and which returns a single pointer-like
+// value (so cache.Get's copy-out bool does not match).
+func (w *poolWalker) isAcquisition(call *ast.CallExpr) bool {
+	fn := staticCallee(w.pkg.Info, call)
+	if fn == nil {
+		return false
+	}
+	recv := recvType(fn)
+	if recv == nil {
+		return false
+	}
+	if fn.Name() == "Get" && typeIs(recv, "sync", "Pool") {
+		return true
+	}
+	path := typePkgPath(recv)
+	if path == "" || !w.m.inModule(path) {
+		return false
+	}
+	putName, ok := pairedPutName(fn.Name())
+	if !ok || !hasMethod(recv, putName) {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Results().Len() != 1 {
+		return false
+	}
+	switch sig.Results().At(0).Type().Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Interface:
+		return true
+	}
+	return false
+}
+
+func pairedPutName(getName string) (string, bool) {
+	switch {
+	case strings.HasPrefix(getName, "get"):
+		return "put" + getName[len("get"):], true
+	case strings.HasPrefix(getName, "Get"):
+		return "Put" + getName[len("Get"):], true
+	}
+	return "", false
+}
+
+// isReleaseCall matches put-named calls (sync.Pool.Put, stripe.Pool.Put and
+// the module's put* wrappers). The release is matched by name and argument,
+// not by pool identity — see the package comment on approximations.
+func isReleaseCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := staticCallee(info, call)
+	if fn == nil {
+		return false
+	}
+	return strings.HasPrefix(fn.Name(), "put") || strings.HasPrefix(fn.Name(), "Put")
+}
+
+// isTerminatingCall recognizes calls that never return.
+func isTerminatingCall(info *types.Info, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fun.Name == "panic" && info.Uses[fun] == nil {
+			return true
+		}
+	}
+	fn := staticCallee(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	full := fn.Pkg().Path() + "." + fn.Name()
+	switch full {
+	case "os.Exit", "runtime.Goexit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+		return true
+	}
+	return false
+}

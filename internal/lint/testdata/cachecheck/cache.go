@@ -1,0 +1,30 @@
+// Package cachetest is a golden fixture for the cachecheck analyzer. Its
+// synthetic import path ends in /raid so the write-through rule applies.
+package cachetest
+
+type dev struct{}
+
+func (dev) ReadAt(p []byte, off int64) (int, error)  { return len(p), nil }
+func (dev) WriteAt(p []byte, off int64) (int, error) { return len(p), nil }
+
+type engine struct {
+	d     dev
+	cells map[int][]byte
+}
+
+func (e *engine) cacheInvalidate(k int) { delete(e.cells, k) }
+
+func (e *engine) writeRaw(p []byte) {
+	_, _ = e.d.WriteAt(p, 0)
+}
+
+// FlushAll writes the device but forgets the element cache entirely.
+func (e *engine) FlushAll(p []byte) { // want `writes the device but never writes through or invalidates the element cache`
+	e.writeRaw(p)
+}
+
+// WriteThrough pairs every device write with a cache invalidation.
+func (e *engine) WriteThrough(k int, p []byte) {
+	e.writeRaw(p)
+	e.cacheInvalidate(k)
+}

@@ -1,0 +1,19 @@
+// Package geomtest is a golden fixture for the geomcheck analyzer. Its
+// synthetic import path has basename "core", one of the geometry packages.
+package geomtest
+
+import "dcode/internal/erasure"
+
+const (
+	goodPrime = 13
+	fakePrime = 9 // want `constant fakePrime is named as a prime but its value 9 is not prime`
+)
+
+func diag(x, p int) int {
+	bad := x % 5 // want `modulus is the hardcoded literal 5`
+	good := x % p
+	half := x % 2
+	m := erasure.Mod(x, 7) // want `modulus is the hardcoded literal 7`
+	n := erasure.Mod(x, p)
+	return bad + good + half + m + n + goodPrime + fakePrime
+}

@@ -1,0 +1,45 @@
+// Package iotest is a golden fixture for the iocheck analyzer.
+package iotest
+
+import (
+	"bufio"
+	"os"
+	"text/tabwriter"
+
+	"dcode/internal/blockdev"
+)
+
+func discards(dev blockdev.Device, buf []byte) {
+	dev.WriteAt(buf, 0)        // want `device I/O error from .*WriteAt is discarded`
+	n, _ := dev.ReadAt(buf, 0) // want `device I/O error from .*ReadAt is assigned to the blank identifier`
+	_ = n
+}
+
+func consumes(dev blockdev.Device, buf []byte) error {
+	if _, err := dev.WriteAt(buf, 0); err != nil {
+		return err
+	}
+	_, err := dev.ReadAt(buf, 0)
+	return err
+}
+
+func flushes(w *tabwriter.Writer, b *bufio.Writer) error {
+	w.Flush()     // want `buffered-output Flush error from .*Flush is discarded`
+	_ = b.Flush() // want `buffered-output Flush error from .*Flush is assigned to the blank identifier`
+	return b.Flush()
+}
+
+func closes(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `Close error on a file opened for writing is discarded by defer`
+	g, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer g.Close() // read-only file: Close cannot lose writes, no finding
+	_ = f
+	return nil
+}

@@ -1,0 +1,18 @@
+// Package suppresstest is a fixture for the suppression machinery: a
+// justified directive, a justification-free one, and an unused one.
+package suppresstest
+
+import "text/tabwriter"
+
+func flushIgnored(w *tabwriter.Writer) {
+	//lint:ignore iocheck the table is advisory output in this fixture
+	w.Flush()
+}
+
+func flushNoJustification(w *tabwriter.Writer) {
+	//lint:ignore iocheck
+	w.Flush()
+}
+
+//lint:ignore iocheck nothing here produces a finding, so this is unused
+func nothing() {}

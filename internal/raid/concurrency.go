@@ -281,6 +281,7 @@ func (a *Array) getColBuf(n int) *colBuf {
 			return cb
 		}
 	}
+	//lint:escape an undersized pooled buffer is dropped for the GC on purpose: re-Putting it would make the pool ratchet down to the smallest request ever seen
 	return &colBuf{b: make([]byte, n)}
 }
 

@@ -128,6 +128,8 @@ func (j *journal) log(typ byte, seq uint64, stripe int64) (uint64, error) {
 // recomputed from data before the array is returned. Replay requires a
 // healthy array — with disks missing, stale parity cannot be told apart from
 // stale data, so mounting dirty and degraded is refused.
+//
+//lint:ignore lockcheck journal replay writes stripes during construction, before the array is returned to any caller — no concurrent operation can hold or need the per-stripe locks yet
 func NewJournaled(code *erasure.Code, devs []blockdev.Device, elemSize int, stripes int64,
 	journalDev blockdev.Device, opts ...Option) (*Array, error) {
 	a, err := New(code, devs, elemSize, stripes, opts...)
