@@ -29,6 +29,7 @@ import (
 	"dcode/internal/blockdev"
 	"dcode/internal/codes"
 	"dcode/internal/raid"
+	"dcode/internal/trace"
 	"dcode/internal/workload"
 )
 
@@ -48,6 +49,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "workload generator seed")
 	conc := flag.Int("conc", 1, "array concurrency: goroutine fan-out bound (0 = GOMAXPROCS)")
 	cacheBytes := flag.Int64("cache", 0, "element-cache budget in bytes: adds a \"+cache\" variant of every cell (0 = off)")
+	traceOn := flag.Bool("trace", false, "run every cell with per-op tracing enabled (span counts to stderr)")
 	flag.Parse()
 
 	if *compare {
@@ -105,7 +107,7 @@ func main() {
 	}
 	for _, e := range entries {
 		for _, prof := range workload.Profiles {
-			res, err := runCell(e, prof, cfg, 0)
+			res, err := runCell(e, prof, cfg, 0, *traceOn)
 			if err != nil {
 				fatal(fmt.Errorf("%s/%s: %w", e.ID, prof.Name, err))
 			}
@@ -117,7 +119,7 @@ func main() {
 			}
 			// Same cell again with the element cache attached: identical op
 			// stream, so the device-op delta is exactly what the cache saved.
-			cres, err := runCell(e, prof, cfg, cfg.CacheBytes)
+			cres, err := runCell(e, prof, cfg, cfg.CacheBytes, *traceOn)
 			if err != nil {
 				fatal(fmt.Errorf("%s/%s +cache: %w", e.ID, prof.Name, err))
 			}
@@ -142,8 +144,10 @@ func main() {
 }
 
 // runCell benchmarks one code under one workload profile on a fresh array.
-// cacheBytes > 0 attaches the element cache and labels the cell "+cache".
-func runCell(e codes.Entry, prof workload.Profile, cfg benchfmt.Config, cacheBytes int64) (benchfmt.Result, error) {
+// cacheBytes > 0 attaches the element cache and labels the cell "+cache";
+// traceOn runs the cell with an enabled tracer (the CI smoke for the traced
+// data path — timing results then include tracing overhead by design).
+func runCell(e codes.Entry, prof workload.Profile, cfg benchfmt.Config, cacheBytes int64, traceOn bool) (benchfmt.Result, error) {
 	code, err := e.New(cfg.P)
 	if err != nil {
 		return benchfmt.Result{}, err
@@ -156,10 +160,19 @@ func runCell(e codes.Entry, prof workload.Profile, cfg benchfmt.Config, cacheByt
 	// Concurrency 0 falls through to the array's GOMAXPROCS default;
 	// WithConcurrency ignores non-positive values by design. WithCache
 	// ignores non-positive budgets the same way.
-	a, err := raid.New(code, devs, cfg.ElemSize, cfg.Stripes,
-		raid.WithConcurrency(cfg.Concurrency), raid.WithCache(cacheBytes))
+	opts := []raid.Option{raid.WithConcurrency(cfg.Concurrency), raid.WithCache(cacheBytes)}
+	var tr *trace.Tracer
+	if traceOn {
+		tr = trace.New(trace.DefaultCapacity, trace.DefaultSlowCapacity)
+		tr.SetSlowThreshold(time.Millisecond)
+		opts = append(opts, raid.WithTracer(tr))
+	}
+	a, err := raid.New(code, devs, cfg.ElemSize, cfg.Stripes, opts...)
 	if err != nil {
 		return benchfmt.Result{}, err
+	}
+	if tr != nil {
+		tr.Enable()
 	}
 
 	// Pre-fill the volume so reads hit real data and writes exercise the
@@ -238,6 +251,14 @@ func runCell(e codes.Entry, prof workload.Profile, cfg benchfmt.Config, cacheByt
 	}
 	res.ReadP99Ns = snap.Latency.Read.P99Nanos
 	res.WriteP99Ns = snap.Latency.Write.P99Nanos
+	if tr != nil {
+		st := tr.Stats()
+		if st.Recorded == 0 {
+			return benchfmt.Result{}, fmt.Errorf("tracing enabled but no spans recorded")
+		}
+		fmt.Fprintf(os.Stderr, "bench: %-10s %-24s trace: %d spans (%d slow, %d evicted)\n",
+			e.ID, res.Workload, st.Recorded, st.SlowCaptured, st.Dropped)
+	}
 	return res, nil
 }
 

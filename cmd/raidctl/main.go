@@ -8,14 +8,24 @@
 //	raidctl fail   -dir /tmp/a -disk 3
 //	raidctl rebuild -dir /tmp/a -disk 3
 //	raidctl scrub  -dir /tmp/a
-//	raidctl stats  -dir /tmp/a [-reset] [-serve :8080]
+//	raidctl stats  -dir /tmp/a [-reset] [-serve :8080] [-watch 1s]
+//	raidctl trace  -dir /tmp/a -o trace.json [-ops 64] [-profile mixed] [-slow 1ms]
+//	raidctl top    -dir /tmp/a [-drive] [-interval 1s] [-count 10]
 //
 // Every operation that touches the volume merges the run's observability
 // snapshot into stats.json in the array directory, so `raidctl stats` reports
 // counters, latency histograms and the per-disk load tally accumulated across
 // process lifetimes. With -serve the same snapshot is exposed over HTTP at
-// /stats (plus expvar and pprof endpoints), re-read per request so a watcher
-// sees arrays being driven by other raidctl invocations.
+// /stats and in Prometheus text format at /metrics (plus expvar and pprof
+// endpoints), re-read per request so a watcher sees arrays being driven by
+// other raidctl invocations; with -watch the terminal summary redraws in
+// place.
+//
+// `raidctl trace` drives a synthetic workload with per-op tracing enabled and
+// dumps the spans as a Chrome trace-event file (load it at chrome://tracing
+// or https://ui.perfetto.dev). `raidctl top` is a live terminal view of the
+// per-disk load window — with -drive it generates its own workload, without
+// it it watches stats.json as other raidctl processes update it.
 package main
 
 import (
@@ -27,6 +37,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"time"
 
 	"dcode/internal/blockdev"
 	"dcode/internal/codes"
@@ -62,6 +73,15 @@ func main() {
 	disk := fs.Int("disk", -1, "disk index (fail/rebuild)")
 	reset := fs.Bool("reset", false, "clear the accumulated statistics (stats)")
 	serve := fs.String("serve", "", "serve stats over HTTP at this address (stats)")
+	watch := fs.Duration("watch", 0, "redraw the stats summary at this interval (stats)")
+	traceOut := fs.String("o", "trace.json", "Chrome trace-event output file (trace)")
+	wlOps := fs.Int("ops", 64, "synthetic operations to generate (trace, top -drive)")
+	profile := fs.String("profile", "mixed", "workload profile: readonly|readintensive|mixed (trace, top -drive)")
+	slow := fs.Duration("slow", 0, "slow-op capture threshold, 0 disables (trace)")
+	seed := fs.Int64("seed", 42, "workload generator seed (trace, top -drive)")
+	interval := fs.Duration("interval", time.Second, "refresh interval (top)")
+	count := fs.Int("count", 0, "number of refreshes, 0 = until interrupted (top)")
+	drive := fs.Bool("drive", false, "generate workload in-process while displaying (top)")
 	fs.Parse(os.Args[2:])
 	if *dir == "" {
 		fatal(fmt.Errorf("-dir is required"))
@@ -83,14 +103,18 @@ func main() {
 	case "scrub":
 		scrub(*dir)
 	case "stats":
-		stats(*dir, *reset, *serve)
+		stats(*dir, *reset, *serve, *watch)
+	case "trace":
+		doTrace(*dir, *traceOut, *wlOps, *profile, *slow, *seed)
+	case "top":
+		top(*dir, *interval, *count, *drive, *wlOps, *profile, *seed, os.Stdout)
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: raidctl create|info|write|read|fail|rebuild|scrub|stats -dir DIR [flags]")
+	fmt.Fprintln(os.Stderr, "usage: raidctl create|info|write|read|fail|rebuild|scrub|stats|trace|top -dir DIR [flags]")
 	os.Exit(2)
 }
 
@@ -124,7 +148,7 @@ func saveMeta(dir string, m meta) {
 }
 
 // open assembles the array from the directory's metadata and disk images.
-func open(dir string) (*raid.Array, meta) {
+func open(dir string, opts ...raid.Option) (*raid.Array, meta) {
 	m := loadMeta(dir)
 	entry, err := codes.ByID(m.Code)
 	if err != nil {
@@ -149,9 +173,9 @@ func open(dir string) (*raid.Array, meta) {
 		if jerr != nil {
 			fatal(jerr)
 		}
-		a, err = raid.NewJournaled(c, devs, m.Elem, m.Stripes, jdev)
+		a, err = raid.NewJournaled(c, devs, m.Elem, m.Stripes, jdev, opts...)
 	} else {
-		a, err = raid.New(c, devs, m.Elem, m.Stripes)
+		a, err = raid.New(c, devs, m.Elem, m.Stripes, opts...)
 	}
 	if err != nil {
 		fatal(err)
@@ -354,7 +378,7 @@ func persistStats(dir string, a *raid.Array) {
 	}
 }
 
-func stats(dir string, reset bool, serve string) {
+func stats(dir string, reset bool, serve string, watch time.Duration) {
 	if reset {
 		if err := os.Remove(statsPath(dir)); err != nil && !os.IsNotExist(err) {
 			fatal(err)
@@ -364,10 +388,22 @@ func stats(dir string, reset bool, serve string) {
 	}
 	loadMeta(dir) // fail early with a clear error outside an array directory
 	if serve != "" {
-		mux := obs.NewMux(func() any { return loadStats(dir) })
+		mux := obs.NewMux(
+			func() any { return loadStats(dir) },
+			func(pw *obs.PromWriter) {
+				s := loadStats(dir)
+				s.WriteProm(pw)
+			})
 		obs.Publish("raid", func() any { return loadStats(dir) })
-		fmt.Fprintf(os.Stderr, "serving stats on http://%s/stats (expvar at /debug/vars, pprof at /debug/pprof/)\n", serve)
+		fmt.Fprintf(os.Stderr, "serving stats on http://%s/stats (Prometheus at /metrics, expvar at /debug/vars, pprof at /debug/pprof/)\n", serve)
 		fatal(http.ListenAndServe(serve, mux))
+	}
+	if watch > 0 {
+		for {
+			s := loadStats(dir)
+			fmt.Print(clearScreen, renderStats(&s))
+			time.Sleep(watch)
+		}
 	}
 	b, err := json.MarshalIndent(loadStats(dir), "", "  ")
 	if err != nil {

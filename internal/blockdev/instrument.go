@@ -11,9 +11,17 @@ import (
 // histograms. Errors are passed through unwrapped, so errors.Is checks on
 // ErrFailed / ErrBadSector keep working through the wrapper.
 type Instrumented struct {
-	dev Device
-	m   obs.IOMetrics
+	dev  Device
+	m    obs.IOMetrics
+	hook OpHook
 }
+
+// OpHook observes every completed device operation: write selects the write
+// path, ops is the element-access count the call stands for (coalesced calls
+// carry the ops they replaced), and bytes is what actually moved. The raid
+// layer uses it to feed the windowed per-disk load tracker without blockdev
+// knowing which column it is.
+type OpHook func(write bool, ops, bytes int64)
 
 // Instrument wraps dev. The wrapper adds two atomic ops and one clock read
 // per call — negligible next to any real device access.
@@ -23,6 +31,10 @@ func Instrument(dev Device) *Instrumented {
 
 // Metrics returns the wrapper's metric set; callers snapshot or reset it.
 func (d *Instrumented) Metrics() *obs.IOMetrics { return &d.m }
+
+// SetOpHook installs h (nil clears it). Set it before the device serves
+// traffic — the field is read without synchronization on the hot path.
+func (d *Instrumented) SetOpHook(h OpHook) { d.hook = h }
 
 // Underlying returns the wrapped device.
 func (d *Instrumented) Underlying() Device { return d.dev }
@@ -47,10 +59,14 @@ func (d *Instrumented) ReadAtN(p []byte, off int64, ops int64) (int, error) {
 	if err != nil {
 		d.m.Reads.Inc()
 		d.m.ReadErrors.Inc()
+		ops = 1
 	} else {
 		d.m.Reads.Add(ops)
 	}
 	d.m.BytesRead.Add(int64(n))
+	if d.hook != nil {
+		d.hook(false, ops, int64(n))
+	}
 	return n, err
 }
 
@@ -67,10 +83,14 @@ func (d *Instrumented) WriteAtN(p []byte, off int64, ops int64) (int, error) {
 	if err != nil {
 		d.m.Writes.Inc()
 		d.m.WriteErrors.Inc()
+		ops = 1
 	} else {
 		d.m.Writes.Add(ops)
 	}
 	d.m.BytesWritten.Add(int64(n))
+	if d.hook != nil {
+		d.hook(true, ops, int64(n))
+	}
 	return n, err
 }
 

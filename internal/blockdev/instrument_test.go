@@ -92,3 +92,55 @@ func TestInstrumentedNOps(t *testing.T) {
 		t.Fatalf("failed call must count one op and one error: %+v", s)
 	}
 }
+
+// TestInstrumentedOpHook checks the hook contract the raid layer's load
+// window depends on: every completed device call fires it with the right
+// direction, the coalesced element-op count, and the bytes that moved;
+// failed calls fire as one op so live tallies match the error accounting.
+func TestInstrumentedOpHook(t *testing.T) {
+	type call struct {
+		write bool
+		ops   int64
+		bytes int64
+	}
+	mem := NewMem(4096)
+	dev := Instrument(mem)
+	var calls []call
+	dev.SetOpHook(func(write bool, ops, bytes int64) {
+		calls = append(calls, call{write, ops, bytes})
+	})
+
+	buf := make([]byte, 256)
+	if _, err := dev.WriteAtN(buf, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	mem.Fail()
+	if _, err := dev.ReadAtN(buf, 0, 9); !errors.Is(err, ErrFailed) {
+		t.Fatalf("got %v", err)
+	}
+
+	want := []call{
+		{write: true, ops: 4, bytes: 256},
+		{write: false, ops: 1, bytes: 256},
+		{write: false, ops: 1, bytes: 0}, // failure collapses to one op
+	}
+	if len(calls) != len(want) {
+		t.Fatalf("hook fired %d times, want %d: %+v", len(calls), len(want), calls)
+	}
+	for i, w := range want {
+		if calls[i] != w {
+			t.Errorf("call %d = %+v, want %+v", i, calls[i], w)
+		}
+	}
+
+	dev.SetOpHook(nil) // clearing must not panic the hot path
+	if _, err := dev.WriteAt(buf, 0); !errors.Is(err, ErrFailed) {
+		t.Fatalf("got %v", err)
+	}
+	if len(calls) != len(want) {
+		t.Error("cleared hook still fired")
+	}
+}

@@ -34,6 +34,7 @@ func TestMetricsTypesAreCopylocksVisible(t *testing.T) {
 		reflect.TypeOf(Histogram{}),
 		reflect.TypeOf(CacheMetrics{}),
 		reflect.TypeOf(IOMetrics{}),
+		reflect.TypeOf(LoadWindow{}),
 	} {
 		if !vetGuarded(typ) {
 			t.Errorf("%s is documented as must-not-copy but carries no vet-visible lock guard", typ)

@@ -83,13 +83,14 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 
 // HistogramSnapshot is the JSON-friendly view of a Histogram. Buckets are
 // log₂: Buckets[i] counts observations in [2^(i-1), 2^i) nanoseconds.
-// P50/P99 are bucket-upper-bound estimates, so they overestimate by at most
-// 2× — adequate for trend tracking and regression gates.
+// P50/P95/P99 are bucket-upper-bound estimates, so they overestimate by at
+// most 2× — adequate for trend tracking and regression gates.
 type HistogramSnapshot struct {
 	Count    int64   `json:"count"`
 	SumNanos int64   `json:"sum_ns"`
 	MaxNanos int64   `json:"max_ns"`
 	P50Nanos int64   `json:"p50_ns"`
+	P95Nanos int64   `json:"p95_ns"`
 	P99Nanos int64   `json:"p99_ns"`
 	Buckets  []int64 `json:"buckets"`
 }
@@ -131,6 +132,7 @@ func (s *HistogramSnapshot) MeanNanos() float64 {
 
 func (s *HistogramSnapshot) refreshQuantiles() {
 	s.P50Nanos = s.Quantile(0.50)
+	s.P95Nanos = s.Quantile(0.95)
 	s.P99Nanos = s.Quantile(0.99)
 }
 

@@ -32,11 +32,15 @@ func Publish(name string, snapshot func() any) {
 // endpoints without touching http.DefaultServeMux:
 //
 //	/stats          – JSON of snapshot()
+//	/metrics        – Prometheus text exposition of collect (omitted if nil)
 //	/debug/vars     – expvar (anything Publish-ed, plus runtime stats)
 //	/debug/pprof/…  – the usual pprof profiles
-func NewMux(snapshot func() any) *http.ServeMux {
+func NewMux(snapshot func() any, collect func(*PromWriter)) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/stats", Handler(snapshot))
+	if collect != nil {
+		mux.Handle("/metrics", PromHandler(collect))
+	}
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"errors"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestPromWriterGolden(t *testing.T) {
+	var b strings.Builder
+	pw := NewPromWriter(&b)
+	pw.Family("dcode_ops_total", "Logical operations.", "counter")
+	pw.SampleInt("dcode_ops_total", []Label{{Name: "op", Value: "read"}}, 42)
+	pw.Sample("dcode_lf", nil, 1.25)
+	if err := pw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP dcode_ops_total Logical operations.\n" +
+		"# TYPE dcode_ops_total counter\n" +
+		`dcode_ops_total{op="read"} 42` + "\n" +
+		"dcode_lf 1.25\n"
+	if b.String() != want {
+		t.Errorf("exposition:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestPromWriterEscapesLabelValues(t *testing.T) {
+	var b strings.Builder
+	pw := NewPromWriter(&b)
+	pw.SampleInt("m", []Label{{Name: "v", Value: "a\\b\"c\nd"}}, 1)
+	if err := pw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := `m{v="a\\b\"c\nd"} 1` + "\n"
+	if b.String() != want {
+		t.Errorf("escaped line %q, want %q", b.String(), want)
+	}
+}
+
+func TestPromWriterRejectsInvalidNames(t *testing.T) {
+	cases := []func(pw *PromWriter){
+		func(pw *PromWriter) { pw.Family("9bad", "x", "counter") },
+		func(pw *PromWriter) { pw.Family("ok", "x", "nonsense") },
+		func(pw *PromWriter) { pw.SampleInt("bad name", nil, 1) },
+		func(pw *PromWriter) { pw.SampleInt("ok", []Label{{Name: "bad:label", Value: "v"}}, 1) },
+		func(pw *PromWriter) { pw.SampleInt("", nil, 1) },
+	}
+	for i, f := range cases {
+		var b strings.Builder
+		pw := NewPromWriter(&b)
+		f(pw)
+		if pw.Err() == nil {
+			t.Errorf("case %d: invalid input accepted", i)
+		}
+	}
+}
+
+func TestPromWriterErrIsSticky(t *testing.T) {
+	var b strings.Builder
+	pw := NewPromWriter(&b)
+	pw.SampleInt("bad name", nil, 1)
+	first := pw.Err()
+	pw.SampleInt("fine", nil, 2)
+	pw.Family("also_fine", "x", "gauge")
+	if !errors.Is(pw.Err(), first) {
+		t.Errorf("error replaced: %v then %v", first, pw.Err())
+	}
+	if strings.Contains(b.String(), "fine") {
+		t.Error("writer kept emitting after an error")
+	}
+}
+
+func TestPromFamilyDeduplicates(t *testing.T) {
+	var b strings.Builder
+	pw := NewPromWriter(&b)
+	pw.Family("m_total", "help", "counter")
+	pw.Family("m_total", "help", "counter")
+	if got := strings.Count(b.String(), "# TYPE m_total"); got != 1 {
+		t.Errorf("TYPE emitted %d times, want 1", got)
+	}
+}
+
+func TestValidPromName(t *testing.T) {
+	for name, want := range map[string]bool{
+		"dcode_ops_total": true,
+		"a:b":             true,
+		"_x9":             true,
+		"":                false,
+		"9a":              false,
+		"a-b":             false,
+		"a b":             false,
+	} {
+		if got := ValidPromName(name); got != want {
+			t.Errorf("ValidPromName(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestWriteHistogramSummary(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.ObserveNanos(int64(i) * 1000)
+	}
+	var b strings.Builder
+	pw := NewPromWriter(&b)
+	pw.WriteHistogramSummary("lat_seconds", "latency", nil, h.Snapshot())
+	if err := pw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, frag := range []string{
+		"# TYPE lat_seconds summary",
+		`lat_seconds{quantile="0.5"}`,
+		`lat_seconds{quantile="0.95"}`,
+		`lat_seconds{quantile="0.99"}`,
+		"lat_seconds_sum ",
+		"lat_seconds_count 100",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("summary missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+// promLine matches a well-formed exposition sample line.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+$`)
+
+func TestPromHandler(t *testing.T) {
+	h := PromHandler(func(pw *PromWriter) {
+		pw.Family("x_total", "a counter", "counter")
+		pw.SampleInt("x_total", nil, 3)
+	})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != PromContentType {
+		t.Errorf("content-type %q, want %q", ct, PromContentType)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(rec.Body.String()), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+
+	broken := PromHandler(func(pw *PromWriter) {
+		pw.SampleInt("x_total", nil, 1)
+		pw.SampleInt("bad name", nil, 2)
+	})
+	rec = httptest.NewRecorder()
+	broken.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 500 {
+		t.Errorf("broken collect served %d, want 500", rec.Code)
+	}
+	if strings.Contains(rec.Body.String(), "x_total 1") {
+		t.Error("broken collect leaked a partial exposition")
+	}
+}
+
+func TestNewMuxMetricsEndpoint(t *testing.T) {
+	mux := NewMux(
+		func() any { return map[string]int{"n": 1} },
+		func(pw *PromWriter) {
+			pw.Family("y_gauge", "a gauge", "gauge")
+			pw.Sample("y_gauge", []Label{{Name: "disk", Value: "0"}}, 2.5)
+		})
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /metrics = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != PromContentType {
+		t.Errorf("content-type %q", ct)
+	}
+	if want := `y_gauge{disk="0"} 2.5`; !strings.Contains(rec.Body.String(), want) {
+		t.Errorf("exposition missing %q:\n%s", want, rec.Body.String())
+	}
+
+	// Without a collector the endpoint is absent, not a 500.
+	mux = NewMux(func() any { return nil }, nil)
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 404 {
+		t.Errorf("GET /metrics with nil collector = %d, want 404", rec.Code)
+	}
+}

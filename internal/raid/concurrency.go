@@ -22,6 +22,7 @@ import (
 	"dcode/internal/blockdev"
 	"dcode/internal/erasure"
 	"dcode/internal/stripe"
+	"dcode/internal/trace"
 )
 
 // Option configures an Array at construction time.
@@ -150,7 +151,7 @@ func (a *Array) readCells(si int64, cells []erasure.Coord, s *stripe.Stripe, sc 
 	// goroutine path, so constructing it would heap-allocate on every call.
 	if a.conc <= 1 || len(runs) <= 1 {
 		for _, r := range runs {
-			if err := a.readRun(si, r, s); err != nil {
+			if err := a.readRun(si, r, s, sc.tc.ID()); err != nil {
 				return hits, err
 			}
 		}
@@ -158,7 +159,7 @@ func (a *Array) readCells(si int64, cells []erasure.Coord, s *stripe.Stripe, sc 
 		return hits, nil
 	}
 	if err := a.fanOut(len(runs), func(i int) error {
-		return a.readRun(si, runs[i], s)
+		return a.readRun(si, runs[i], s, sc.tc.ID())
 	}); err != nil {
 		return hits, err
 	}
@@ -184,7 +185,14 @@ func (a *Array) cacheFill(si int64, cells []erasure.Coord, s *stripe.Stripe) {
 // device dying — it falls back to element-at-a-time readElem, which repairs
 // bad sectors in place and marks the disk failed on real errors, exactly
 // like the uncoalesced path.
-func (a *Array) readRun(si int64, run cellRun, s *stripe.Stripe) error {
+func (a *Array) readRun(si int64, run cellRun, s *stripe.Stripe, parent uint64) error {
+	tc := a.tr.Begin(trace.OpDevRead, int32(run.col), si, parent)
+	err := a.readRunDev(si, run, s)
+	a.tr.End(tc, int64(run.n*a.elemSize), err != nil)
+	return err
+}
+
+func (a *Array) readRunDev(si int64, run cellRun, s *stripe.Stripe) error {
 	if run.n == 1 {
 		co := erasure.Coord{Row: run.row, Col: run.col}
 		return a.readElem(si, co, s.Elem(run.row, run.col))
@@ -219,17 +227,23 @@ func (a *Array) writeCellsBestEffort(si int64, cells []erasure.Coord, s *stripe.
 	runs := coalesce(cells, sc)
 	if a.conc <= 1 || len(runs) <= 1 { // see readCells: avoid the escaping closure
 		for _, r := range runs {
-			a.writeRunBestEffort(si, r, s)
+			a.writeRunBestEffort(si, r, s, sc.tc.ID())
 		}
 		return
 	}
 	_ = a.fanOut(len(runs), func(i int) error {
-		a.writeRunBestEffort(si, runs[i], s)
+		a.writeRunBestEffort(si, runs[i], s, sc.tc.ID())
 		return nil
 	})
 }
 
-func (a *Array) writeRunBestEffort(si int64, run cellRun, s *stripe.Stripe) {
+func (a *Array) writeRunBestEffort(si int64, run cellRun, s *stripe.Stripe, parent uint64) {
+	tc := a.tr.Begin(trace.OpDevWrite, int32(run.col), si, parent)
+	a.writeRunDev(si, run, s)
+	a.tr.End(tc, int64(run.n*a.elemSize), false)
+}
+
+func (a *Array) writeRunDev(si int64, run cellRun, s *stripe.Stripe) {
 	if run.n == 1 {
 		co := erasure.Coord{Row: run.row, Col: run.col}
 		_ = a.writeElem(si, co, s.Elem(run.row, run.col))
@@ -258,7 +272,8 @@ func (a *Array) writeRunBestEffort(si int64, run cellRun, s *stripe.Stripe) {
 // device call, bypassing the failure mark — Rebuild uses it to fill the
 // replaced device, which is still marked failed. Unlike the best-effort
 // data-path writes, a rebuild must land every byte, so errors propagate.
-func (a *Array) writeColumn(si int64, col int, s *stripe.Stripe) error {
+func (a *Array) writeColumn(si int64, col int, s *stripe.Stripe, parent uint64) error {
+	tc := a.tr.Begin(trace.OpDevWrite, int32(col), si, parent)
 	rows := a.code.Rows()
 	cb := a.getColBuf(rows * a.elemSize)
 	defer a.putColBuf(cb)
@@ -266,6 +281,7 @@ func (a *Array) writeColumn(si int64, col int, s *stripe.Stripe) error {
 		copy(cb.b[r*a.elemSize:(r+1)*a.elemSize], s.Elem(r, col))
 	}
 	_, err := a.iodevs[col].WriteAtN(cb.b, a.deviceOffset(si, 0), int64(rows))
+	a.tr.End(tc, int64(rows*a.elemSize), err != nil)
 	return err
 }
 
@@ -303,7 +319,8 @@ type opScratch struct {
 	miss   []erasure.Coord // readCells' cache-miss list
 	srcs   [][]byte
 	runs   []cellRun
-	b1, b2 []byte // element-sized RMW scratch (new value, delta)
+	b1, b2 []byte    // element-sized RMW scratch (new value, delta)
+	tc     trace.Ctx // the stripe task's span; set at every task start (pooled state is stale)
 }
 
 func (a *Array) getScratch() *opScratch {

@@ -11,7 +11,7 @@ import (
 	"dcode/internal/erasure"
 )
 
-func newArrayConc(t *testing.T, id string, p int, stripes int64, opts ...Option) (*Array, []*blockdev.MemDevice) {
+func newArrayConc(t testing.TB, id string, p int, stripes int64, opts ...Option) (*Array, []*blockdev.MemDevice) {
 	t.Helper()
 	code := codes.MustNew(id, p)
 	devs := make([]blockdev.Device, code.Cols())

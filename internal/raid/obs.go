@@ -2,6 +2,7 @@ package raid
 
 import (
 	"dcode/internal/obs"
+	"dcode/internal/trace"
 )
 
 // arrayMetrics is the array's observability state: lock-free counters for
@@ -78,6 +79,16 @@ type Snapshot struct {
 	// Cache is the element cache's counters and occupancy; nil (omitted)
 	// when the array was built without WithCache.
 	Cache *obs.CacheSnapshot `json:"cache,omitempty"`
+
+	// Window is the rolling per-disk load view (recent reads/writes per disk,
+	// live LF over the window, op rates, hot disks). Unlike Load, which
+	// accumulates since the last reset, Window only covers the configured
+	// trailing interval.
+	Window *obs.WindowSnapshot `json:"window,omitempty"`
+
+	// Trace carries the tracer's ring counters and retained slow spans; nil
+	// (omitted) when the array runs with the Nop tracer.
+	Trace *TraceSnapshot `json:"trace,omitempty"`
 }
 
 // XORSnapshot aliases the erasure engine's counter snapshot so Snapshot
@@ -160,6 +171,13 @@ func (a *Array) Snapshot() Snapshot {
 		cs := a.cache.Snapshot()
 		s.Cache = &cs
 	}
+	if a.window != nil {
+		ws := a.window.Snapshot()
+		s.Window = &ws
+	}
+	if a.tr != nil && a.tr != trace.Nop {
+		s.Trace = &TraceSnapshot{Stats: a.tr.Stats(), SlowSpans: a.tr.SlowSpans()}
+	}
 	return s
 }
 
@@ -211,6 +229,27 @@ func (s *Snapshot) Merge(o Snapshot) {
 		}
 		s.Cache.Merge(*o.Cache)
 	}
+
+	// The window is a point-in-time rolling view and the slow-span log is a
+	// recent-history capture: neither sums meaningfully, so the merge adopts
+	// the newer snapshot's values while the trace counters accumulate.
+	if o.Window != nil {
+		w := *o.Window
+		s.Window = &w
+	}
+	if o.Trace != nil {
+		if s.Trace == nil {
+			s.Trace = &TraceSnapshot{}
+		}
+		s.Trace.Recorded += o.Trace.Recorded
+		s.Trace.Dropped += o.Trace.Dropped
+		s.Trace.SlowCaptured += o.Trace.SlowCaptured
+		s.Trace.Enabled = o.Trace.Enabled
+		s.Trace.Capacity = o.Trace.Capacity
+		s.Trace.SlowCapacity = o.Trace.SlowCapacity
+		s.Trace.SlowThresholdNs = o.Trace.SlowThresholdNs
+		s.Trace.SlowSpans = o.Trace.SlowSpans
+	}
 }
 
 // ResetMetrics zeroes every counter, histogram and device tally, including
@@ -244,5 +283,6 @@ func (a *Array) ResetMetrics() {
 	if a.cache != nil {
 		a.cache.Metrics().Reset()
 	}
+	a.window.Reset()
 	a.code.ResetXORStats()
 }

@@ -19,8 +19,10 @@ import (
 	"dcode/internal/blockdev"
 	"dcode/internal/cache"
 	"dcode/internal/erasure"
+	"dcode/internal/obs"
 	"dcode/internal/recovery"
 	"dcode/internal/stripe"
+	"dcode/internal/trace"
 )
 
 // ErrTooManyFailures is returned when more than two disks are unavailable.
@@ -54,6 +56,16 @@ type Array struct {
 	// path, repair, rebuild — is tallied.
 	m      arrayMetrics
 	iodevs []*blockdev.Instrumented
+
+	// tr is the structured tracer (trace.Nop unless WithTracer attached
+	// one) and window the always-on rolling per-disk load tracker; both are
+	// wired by initObservability (see trace.go). The window* fields carry
+	// WithLoadWindow's configuration from option to construction.
+	tr              *trace.Tracer
+	window          *obs.LoadWindow
+	windowSlots     int
+	windowSlotDur   time.Duration
+	windowHotFactor float64
 
 	// jnl, when non-nil, brackets every stripe mutation with intent/commit
 	// records (see journal.go).
@@ -156,6 +168,7 @@ func New(code *erasure.Code, devs []blockdev.Device, elemSize int, stripes int64
 	if a.cacheBytes > 0 {
 		a.cache = cache.New(a.cacheBytes, elemSize)
 	}
+	a.initObservability()
 	return a, nil
 }
 
@@ -305,7 +318,7 @@ func (a *Array) writeElem(stripeIdx int64, co erasure.Coord, src []byte) error {
 // column as one coalesced device read. A device that fails silently is
 // discovered here (the read errors and marks it), in which case the load
 // restarts without it, up to the code's two-failure tolerance.
-func (a *Array) loadStripe(stripeIdx int64, s *stripe.Stripe) error {
+func (a *Array) loadStripe(stripeIdx int64, s *stripe.Stripe, parent uint64) error {
 	rows := a.code.Rows()
 	for {
 		failed := a.failedList()
@@ -318,7 +331,7 @@ func (a *Array) loadStripe(stripeIdx int64, s *stripe.Stripe) error {
 					return nil
 				}
 			}
-			return a.readRun(stripeIdx, cellRun{col: c, row: 0, n: rows}, s)
+			return a.readRun(stripeIdx, cellRun{col: c, row: 0, n: rows}, s, parent)
 		})
 		if err != nil {
 			// The failing read marked its disk; restart the load degraded
@@ -340,7 +353,7 @@ func (a *Array) loadStripe(stripeIdx int64, s *stripe.Stripe) error {
 // that fails during the store is skipped — its content is moot and the
 // stripe stays reconstructable — unless that pushes the array past two
 // failures.
-func (a *Array) storeStripe(stripeIdx int64, s *stripe.Stripe) error {
+func (a *Array) storeStripe(stripeIdx int64, s *stripe.Stripe, parent uint64) error {
 	rows := a.code.Rows()
 	_ = a.fanOut(a.code.Cols(), func(c int) error {
 		if a.isFailed(c) {
@@ -348,7 +361,7 @@ func (a *Array) storeStripe(stripeIdx int64, s *stripe.Stripe) error {
 		}
 		// writeRunBestEffort marks a disk failed on error and keeps going so
 		// the surviving disks still receive a consistent stripe.
-		a.writeRunBestEffort(stripeIdx, cellRun{col: c, row: 0, n: rows}, s)
+		a.writeRunBestEffort(stripeIdx, cellRun{col: c, row: 0, n: rows}, s, parent)
 		return nil
 	})
 	if a.failedCount() > 2 {
@@ -403,9 +416,13 @@ func (a *Array) splitBytes(off int64, n int, out []elemRange) ([]elemRange, erro
 // recovery groups are fetched (the erasure engine's degraded plan, the
 // paper's low-I/O degraded read); a double failure falls back to
 // whole-stripe reconstruction.
-func (a *Array) ReadAt(p []byte, off int64) (int, error) {
+func (a *Array) ReadAt(p []byte, off int64) (n int, err error) {
+	tc := a.tr.Begin(trace.OpRead, -1, -1, 0)
 	start := time.Now()
-	defer func() { a.m.readLatency.Observe(time.Since(start)) }()
+	defer func() {
+		a.m.readLatency.Observe(time.Since(start))
+		a.tr.End(tc, int64(n), err != nil)
+	}()
 	a.opMu.RLock()
 	defer a.opMu.RUnlock()
 	ob := a.getOpBuf()
@@ -423,14 +440,14 @@ func (a *Array) ReadAt(p []byte, off int64) (int, error) {
 	// escapes into the goroutine path), so loop directly when not fanning out.
 	if a.conc <= 1 || len(runs) <= 1 {
 		for _, r := range runs {
-			if err := a.readStripeRun(r, ranges, p); err != nil {
+			if err := a.readStripeRun(r, ranges, p, tc.ID()); err != nil {
 				return 0, err
 			}
 		}
 		return len(p), nil
 	}
 	err = a.fanOut(len(runs), func(i int) error {
-		return a.readStripeRun(runs[i], ranges, p)
+		return a.readStripeRun(runs[i], ranges, p, tc.ID())
 	})
 	if err != nil {
 		return 0, err
@@ -439,14 +456,31 @@ func (a *Array) ReadAt(p []byte, off int64) (int, error) {
 }
 
 // readStripeRun serves one stripe's slice of the call's element ranges under
-// that stripe's lock, with its own pooled scratch.
-func (a *Array) readStripeRun(r stripeRun, ranges []elemRange, p []byte) error {
+// that stripe's lock, with its own pooled scratch. The stripe-task span
+// lands in sc.tc so everything below parents to it.
+func (a *Array) readStripeRun(r stripeRun, ranges []elemRange, p []byte, parent uint64) error {
 	sc := a.getScratch()
 	defer a.putScratch(sc)
+	sc.tc = a.tr.Begin(trace.OpReadStripe, -1, r.si, parent)
 	mu := a.lockStripe(r.si)
 	mu.Lock()
-	defer mu.Unlock()
-	return a.readStripeRanges(r.si, ranges[r.lo:r.hi], p, sc)
+	err := a.readStripeRanges(r.si, ranges[r.lo:r.hi], p, sc)
+	mu.Unlock()
+	a.tr.End(sc.tc, rangeBytes(ranges[r.lo:r.hi], sc.tc), err != nil)
+	return err
+}
+
+// rangeBytes totals the byte span of a stripe task for its trace span; it
+// costs nothing when tracing is off.
+func rangeBytes(ers []elemRange, tc trace.Ctx) int64 {
+	if !tc.Active() {
+		return 0
+	}
+	var n int64
+	for _, er := range ers {
+		n += int64(er.length)
+	}
+	return n
 }
 
 // readStripeRanges serves one stripe's element ranges, retrying with
@@ -527,7 +561,11 @@ func (a *Array) fetchStripeElems(si int64, ers []elemRange, sc *opScratch) error
 		// memoized and shared — copy its fetch list before readCells, which
 		// sorts in place during coalescing.
 		start := time.Now()
-		defer func() { a.m.degradedReadLatency.Observe(time.Since(start)) }()
+		tcd := a.tr.Begin(trace.OpDegradedRead, int32(failed[0]), si, sc.tc.ID())
+		defer func() {
+			a.m.degradedReadLatency.Observe(time.Since(start))
+			a.tr.End(tcd, int64(len(wanted))*int64(a.elemSize), false)
+		}()
 		a.m.degradedReads.Inc()
 		plan, err := a.planDegraded(failed[0], wanted)
 		if err != nil {
@@ -574,9 +612,13 @@ func (a *Array) fetchStripeElems(si int64, ers []elemRange, sc *opScratch) error
 	default:
 		// Double failure: whole-stripe reconstruction.
 		start := time.Now()
-		defer func() { a.m.degradedReadLatency.Observe(time.Since(start)) }()
+		tcd := a.tr.Begin(trace.OpDegradedRead, -1, si, sc.tc.ID())
+		defer func() {
+			a.m.degradedReadLatency.Observe(time.Since(start))
+			a.tr.End(tcd, int64(len(wanted))*int64(a.elemSize), false)
+		}()
 		a.m.degradedReads.Inc()
-		if err := a.loadStripe(si, sc.s); err != nil {
+		if err := a.loadStripe(si, sc.s, sc.tc.ID()); err != nil {
 			return err
 		}
 		// Insert the wanted cells (loadStripe bypasses the cache): the lost
@@ -594,9 +636,13 @@ func (a *Array) fetchStripeElems(si int64, ers []elemRange, sc *opScratch) error
 // written in one pass; partial updates use read-modify-write parity patching
 // (the UpdateData path); writes while disks are failed take a degraded
 // full-stripe path so parity stays consistent for the eventual rebuild.
-func (a *Array) WriteAt(p []byte, off int64) (int, error) {
+func (a *Array) WriteAt(p []byte, off int64) (n int, err error) {
+	tc := a.tr.Begin(trace.OpWrite, -1, -1, 0)
 	start := time.Now()
-	defer func() { a.m.writeLatency.Observe(time.Since(start)) }()
+	defer func() {
+		a.m.writeLatency.Observe(time.Since(start))
+		a.tr.End(tc, int64(n), err != nil)
+	}()
 	a.opMu.RLock()
 	defer a.opMu.RUnlock()
 	ob := a.getOpBuf()
@@ -616,14 +662,14 @@ func (a *Array) WriteAt(p []byte, off int64) (int, error) {
 	// Serial fast path, as in ReadAt: skip the heap-allocating closure.
 	if a.conc <= 1 || len(runs) <= 1 {
 		for _, r := range runs {
-			if err := a.writeStripeRun(r, ranges, p); err != nil {
+			if err := a.writeStripeRun(r, ranges, p, tc.ID()); err != nil {
 				return 0, err
 			}
 		}
 		return len(p), nil
 	}
 	err = a.fanOut(len(runs), func(i int) error {
-		return a.writeStripeRun(runs[i], ranges, p)
+		return a.writeStripeRun(runs[i], ranges, p, tc.ID())
 	})
 	if err != nil {
 		return 0, err
@@ -634,9 +680,16 @@ func (a *Array) WriteAt(p []byte, off int64) (int, error) {
 // writeStripeRun applies one stripe's slice of the call's element ranges
 // under that stripe's lock, bracketed by journal intent/commit records when a
 // journal is attached.
-func (a *Array) writeStripeRun(r stripeRun, ranges []elemRange, p []byte) error {
+func (a *Array) writeStripeRun(r stripeRun, ranges []elemRange, p []byte, parent uint64) error {
 	sc := a.getScratch()
 	defer a.putScratch(sc)
+	sc.tc = a.tr.Begin(trace.OpWriteStripe, -1, r.si, parent)
+	werr := a.writeStripeRunLocked(r, ranges, p, sc)
+	a.tr.End(sc.tc, rangeBytes(ranges[r.lo:r.hi], sc.tc), werr != nil)
+	return werr
+}
+
+func (a *Array) writeStripeRunLocked(r stripeRun, ranges []elemRange, p []byte, sc *opScratch) error {
 	mu := a.lockStripe(r.si)
 	mu.Lock()
 	defer mu.Unlock()
@@ -728,7 +781,7 @@ func (a *Array) writeStripeRanges(si int64, ers []elemRange, p []byte, sc *opScr
 		}
 		// A disk failed mid-write; redo the stripe degraded.
 	}
-	if err := a.loadStripe(si, sc.s); err != nil {
+	if err := a.loadStripe(si, sc.s, sc.tc.ID()); err != nil {
 		return err
 	}
 	for _, er := range ers {
@@ -736,7 +789,7 @@ func (a *Array) writeStripeRanges(si int64, ers []elemRange, p []byte, sc *opScr
 			p[er.bufOff:er.bufOff+er.length])
 	}
 	a.code.Encode(sc.s)
-	if err := a.storeStripe(si, sc.s); err != nil {
+	if err := a.storeStripe(si, sc.s, sc.tc.ID()); err != nil {
 		return err
 	}
 	// Write the whole encoded stripe through: on a degraded array the cells
@@ -833,13 +886,13 @@ func (a *Array) rmwElement(stripeIdx int64, er elemRange, p []byte, sc *opScratc
 	copy(newVal[er.start:er.start+er.length], p[er.bufOff:er.bufOff+er.length])
 	delta := sc.b2
 	stripe.XORInto(delta, old, newVal)
-	_ = a.writeElem(stripeIdx, er.coord, newVal)
+	_ = a.writeElemTraced(stripeIdx, er.coord, newVal, sc.tc.ID())
 	a.cachePut(stripeIdx, er.coord, newVal)
 	for _, gi := range groups {
 		pc := a.code.Groups()[gi].Parity
 		pe := sc.s.Elem(pc.Row, pc.Col)
 		stripe.XOR(pe, delta)
-		_ = a.writeElem(stripeIdx, pc, pe)
+		_ = a.writeElemTraced(stripeIdx, pc, pe, sc.tc.ID())
 		a.cachePut(stripeIdx, pc, pe)
 	}
 	if a.failedCount() > 2 {
@@ -853,7 +906,9 @@ func (a *Array) rmwElement(stripeIdx int64, er elemRange, p []byte, sc *opScratc
 // follows the read-minimal hybrid recovery plan (paper §III-D: ~25% fewer
 // reads than rebuilding through one parity kind); a second concurrent
 // failure falls back to whole-stripe reconstruction.
-func (a *Array) Rebuild(col int) error {
+func (a *Array) Rebuild(col int) (err error) {
+	tcOp := a.tr.Begin(trace.OpRebuild, int32(col), -1, 0)
+	defer func() { a.tr.End(tcOp, 0, err != nil) }()
 	a.opMu.Lock()
 	defer a.opMu.Unlock()
 	if col < 0 || col >= a.code.Cols() {
@@ -871,29 +926,8 @@ func (a *Array) Rebuild(col int) error {
 			plan = &pl
 		}
 	}
-	err := a.fanOut(int(a.stripes), func(i int) error {
-		si := int64(i)
-		sc := a.getScratch()
-		defer a.putScratch(sc)
-		stripeStart := time.Now()
-		rebuilt := false
-		if plan != nil && a.failedCount() == 1 {
-			if err := a.rebuildStripePlanned(si, col, plan, sc); err == nil {
-				rebuilt = true
-			}
-			// On error a new failure was likely discovered; fall back.
-		}
-		if !rebuilt {
-			if err := a.loadStripe(si, sc.s); err != nil {
-				return err
-			}
-			if err := a.writeColumn(si, col, sc.s); err != nil {
-				return fmt.Errorf("raid: rebuilding disk %d stripe %d: %w", col, si, err)
-			}
-		}
-		a.m.stripesRebuilt.Inc()
-		a.m.rebuildLatency.Observe(time.Since(stripeStart))
-		return nil
+	err = a.fanOut(int(a.stripes), func(i int) error {
+		return a.rebuildStripe(int64(i), col, plan, tcOp.ID())
 	})
 	if err != nil {
 		return err
@@ -904,6 +938,36 @@ func (a *Array) Rebuild(col int) error {
 	// equal to it.
 	a.cacheInvalidateColumn(col)
 	a.invalidatePlans()
+	return nil
+}
+
+// rebuildStripe restores column col of one stripe: the planned read-minimal
+// path when a plan is available and the failure count still permits it,
+// whole-stripe reconstruction otherwise.
+func (a *Array) rebuildStripe(si int64, col int, plan *recovery.Plan, parent uint64) (err error) {
+	sc := a.getScratch()
+	defer a.putScratch(sc)
+	sc.tc = a.tr.Begin(trace.OpRebuildStripe, int32(col), si, parent)
+	stripeStart := time.Now()
+	defer func() {
+		a.tr.End(sc.tc, 0, err != nil)
+		if err == nil {
+			a.m.stripesRebuilt.Inc()
+			a.m.rebuildLatency.Observe(time.Since(stripeStart))
+		}
+	}()
+	if plan != nil && a.failedCount() == 1 {
+		if err := a.rebuildStripePlanned(si, col, plan, sc); err == nil {
+			return nil
+		}
+		// On error a new failure was likely discovered; fall back.
+	}
+	if err := a.loadStripe(si, sc.s, sc.tc.ID()); err != nil {
+		return err
+	}
+	if err := a.writeColumn(si, col, sc.s, sc.tc.ID()); err != nil {
+		return fmt.Errorf("raid: rebuilding disk %d stripe %d: %w", col, si, err)
+	}
 	return nil
 }
 
@@ -1001,7 +1065,7 @@ func (a *Array) rebuildStripePlanned(si int64, col int, plan *recovery.Plan, sc 
 			a.countDecodeXOR(1 + len(srcs))
 		}
 	}
-	if err := a.writeColumn(si, col, sc.s); err != nil {
+	if err := a.writeColumn(si, col, sc.s, sc.tc.ID()); err != nil {
 		return fmt.Errorf("raid: rebuilding disk %d stripe %d: %w", col, si, err)
 	}
 	return nil
@@ -1010,36 +1074,46 @@ func (a *Array) rebuildStripePlanned(si int64, col int, plan *recovery.Plan, sc 
 // Scrub verifies the parity of every stripe; inconsistent stripes are
 // re-encoded from their data (the data is trusted, as a real scrubber does
 // absent checksums). It returns how many stripes were repaired.
-func (a *Array) Scrub() (int64, error) {
+func (a *Array) Scrub() (fixedN int64, err error) {
+	tcOp := a.tr.Begin(trace.OpScrub, -1, -1, 0)
+	defer func() { a.tr.End(tcOp, 0, err != nil) }()
 	a.opMu.Lock()
 	defer a.opMu.Unlock()
 	if n := a.failedCount(); n > 0 {
 		return 0, fmt.Errorf("raid: scrub requires a healthy array (%d disks failed)", n)
 	}
 	var fixed atomic.Int64
-	err := a.fanOut(int(a.stripes), func(i int) error {
-		si := int64(i)
-		sc := a.getScratch()
-		defer a.putScratch(sc)
-		stripeStart := time.Now()
-		if err := a.loadStripe(si, sc.s); err != nil {
-			return err
-		}
-		if a.code.Verify(sc.s) {
-			a.m.scrubLatency.Observe(time.Since(stripeStart))
-			return nil
-		}
-		a.code.Encode(sc.s)
-		if err := a.storeStripe(si, sc.s); err != nil {
-			return err
-		}
-		// The stripe disagreed with its parity, so some device diverged from
-		// what the engine believed: drop every cached cell of the stripe.
-		a.cacheInvalidateStripe(si)
-		fixed.Add(1)
-		a.m.scrubErrorsFixed.Inc()
-		a.m.scrubLatency.Observe(time.Since(stripeStart))
-		return nil
+	err = a.fanOut(int(a.stripes), func(i int) error {
+		n, err := a.scrubStripeTask(int64(i), tcOp.ID())
+		fixed.Add(n)
+		return err
 	})
 	return fixed.Load(), err
+}
+
+// scrubStripeTask verifies (and if needed repairs) one stripe, returning 1
+// when it had to be re-encoded.
+func (a *Array) scrubStripeTask(si int64, parent uint64) (fixed int64, err error) {
+	sc := a.getScratch()
+	defer a.putScratch(sc)
+	sc.tc = a.tr.Begin(trace.OpScrubStripe, -1, si, parent)
+	defer func() { a.tr.End(sc.tc, 0, err != nil) }()
+	stripeStart := time.Now()
+	if err := a.loadStripe(si, sc.s, sc.tc.ID()); err != nil {
+		return 0, err
+	}
+	if a.code.Verify(sc.s) {
+		a.m.scrubLatency.Observe(time.Since(stripeStart))
+		return 0, nil
+	}
+	a.code.Encode(sc.s)
+	if err := a.storeStripe(si, sc.s, sc.tc.ID()); err != nil {
+		return 0, err
+	}
+	// The stripe disagreed with its parity, so some device diverged from
+	// what the engine believed: drop every cached cell of the stripe.
+	a.cacheInvalidateStripe(si)
+	a.m.scrubErrorsFixed.Inc()
+	a.m.scrubLatency.Observe(time.Since(stripeStart))
+	return 1, nil
 }

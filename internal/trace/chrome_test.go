@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestWriteChrome(t *testing.T) {
+	spans := []Span{
+		{ID: 1, Op: OpRead, Disk: -1, Stripe: -1, Bytes: 4096, Start: 1_000_500, Dur: 3000},
+		{ID: 2, Parent: 1, Op: OpReadStripe, Disk: -1, Stripe: 3, Bytes: 4096, Start: 1_001_000, Dur: 2000},
+		{ID: 3, Parent: 2, Op: OpDevRead, Disk: 2, Stripe: 3, Bytes: 2048, Start: 1_001_500, Dur: 1000, Err: true},
+	}
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("output is not a JSON array: %v", err)
+	}
+	// 3 track-name metadata events (ops, stripes, disks 0-2 would need
+	// maxDisk tracks: disks 0..2 → 3 names) + 3 span events.
+	var meta, complete []map[string]any
+	for _, e := range events {
+		switch e["ph"] {
+		case "M":
+			meta = append(meta, e)
+		case "X":
+			complete = append(complete, e)
+		default:
+			t.Errorf("unexpected phase %v", e["ph"])
+		}
+	}
+	if len(meta) != 5 { // "array ops", "stripe ops", "disk 0".."disk 2"
+		t.Errorf("got %d metadata events, want 5", len(meta))
+	}
+	if len(complete) != 3 {
+		t.Fatalf("got %d complete events, want 3", len(complete))
+	}
+	// Metadata sorts first; spans rebase to the earliest Start and convert to µs.
+	if events[0]["ph"] != "M" {
+		t.Error("metadata events must sort first")
+	}
+	first := complete[0]
+	if first["name"] != "read" || first["ts"] != 0.0 || first["dur"] != 3.0 {
+		t.Errorf("first span event %v, want read at ts=0 dur=3µs", first)
+	}
+	last := complete[2]
+	if last["name"] != "dev_read" || last["tid"] != float64(chromeTidDisks+2) {
+		t.Errorf("device span event %v, want dev_read on disk-2 track", last)
+	}
+	args := last["args"].(map[string]any)
+	if args["parent"] != 2.0 || args["disk"] != 2.0 || args["err"] != true {
+		t.Errorf("device span args %v", args)
+	}
+}
+
+func TestWriteChromeEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 { // just the ops + stripes track names
+		t.Errorf("got %d events for an empty span set, want 2 track names", len(events))
+	}
+}

@@ -1,0 +1,44 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+)
+
+// vetGuarded mirrors the audit in internal/obs: a must-not-copy type has to
+// transitively contain a sync or sync/atomic type so `go vet`'s copylocks
+// check rejects by-value copies.
+func vetGuarded(t reflect.Type) bool {
+	switch t.Kind() {
+	case reflect.Struct:
+		if pkg := t.PkgPath(); pkg == "sync" || pkg == "sync/atomic" {
+			return true
+		}
+		for i := 0; i < t.NumField(); i++ {
+			if vetGuarded(t.Field(i).Type) {
+				return true
+			}
+		}
+	case reflect.Array:
+		return vetGuarded(t.Elem())
+	}
+	return false
+}
+
+func TestTracerTypesAreCopylocksVisible(t *testing.T) {
+	for _, typ := range []reflect.Type{
+		reflect.TypeOf(Tracer{}),
+		reflect.TypeOf(ring{}),
+		reflect.TypeOf(slot{}),
+	} {
+		if !vetGuarded(typ) {
+			t.Errorf("%s is documented as must-not-copy but carries no vet-visible lock guard", typ)
+		}
+	}
+	// Ctx and Span are deliberately plain values — they must stay copyable.
+	for _, typ := range []reflect.Type{reflect.TypeOf(Ctx{}), reflect.TypeOf(Span{})} {
+		if vetGuarded(typ) {
+			t.Errorf("%s must stay freely copyable but contains a lock-guarded field", typ)
+		}
+	}
+}

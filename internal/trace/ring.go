@@ -1,0 +1,102 @@
+package trace
+
+import "sync/atomic"
+
+// ring is the lock-free span ring buffer. Capacity is a power of two; a
+// writer claims a monotonically increasing ticket and overwrites the slot
+// ticket&mask, so the ring always retains the newest spans.
+//
+// Publication is a per-slot seqlock built entirely from atomics (the race
+// detector sees no unsynchronized access): the writer stores an odd sequence
+// word, stores the span fields, then stores the even word (ticket+1)<<1.
+// A reader accepts a slot only when the sequence word is even, unchanged
+// across the copy, and encodes the ticket the reader expected — a slot
+// overwritten mid-drain fails one of those checks and is skipped. The one
+// undetectable interleaving is two writers a full ring apart racing the same
+// slot field-by-field, which can blend two spans into one record; that needs
+// a complete ring wrap within nanoseconds and, being observability data, is
+// accepted rather than paid for with a lock.
+type ring struct {
+	mask  uint64
+	head  atomic.Uint64 // tickets issued = spans ever recorded
+	slots []slot
+}
+
+// slot holds one span with every field atomic so concurrent put/drain are
+// data-race-free by construction. op, disk and err pack into meta.
+type slot struct {
+	seq    atomic.Uint64 // 0 empty; odd: writing; even: (ticket+1)<<1
+	id     atomic.Uint64
+	parent atomic.Uint64
+	meta   atomic.Uint64
+	stripe atomic.Int64
+	bytes  atomic.Int64
+	start  atomic.Int64
+	dur    atomic.Int64
+}
+
+func packMeta(op Op, disk int32, err bool) uint64 {
+	m := uint64(op) | uint64(uint32(disk))<<8
+	if err {
+		m |= 1 << 40
+	}
+	return m
+}
+
+func unpackMeta(m uint64) (op Op, disk int32, err bool) {
+	return Op(m & 0xff), int32(uint32(m >> 8)), m&(1<<40) != 0
+}
+
+func newRing(capacity int) *ring {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &ring{mask: uint64(n - 1), slots: make([]slot, n)}
+}
+
+func (r *ring) put(sp Span) {
+	ticket := r.head.Add(1) - 1
+	s := &r.slots[ticket&r.mask]
+	s.seq.Store(ticket<<1 | 1)
+	s.id.Store(sp.ID)
+	s.parent.Store(sp.Parent)
+	s.meta.Store(packMeta(sp.Op, sp.Disk, sp.Err))
+	s.stripe.Store(sp.Stripe)
+	s.bytes.Store(sp.Bytes)
+	s.start.Store(sp.Start)
+	s.dur.Store(sp.Dur)
+	s.seq.Store((ticket + 1) << 1)
+}
+
+// drain copies out the retained spans, oldest ticket first, skipping slots
+// that are empty, mid-write, or overwritten while being copied.
+func (r *ring) drain() []Span {
+	head := r.head.Load()
+	n := uint64(len(r.slots))
+	if head < n {
+		n = head
+	}
+	out := make([]Span, 0, n)
+	for ticket := head - n; ticket < head; ticket++ {
+		s := &r.slots[ticket&r.mask]
+		want := (ticket + 1) << 1
+		if s.seq.Load() != want {
+			continue // empty, mid-write, or already lapped
+		}
+		sp := Span{
+			ID:     s.id.Load(),
+			Parent: s.parent.Load(),
+			Stripe: s.stripe.Load(),
+			Bytes:  s.bytes.Load(),
+			Start:  s.start.Load(),
+			Dur:    s.dur.Load(),
+		}
+		sp.Op, sp.Disk, sp.Err = unpackMeta(s.meta.Load())
+		if s.seq.Load() != want {
+			continue // a writer lapped us mid-copy
+		}
+		out = append(out, sp)
+	}
+	return out
+}

@@ -1,0 +1,248 @@
+// Package trace is the low-overhead structured tracing subsystem of the RAID
+// engine. Every logical array operation (ReadAt, WriteAt, Rebuild, Scrub)
+// opens a span; child spans cover per-stripe work and the coalesced device
+// I/O under it. Completed spans land in a fixed-size lock-free ring buffer
+// that a reader drains without stopping writers, and spans slower than a
+// configurable threshold are additionally captured in a separate slow-op
+// ring so rare outliers survive the churn of the main ring.
+//
+// The design targets the data path's constraints:
+//
+//   - Disabled tracing costs one atomic load per instrumentation point and
+//     allocates nothing — the engine's steady-state 0 allocs/op holds with a
+//     tracer attached (pinned by test).
+//   - Enabled tracing is lock-free: recording a span is a ticket fetch plus
+//     a fixed number of atomic stores into a seqlock-published slot. Writers
+//     never wait for readers or for each other.
+//   - Draining is best-effort: a reader validates each slot's sequence word
+//     before and after copying it and skips slots a writer touched in
+//     between, so a full ring wrap during a drain loses spans rather than
+//     blocking the engine.
+package trace
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Op identifies what a span measures.
+type Op uint8
+
+// Span kinds, from whole logical operations down to device accesses.
+const (
+	OpNone Op = iota
+	OpRead
+	OpWrite
+	OpRebuild
+	OpScrub
+	OpReadStripe
+	OpWriteStripe
+	OpDegradedRead
+	OpRebuildStripe
+	OpScrubStripe
+	OpDevRead
+	OpDevWrite
+)
+
+var opNames = [...]string{
+	OpNone:          "none",
+	OpRead:          "read",
+	OpWrite:         "write",
+	OpRebuild:       "rebuild",
+	OpScrub:         "scrub",
+	OpReadStripe:    "read_stripe",
+	OpWriteStripe:   "write_stripe",
+	OpDegradedRead:  "degraded_read",
+	OpRebuildStripe: "rebuild_stripe",
+	OpScrubStripe:   "scrub_stripe",
+	OpDevRead:       "dev_read",
+	OpDevWrite:      "dev_write",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return "unknown"
+}
+
+// Span is one completed, timed unit of work. Disk and Stripe are -1 when the
+// span is not bound to a single column or stripe (e.g. a whole ReadAt).
+type Span struct {
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
+	Op     Op     `json:"op"`
+	Disk   int32  `json:"disk"`
+	Stripe int64  `json:"stripe"`
+	Bytes  int64  `json:"bytes"`
+	Start  int64  `json:"start_ns"` // unix nanoseconds
+	Dur    int64  `json:"dur_ns"`
+	Err    bool   `json:"err,omitempty"`
+}
+
+// Ctx is the in-flight half of a span, created by Begin and consumed by End.
+// It is a plain value — passing it through the data path allocates nothing.
+// The zero Ctx is inert: End on it is a no-op, and using it as a parent
+// yields parent ID 0 (no parent).
+type Ctx struct {
+	id     uint64
+	parent uint64
+	start  int64
+	stripe int64
+	disk   int32
+	op     Op
+	ok     bool
+}
+
+// ID returns the span ID for parenting child spans; 0 when inert.
+func (c Ctx) ID() uint64 {
+	if !c.ok {
+		return 0
+	}
+	return c.id
+}
+
+// Active reports whether the Ctx records into a tracer.
+func (c Ctx) Active() bool { return c.ok }
+
+// Tracer owns the span rings. The zero value — and the shared Nop — is a
+// permanently disabled tracer: Begin returns an inert Ctx and Enable is a
+// no-op, so a data path wired to it pays only the enabled-flag load.
+//
+// Tracer must not be copied after first use.
+type Tracer struct {
+	enabled atomic.Bool
+	slowNs  atomic.Int64
+	seq     atomic.Uint64
+	ring    *ring
+	slow    *ring
+}
+
+// Nop is the shared permanently-disabled tracer the array uses when no
+// tracer is attached.
+var Nop = &Tracer{}
+
+// Default ring capacities (rounded up to powers of two by New).
+const (
+	DefaultCapacity     = 4096
+	DefaultSlowCapacity = 256
+)
+
+// New returns a disabled tracer with the given ring capacities; non-positive
+// values take the defaults. Call Enable to start recording.
+func New(capacity, slowCapacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	if slowCapacity <= 0 {
+		slowCapacity = DefaultSlowCapacity
+	}
+	return &Tracer{ring: newRing(capacity), slow: newRing(slowCapacity)}
+}
+
+// Enable starts recording. On a tracer without rings (the zero value, Nop)
+// it is a no-op, keeping Nop inert forever.
+func (t *Tracer) Enable() {
+	if t.ring != nil {
+		t.enabled.Store(true)
+	}
+}
+
+// Disable stops recording; in-flight Ctxs created while enabled still land.
+func (t *Tracer) Disable() { t.enabled.Store(false) }
+
+// Enabled reports whether spans are being recorded.
+func (t *Tracer) Enabled() bool { return t.enabled.Load() }
+
+// SetSlowThreshold makes spans of at least d also land in the slow-op ring;
+// d ≤ 0 disables slow capture.
+func (t *Tracer) SetSlowThreshold(d time.Duration) { t.slowNs.Store(int64(d)) }
+
+// SlowThreshold returns the current slow-op capture threshold.
+func (t *Tracer) SlowThreshold() time.Duration { return time.Duration(t.slowNs.Load()) }
+
+// Begin opens a span. Disabled tracers return an inert Ctx at the cost of
+// one atomic load and no allocation. disk and stripe may be -1 (not bound);
+// parent is the ID of the enclosing span or 0.
+func (t *Tracer) Begin(op Op, disk int32, stripe int64, parent uint64) Ctx {
+	if !t.enabled.Load() {
+		return Ctx{}
+	}
+	return Ctx{
+		id:     t.seq.Add(1),
+		parent: parent,
+		start:  time.Now().UnixNano(),
+		stripe: stripe,
+		disk:   disk,
+		op:     op,
+		ok:     true,
+	}
+}
+
+// End completes a span opened by Begin and records it. Inert Ctxs (disabled
+// tracer, zero value) return immediately.
+func (t *Tracer) End(c Ctx, bytes int64, failed bool) {
+	if !c.ok {
+		return
+	}
+	sp := Span{
+		ID:     c.id,
+		Parent: c.parent,
+		Op:     c.op,
+		Disk:   c.disk,
+		Stripe: c.stripe,
+		Bytes:  bytes,
+		Start:  c.start,
+		Dur:    time.Now().UnixNano() - c.start,
+		Err:    failed,
+	}
+	t.ring.put(sp)
+	if s := t.slowNs.Load(); s > 0 && sp.Dur >= s {
+		t.slow.put(sp)
+	}
+}
+
+// Spans returns the retained spans of the main ring, oldest first. Slots a
+// concurrent writer is mid-publish on are skipped, never blocked on.
+func (t *Tracer) Spans() []Span {
+	if t.ring == nil {
+		return nil
+	}
+	return t.ring.drain()
+}
+
+// SlowSpans returns the retained slow-op captures, oldest first.
+func (t *Tracer) SlowSpans() []Span {
+	if t.slow == nil {
+		return nil
+	}
+	return t.slow.drain()
+}
+
+// Stats is the tracer's counter view, cheap enough for every Snapshot.
+type Stats struct {
+	Enabled         bool  `json:"enabled"`
+	Recorded        int64 `json:"recorded"`
+	Dropped         int64 `json:"dropped"` // overwritten before any drain could see them
+	SlowCaptured    int64 `json:"slow_captured"`
+	Capacity        int   `json:"capacity"`
+	SlowCapacity    int   `json:"slow_capacity"`
+	SlowThresholdNs int64 `json:"slow_threshold_ns,omitempty"`
+}
+
+// Stats returns the tracer's counters.
+func (t *Tracer) Stats() Stats {
+	s := Stats{Enabled: t.Enabled(), SlowThresholdNs: t.slowNs.Load()}
+	if t.ring != nil {
+		s.Capacity = len(t.ring.slots)
+		s.Recorded = int64(t.ring.head.Load())
+		if over := s.Recorded - int64(s.Capacity); over > 0 {
+			s.Dropped = over
+		}
+	}
+	if t.slow != nil {
+		s.SlowCapacity = len(t.slow.slots)
+		s.SlowCaptured = int64(t.slow.head.Load())
+	}
+	return s
+}

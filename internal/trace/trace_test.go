@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBeginEndRecords(t *testing.T) {
+	tr := New(16, 16)
+	tr.Enable()
+	c := tr.Begin(OpRead, -1, -1, 0)
+	if !c.Active() || c.ID() == 0 {
+		t.Fatalf("enabled Begin returned inert Ctx %+v", c)
+	}
+	child := tr.Begin(OpDevRead, 3, 7, c.ID())
+	tr.End(child, 512, false)
+	tr.End(c, 4096, true)
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	dev, op := spans[0], spans[1]
+	if dev.Op != OpDevRead || dev.Disk != 3 || dev.Stripe != 7 || dev.Bytes != 512 || dev.Err {
+		t.Errorf("device span %+v", dev)
+	}
+	if dev.Parent != op.ID {
+		t.Errorf("device span parent %d, want op span id %d", dev.Parent, op.ID)
+	}
+	if op.Op != OpRead || op.Disk != -1 || op.Stripe != -1 || op.Bytes != 4096 || !op.Err {
+		t.Errorf("op span %+v", op)
+	}
+	if op.Start == 0 || op.Dur < 0 {
+		t.Errorf("op span timing %+v", op)
+	}
+}
+
+func TestRingWrapKeepsNewest(t *testing.T) {
+	tr := New(8, 8)
+	tr.Enable()
+	for i := 0; i < 20; i++ {
+		tr.End(tr.Begin(OpDevWrite, int32(i), int64(i), 0), 0, false)
+	}
+	spans := tr.Spans()
+	if len(spans) != 8 {
+		t.Fatalf("got %d spans from a capacity-8 ring, want 8", len(spans))
+	}
+	for i, sp := range spans {
+		if want := int64(12 + i); sp.Stripe != want {
+			t.Errorf("span %d has stripe %d, want %d (newest retained, oldest first)", i, sp.Stripe, want)
+		}
+	}
+	st := tr.Stats()
+	if st.Recorded != 20 || st.Dropped != 12 || st.Capacity != 8 {
+		t.Errorf("stats %+v, want 20 recorded / 12 dropped / capacity 8", st)
+	}
+}
+
+func TestDisabledAndNopAreInert(t *testing.T) {
+	tr := New(16, 16) // not enabled
+	if c := tr.Begin(OpRead, 0, 0, 0); c.Active() || c.ID() != 0 {
+		t.Errorf("disabled Begin returned active Ctx %+v", c)
+	}
+	tr.End(Ctx{}, 0, false) // must not panic or record
+	if spans := tr.Spans(); len(spans) != 0 {
+		t.Errorf("disabled tracer recorded %d spans", len(spans))
+	}
+
+	Nop.Enable() // must stay inert: no rings to record into
+	if Nop.Enabled() {
+		t.Error("Nop became enabled")
+	}
+	if c := Nop.Begin(OpRead, 0, 0, 0); c.Active() {
+		t.Error("Nop Begin returned active Ctx")
+	}
+	if spans := Nop.Spans(); spans != nil {
+		t.Errorf("Nop drained %d spans", len(spans))
+	}
+}
+
+func TestDisabledPathAllocatesNothing(t *testing.T) {
+	tr := New(16, 16)
+	for name, tracer := range map[string]*Tracer{"disabled": tr, "nop": Nop} {
+		allocs := testing.AllocsPerRun(100, func() {
+			c := tracer.Begin(OpRead, -1, -1, 0)
+			tracer.End(c, 0, false)
+		})
+		if allocs != 0 {
+			t.Errorf("%s tracer Begin/End allocates %.1f per op, want 0", name, allocs)
+		}
+	}
+}
+
+func TestSlowCapture(t *testing.T) {
+	tr := New(64, 8)
+	tr.Enable()
+
+	// No threshold: nothing lands in the slow ring.
+	tr.End(tr.Begin(OpRead, -1, -1, 0), 0, false)
+	if got := tr.SlowSpans(); len(got) != 0 {
+		t.Fatalf("captured %d slow spans with no threshold", len(got))
+	}
+
+	tr.SetSlowThreshold(time.Nanosecond)
+	if tr.SlowThreshold() != time.Nanosecond {
+		t.Fatalf("threshold %v", tr.SlowThreshold())
+	}
+	c := tr.Begin(OpScrub, -1, 5, 0)
+	time.Sleep(time.Millisecond) // guarantees Dur ≥ 1ns on any clock
+	tr.End(c, 0, false)
+	slow := tr.SlowSpans()
+	if len(slow) != 1 || slow[0].Op != OpScrub || slow[0].Stripe != 5 {
+		t.Fatalf("slow spans %+v, want the scrub span", slow)
+	}
+	if st := tr.Stats(); st.SlowCaptured != 1 || st.SlowThresholdNs != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+// TestConcurrentPutDrain is the race-detector stress: writers record while a
+// reader drains. Correctness bar: no panic, no torn span (every drained span
+// must carry a plausible ticket-issued ID), and the drain never blocks.
+func TestConcurrentPutDrain(t *testing.T) {
+	tr := New(64, 16)
+	tr.Enable()
+	tr.SetSlowThreshold(time.Nanosecond)
+	const writers, perWriter = 4, 2000
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c := tr.Begin(OpDevRead, int32(w), int64(i), 0)
+				tr.End(c, int64(i), i%97 == 0)
+			}
+		}(w)
+	}
+	go func() { wg.Wait(); close(done) }()
+	for draining := true; draining; {
+		select {
+		case <-done:
+			draining = false
+		default:
+		}
+		for _, sp := range tr.Spans() {
+			if sp.ID == 0 {
+				t.Fatal("drained span with zero ID")
+			}
+		}
+		tr.SlowSpans()
+	}
+	if st := tr.Stats(); st.Recorded != writers*perWriter {
+		t.Errorf("recorded %d, want %d", st.Recorded, writers*perWriter)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpRead.String() != "read" || OpDevWrite.String() != "dev_write" || Op(200).String() != "unknown" {
+		t.Errorf("op names: %q %q %q", OpRead, OpDevWrite, Op(200))
+	}
+}
