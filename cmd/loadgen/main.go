@@ -1,0 +1,393 @@
+// Command loadgen is the network load/soak driver for raidserve: it mounts a
+// served volume N times over the block protocol (one blockdev.Remote per
+// simulated client), partitions the volume into disjoint element-aligned
+// per-client regions, and hammers the server with the paper's <S,L,T>
+// workload profiles until a deadline. Every read is verified against a
+// position-determined byte pattern, so any data corruption — healthy or
+// degraded, local or remote column — counts as an error.
+//
+// It reports per-op latency (p50/p95/p99 for reads and writes separately),
+// throughput, and the error count, both as a human-readable summary and as a
+// benchfmt artifact with the same JSON shape cmd/bench emits — so CI gates a
+// load run with the same `bench -compare` used for benchmark regressions:
+//
+//	loadgen -addr HOST:PORT [-clients 8] [-duration 5s] [-profile mixed]
+//	        [-out LOADGEN.json] [-md SUMMARY.md] [-max-errors 0]
+//
+// Exit status: 0 on success, 1 when errors exceed -max-errors or nothing
+// executed, 2 on usage/setup failures.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dcode/internal/benchfmt"
+	"dcode/internal/blockdev"
+	"dcode/internal/obs"
+	"dcode/internal/workload"
+)
+
+// status is the subset of raidserve's STATUS document loadgen needs to mount
+// the volume.
+type status struct {
+	Code     string `json:"code"`
+	Size     int64  `json:"size"`
+	ElemSize int    `json:"elem_size"`
+}
+
+func main() {
+	addr := flag.String("addr", "", "raidserve address to load (required)")
+	clients := flag.Int("clients", 8, "concurrent clients, each with its own connection pool")
+	duration := flag.Duration("duration", 5*time.Second, "how long to run the op phase")
+	profileName := flag.String("profile", "mixed", "workload profile: readonly, readintensive or mixed")
+	maxLen := flag.Int("maxlen", 8, "max op length L in elements")
+	maxTimes := flag.Int("maxtimes", 2, "max repeat count T per op")
+	seed := flag.Int64("seed", 1, "workload generator seed (client i uses seed+i)")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request deadline on the protocol client")
+	retries := flag.Int("retries", 4, "transport attempts per op before the client reports failure")
+	out := flag.String("out", "", "write a benchfmt JSON artifact to this path")
+	md := flag.String("md", "", "append a markdown latency table to this file (e.g. $GITHUB_STEP_SUMMARY)")
+	rev := flag.String("rev", defaultRev(), "revision label embedded in the artifact")
+	maxErrors := flag.Int64("max-errors", 0, "tolerated op/data errors before exiting nonzero")
+	flag.Parse()
+
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "loadgen: -addr is required")
+		os.Exit(2)
+	}
+	prof, err := profileByName(*profileName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(2)
+	}
+	if *clients < 1 {
+		fmt.Fprintln(os.Stderr, "loadgen: -clients must be at least 1")
+		os.Exit(2)
+	}
+
+	// One probe connection learns the geometry; each client then mounts the
+	// volume independently so connection state is never shared across clients.
+	probe, err := blockdev.DialRemote(*addr, blockdev.WithRequestTimeout(*timeout))
+	if err != nil {
+		fatal(err)
+	}
+	doc, err := probe.Status()
+	_ = probe.Close()
+	if err != nil {
+		fatal(err)
+	}
+	var st status
+	if err := json.Unmarshal(doc, &st); err != nil {
+		fatal(fmt.Errorf("parsing STATUS document: %w", err))
+	}
+	if st.ElemSize <= 0 || st.Size <= 0 {
+		fatal(fmt.Errorf("server reported unusable geometry: size=%d elem_size=%d", st.Size, st.ElemSize))
+	}
+
+	// Disjoint element-aligned regions: clients never overlap, so a read
+	// always observes either the fill pattern or this client's own rewrites
+	// of it — which are the same bytes. Every read is therefore verifiable
+	// with no cross-client coordination.
+	elem := int64(st.ElemSize)
+	regionElems := st.Size / elem / int64(*clients)
+	if regionElems < 1 {
+		fatal(fmt.Errorf("volume too small: %d clients need at least %d bytes, have %d",
+			*clients, int64(*clients)*elem, st.Size))
+	}
+	if int64(*maxLen) > regionElems {
+		*maxLen = int(regionElems)
+	}
+
+	fmt.Fprintf(os.Stderr, "loadgen: %s volume %s: %d bytes, elem %d; %d clients x %d elements, profile %s, %s\n",
+		st.Code, *addr, st.Size, st.ElemSize, *clients, regionElems, prof.Name, *duration)
+
+	shared := &runState{
+		readLat:  &obs.Histogram{},
+		writeLat: &obs.Histogram{},
+	}
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for i := 0; i < *clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c := clientCfg{
+				addr:    *addr,
+				timeout: *timeout,
+				retries: *retries,
+				start:   int64(id) * regionElems * elem,
+				elems:   regionElems,
+				elem:    elem,
+				seed:    *seed + int64(id),
+				maxLen:  *maxLen,
+				maxT:    *maxTimes,
+				prof:    prof,
+			}
+			if err := runClient(c, deadline, shared); err != nil {
+				shared.errs.Add(1)
+				fmt.Fprintf(os.Stderr, "loadgen: client %d: %v\n", id, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := *duration
+
+	res := benchfmt.Result{
+		Code:       st.Code,
+		Workload:   prof.Name,
+		Clients:    *clients,
+		Errors:     shared.errs.Load(),
+		Executions: shared.execs.Load(),
+		BytesMoved: shared.bytes.Load(),
+	}
+	rs, ws := shared.readLat.Snapshot(), shared.writeLat.Snapshot()
+	res.ReadP50Ns, res.ReadP95Ns, res.ReadP99Ns = rs.P50Nanos, rs.P95Nanos, rs.P99Nanos
+	res.WriteP50Ns, res.WriteP95Ns, res.WriteP99Ns = ws.P50Nanos, ws.P95Nanos, ws.P99Nanos
+	if sec := elapsed.Seconds(); sec > 0 {
+		res.MBPerSec = float64(res.BytesMoved) / (1 << 20) / sec
+		res.OpsPerSec = float64(res.Executions) / sec
+	}
+	if res.Executions > 0 {
+		res.NsPerOp = float64(rs.SumNanos+ws.SumNanos) / float64(res.Executions)
+	}
+
+	report(os.Stdout, res, rs, ws)
+	if *md != "" {
+		if err := appendMarkdown(*md, res, rs, ws); err != nil {
+			fatal(err)
+		}
+	}
+	if *out != "" {
+		file := benchfmt.File{
+			Schema:    benchfmt.SchemaVersion,
+			Rev:       *rev,
+			GoVersion: runtime.Version(),
+			Timing:    true,
+			Config: benchfmt.Config{
+				ElemSize: st.ElemSize,
+				Ops:      0, // open-ended: the run is deadline-bound, not op-bound
+				MaxLen:   *maxLen,
+				MaxTimes: *maxTimes,
+				Seed:     *seed,
+			},
+			Results: []benchfmt.Result{res},
+		}
+		if err := benchfmt.WriteFile(*out, file); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: wrote %s\n", *out)
+	}
+
+	if res.Executions == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: no operations executed")
+		os.Exit(1)
+	}
+	if res.Errors > *maxErrors {
+		fmt.Fprintf(os.Stderr, "loadgen: %d errors exceed budget %d\n", res.Errors, *maxErrors)
+		os.Exit(1)
+	}
+}
+
+// runState aggregates results across client goroutines.
+type runState struct {
+	execs    atomic.Int64
+	bytes    atomic.Int64
+	errs     atomic.Int64
+	readLat  *obs.Histogram
+	writeLat *obs.Histogram
+}
+
+type clientCfg struct {
+	addr    string
+	timeout time.Duration
+	retries int
+	start   int64 // byte offset of this client's region
+	elems   int64 // region length in elements
+	elem    int64 // element size in bytes
+	seed    int64
+	maxLen  int
+	maxT    int
+	prof    workload.Profile
+}
+
+// runClient mounts the volume, fills its region with the verification
+// pattern, then replays a generated <S,L,T> trace cyclically until the
+// deadline, verifying every read. Op/data failures are counted, logged once
+// per kind, and the client keeps going — a load test should keep offering
+// load through a degraded phase, not stop at the first casualty.
+func runClient(c clientCfg, deadline time.Time, shared *runState) error {
+	dev, err := blockdev.DialRemote(c.addr,
+		blockdev.WithRequestTimeout(c.timeout),
+		blockdev.WithRetry(c.retries, 10*time.Millisecond))
+	if err != nil {
+		return err
+	}
+	defer dev.Close()
+
+	// Fill phase: write the position-determined pattern across the region in
+	// large chunks. Not timed — it is setup, not offered load.
+	const fillChunk = 1 << 18
+	buf := make([]byte, fillChunk)
+	end := c.start + c.elems*c.elem
+	for off := c.start; off < end; {
+		n := int64(len(buf))
+		if rem := end - off; n > rem {
+			n = rem
+		}
+		pattern(buf[:n], off, c.seed)
+		if _, err := dev.WriteAt(buf[:n], off); err != nil {
+			return fmt.Errorf("fill at %d: %w", off, err)
+		}
+		off += n
+	}
+
+	ops, err := workload.Generate(workload.Config{
+		Ops: 512, MaxLen: c.maxLen, MaxTimes: c.maxT,
+		DataElems: int(c.elems), Seed: c.seed,
+	}, c.prof)
+	if err != nil {
+		return err
+	}
+
+	opBuf := make([]byte, int64(c.maxLen)*c.elem)
+	want := make([]byte, int64(c.maxLen)*c.elem)
+	logged := false
+	for i := 0; time.Now().Before(deadline); i++ {
+		op := ops[i%len(ops)]
+		off := c.start + int64(op.S)*c.elem
+		n := int64(op.L) * c.elem
+		if rem := end - off; n > rem {
+			n = rem
+		}
+		if n <= 0 {
+			continue
+		}
+		for t := 0; t < op.T && time.Now().Before(deadline); t++ {
+			var opErr error
+			start := time.Now()
+			if op.Kind == workload.Read {
+				_, opErr = dev.ReadAt(opBuf[:n], off)
+				shared.readLat.Observe(time.Since(start))
+				if opErr == nil {
+					pattern(want[:n], off, c.seed)
+					if !bytesEqual(opBuf[:n], want[:n]) {
+						opErr = fmt.Errorf("data mismatch at %d+%d", off, n)
+					}
+				}
+			} else {
+				// Writes rewrite the same pattern, so the region stays
+				// verifiable no matter how reads and writes interleave.
+				pattern(opBuf[:n], off, c.seed)
+				_, opErr = dev.WriteAt(opBuf[:n], off)
+				shared.writeLat.Observe(time.Since(start))
+			}
+			if opErr != nil {
+				shared.errs.Add(1)
+				if !logged {
+					fmt.Fprintf(os.Stderr, "loadgen: op error (first for this client): %v\n", opErr)
+					logged = true
+				}
+				continue
+			}
+			shared.execs.Add(1)
+			shared.bytes.Add(n)
+		}
+	}
+	return nil
+}
+
+// pattern fills p with the byte each volume position deterministically holds:
+// a function of absolute offset and seed only, so any client (and any phase)
+// can regenerate the expected bytes for any range without shared state.
+func pattern(p []byte, off, seed int64) {
+	x := uint64(off)*2654435761 + uint64(seed)
+	for i := range p {
+		p[i] = byte(x)
+		x += 2654435761
+	}
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func profileByName(name string) (workload.Profile, error) {
+	switch strings.ToLower(name) {
+	case "readonly", "read-only":
+		return workload.ReadOnly, nil
+	case "readintensive", "read-intensive":
+		return workload.ReadIntensive, nil
+	case "mixed":
+		return workload.Mixed, nil
+	}
+	return workload.Profile{}, fmt.Errorf("unknown profile %q (readonly, readintensive, mixed)", name)
+}
+
+func report(w *os.File, res benchfmt.Result, rs, ws obs.HistogramSnapshot) {
+	fmt.Fprintf(w, "loadgen: %s %q x%d: %d ops, %.1f MB/s, %.0f ops/s, %d errors\n",
+		res.Code, res.Workload, res.Clients, res.Executions, res.MBPerSec, res.OpsPerSec, res.Errors)
+	fmt.Fprintf(w, "  read  (%d): p50 %s  p95 %s  p99 %s  max %s\n",
+		rs.Count, ms(rs.P50Nanos), ms(rs.P95Nanos), ms(rs.P99Nanos), ms(rs.MaxNanos))
+	fmt.Fprintf(w, "  write (%d): p50 %s  p95 %s  p99 %s  max %s\n",
+		ws.Count, ms(ws.P50Nanos), ms(ws.P95Nanos), ms(ws.P99Nanos), ms(ws.MaxNanos))
+}
+
+// appendMarkdown appends the latency table CI shows in the job summary.
+func appendMarkdown(path string, res benchfmt.Result, rs, ws obs.HistogramSnapshot) (err error) {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	_, err = fmt.Fprintf(f, `### loadgen: %s, %q, %d clients
+
+| op | count | p50 | p95 | p99 | max |
+|---|---:|---:|---:|---:|---:|
+| read | %d | %s | %s | %s | %s |
+| write | %d | %s | %s | %s | %s |
+
+%d executions, %.1f MB/s, %.0f ops/s, **%d errors**
+
+`,
+		res.Code, res.Workload, res.Clients,
+		rs.Count, ms(rs.P50Nanos), ms(rs.P95Nanos), ms(rs.P99Nanos), ms(rs.MaxNanos),
+		ws.Count, ms(ws.P50Nanos), ms(ws.P95Nanos), ms(ws.P99Nanos), ms(ws.MaxNanos),
+		res.Executions, res.MBPerSec, res.OpsPerSec, res.Errors)
+	return err
+}
+
+func ms(ns int64) string {
+	return time.Duration(ns).Round(10 * time.Microsecond).String()
+}
+
+func defaultRev() string {
+	if sha := os.Getenv("GITHUB_SHA"); len(sha) >= 8 {
+		return sha[:8]
+	}
+	return "local"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loadgen:", err)
+	os.Exit(2)
+}

@@ -81,10 +81,23 @@ type Result struct {
 	// the cache removes.
 	RMWAbsorbed int64 `json:"rmw_prereads_absorbed,omitempty"`
 
+	// Network load-test fields, populated only by cmd/loadgen artifacts
+	// (omitted from cmd/bench artifacts, so old baselines stay
+	// byte-identical). Clients is the concurrent-client count of the run and
+	// part of the cell's identity for human readers; Errors counts failed or
+	// corrupt operations and gates unconditionally — see Compare.
+	Clients int   `json:"clients,omitempty"`
+	Errors  int64 `json:"errors,omitempty"`
+
 	// Timing metrics; zero and omitted when the file has Timing=false.
 	NsPerOp    float64 `json:"ns_per_op,omitempty"`
 	MBPerSec   float64 `json:"mb_per_s,omitempty"`
+	OpsPerSec  float64 `json:"ops_per_s,omitempty"`
+	ReadP50Ns  int64   `json:"read_p50_ns,omitempty"`
+	ReadP95Ns  int64   `json:"read_p95_ns,omitempty"`
 	ReadP99Ns  int64   `json:"read_p99_ns,omitempty"`
+	WriteP50Ns int64   `json:"write_p50_ns,omitempty"`
+	WriteP95Ns int64   `json:"write_p95_ns,omitempty"`
 	WriteP99Ns int64   `json:"write_p99_ns,omitempty"`
 }
 
@@ -95,7 +108,12 @@ func (f *File) StripTiming() {
 	for i := range f.Results {
 		f.Results[i].NsPerOp = 0
 		f.Results[i].MBPerSec = 0
+		f.Results[i].OpsPerSec = 0
+		f.Results[i].ReadP50Ns = 0
+		f.Results[i].ReadP95Ns = 0
 		f.Results[i].ReadP99Ns = 0
+		f.Results[i].WriteP50Ns = 0
+		f.Results[i].WriteP95Ns = 0
 		f.Results[i].WriteP99Ns = 0
 	}
 }
@@ -196,6 +214,16 @@ func Compare(base, current File, threshold float64) []Regression {
 				Base: 1, Current: 0, Ratio: 2,
 			})
 			continue
+		}
+		// Errors gate unconditionally — independent of machine speed, timing
+		// comparability and config identity, a run that produced op or data
+		// errors where the baseline had fewer is broken, not slow. (Both
+		// sides are zero for cmd/bench artifacts, which never set the field.)
+		if c.Errors > b.Errors {
+			regs = append(regs, Regression{
+				Code: b.Code, Workload: b.Workload, Metric: "errors",
+				Base: float64(b.Errors), Current: float64(c.Errors), Ratio: 2,
+			})
 		}
 		if sameWork {
 			// CV is dimensionless and deterministic; gate with a small

@@ -198,6 +198,10 @@ func (d *FileDevice) WriteAt(p []byte, off int64) (int, error) { return d.f.Writ
 // Size implements Device.
 func (d *FileDevice) Size() int64 { return d.size }
 
+// Sync flushes the backing file to stable storage; the network block server
+// maps the protocol's FLUSH op to it in column mode.
+func (d *FileDevice) Sync() error { return d.f.Sync() }
+
 // Close implements Device.
 func (d *FileDevice) Close() error { return d.f.Close() }
 

@@ -1,0 +1,348 @@
+package blockdev
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dcode/internal/blockserve"
+)
+
+// Remote is a Device served by a remote blockserve endpoint over TCP, so an
+// array column can live on another node. It implements the same failure
+// contract as a local device — a dead or unreachable remote surfaces as
+// ErrFailed after the retry budget, which the raid layer treats exactly like
+// a failed local disk (degraded reads, eventual rebuild).
+//
+// Each operation takes one pooled connection for its request/response
+// exchange (responses are matched by request id), under a per-request
+// deadline. Transport errors — dial failures, timeouts, resets, short frames
+// — are retried with exponential backoff on a fresh connection, up to the
+// attempt budget; protocol-level errors the server reports (bad range, a
+// failed backing device) are deterministic and returned immediately, mapped
+// back to the sentinel errors errors.Is callers check.
+type Remote struct {
+	addr string
+	size int64
+
+	dial     func() (net.Conn, error)
+	timeout  time.Duration // per-request deadline
+	attempts int           // total tries per op (1 = no retry)
+	backoff  time.Duration // first retry delay, doubling per retry
+	poolCap  int
+
+	mu     sync.Mutex
+	idle   []*rconn
+	closed bool
+
+	seq atomic.Uint64
+
+	// Test-facing fault/latency injection; see SetInjector / SetLatency.
+	inject    atomic.Pointer[InjectFunc]
+	latencyNs atomic.Int64
+
+	retries atomic.Int64 // transport-level retries performed (observability)
+}
+
+// rconn is one pooled protocol connection with its reusable frame buffers.
+type rconn struct {
+	c    net.Conn
+	rbuf []byte
+	wbuf []byte
+}
+
+// InjectFunc simulates a transport fault: it runs before each attempt of
+// each operation (op is the blockserve op code, attempt counts from 0) and a
+// non-nil return is handled exactly like a network failure of that attempt —
+// the connection is dropped and the retry/backoff path runs. Keep returning
+// errors to simulate a dead remote.
+type InjectFunc func(op uint8, attempt int) error
+
+// RemoteOption tunes DialRemote.
+type RemoteOption func(*Remote)
+
+// WithRequestTimeout sets the per-request deadline (default 2s).
+func WithRequestTimeout(d time.Duration) RemoteOption {
+	return func(r *Remote) {
+		if d > 0 {
+			r.timeout = d
+		}
+	}
+}
+
+// WithRetry sets the total attempts per operation and the initial backoff
+// between them (doubling per retry). Defaults: 3 attempts, 10ms backoff.
+func WithRetry(attempts int, backoff time.Duration) RemoteOption {
+	return func(r *Remote) {
+		if attempts > 0 {
+			r.attempts = attempts
+		}
+		if backoff >= 0 {
+			r.backoff = backoff
+		}
+	}
+}
+
+// WithPool caps the idle-connection pool (default 4). Concurrent operations
+// beyond the cap dial extra connections and close them when done.
+func WithPool(n int) RemoteOption {
+	return func(r *Remote) {
+		if n > 0 {
+			r.poolCap = n
+		}
+	}
+}
+
+// WithDialer replaces the TCP dialer; tests use it to hand the Remote an
+// in-memory pipe.
+func WithDialer(dial func() (net.Conn, error)) RemoteOption {
+	return func(r *Remote) {
+		if dial != nil {
+			r.dial = dial
+		}
+	}
+}
+
+// DialRemote connects to a blockserve endpoint and returns it as a Device.
+// It performs one STATUS round trip to learn the volume size and verify the
+// endpoint speaks the protocol.
+func DialRemote(addr string, opts ...RemoteOption) (*Remote, error) {
+	r := &Remote{
+		addr:     addr,
+		timeout:  2 * time.Second,
+		attempts: 3,
+		backoff:  10 * time.Millisecond,
+		poolCap:  4,
+	}
+	r.dial = func() (net.Conn, error) {
+		return net.DialTimeout("tcp", r.addr, r.timeout)
+	}
+	for _, opt := range opts {
+		opt(r)
+	}
+	f, err := r.do(blockserve.Frame{Type: blockserve.OpStatus})
+	if err != nil {
+		return nil, fmt.Errorf("blockdev: remote %s: %w", addr, err)
+	}
+	r.size = f.Off
+	return r, nil
+}
+
+// SetInjector installs fn (nil clears it); see InjectFunc.
+func (r *Remote) SetInjector(fn InjectFunc) {
+	if fn == nil {
+		r.inject.Store(nil)
+		return
+	}
+	r.inject.Store(&fn)
+}
+
+// SetLatency adds a fixed delay before every attempt, simulating network
+// distance; 0 clears it.
+func (r *Remote) SetLatency(d time.Duration) { r.latencyNs.Store(int64(d)) }
+
+// Retries returns how many transport-level retries the device has performed.
+func (r *Remote) Retries() int64 { return r.retries.Load() }
+
+// Addr returns the remote endpoint address.
+func (r *Remote) Addr() string { return r.addr }
+
+// getConn pops an idle connection or dials a new one.
+func (r *Remote) getConn() (*rconn, error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrFailed
+	}
+	if n := len(r.idle); n > 0 {
+		rc := r.idle[n-1]
+		r.idle = r.idle[:n-1]
+		r.mu.Unlock()
+		return rc, nil
+	}
+	r.mu.Unlock()
+	c, err := r.dial()
+	if err != nil {
+		return nil, err
+	}
+	return &rconn{c: c}, nil
+}
+
+// putConn returns a healthy connection to the pool (or closes it beyond the
+// cap or after Close).
+func (r *Remote) putConn(rc *rconn) {
+	r.mu.Lock()
+	if !r.closed && len(r.idle) < r.poolCap {
+		r.idle = append(r.idle, rc)
+		r.mu.Unlock()
+		return
+	}
+	r.mu.Unlock()
+	_ = rc.c.Close()
+}
+
+// remoteError is a protocol-level error reported by the server. Unwrap maps
+// the known device sentinels through, so errors.Is(err, ErrFailed) holds for
+// a remote whose backing device failed.
+type remoteError struct {
+	msg string
+}
+
+func (e *remoteError) Error() string { return "blockdev: remote: " + e.msg }
+
+func (e *remoteError) Unwrap() error {
+	switch e.msg {
+	case ErrFailed.Error():
+		return ErrFailed
+	case ErrBadSector.Error():
+		return ErrBadSector
+	}
+	return nil
+}
+
+// do runs one request/response exchange with retry-with-backoff on transport
+// errors. Protocol errors (an ERR response) return immediately — the server
+// answered authoritatively, retrying cannot change the outcome — and the
+// connection stays pooled, since the exchange itself completed cleanly.
+func (r *Remote) do(req blockserve.Frame) (blockserve.Frame, error) {
+	var lastErr error
+	for attempt := 0; attempt < r.attempts; attempt++ {
+		if attempt > 0 {
+			r.retries.Add(1)
+			time.Sleep(r.backoff << (attempt - 1))
+		}
+		if d := time.Duration(r.latencyNs.Load()); d > 0 {
+			time.Sleep(d)
+		}
+		if fp := r.inject.Load(); fp != nil {
+			if err := (*fp)(req.Type, attempt); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		resp, err := r.attempt(req)
+		if err == nil {
+			return resp, nil
+		}
+		var rerr *remoteError
+		if errors.As(err, &rerr) {
+			return blockserve.Frame{}, err
+		}
+		lastErr = err
+	}
+	return blockserve.Frame{}, fmt.Errorf("%w: %s after %d attempts: %v", ErrFailed, r.addr, r.attempts, lastErr)
+}
+
+// attempt performs one exchange on one connection.
+func (r *Remote) attempt(req blockserve.Frame) (blockserve.Frame, error) {
+	rc, err := r.getConn()
+	if err != nil {
+		return blockserve.Frame{}, err
+	}
+	req.ID = r.seq.Add(1)
+	if r.timeout > 0 {
+		_ = rc.c.SetDeadline(time.Now().Add(r.timeout))
+	}
+	if rc.wbuf, err = blockserve.WriteFrame(rc.c, rc.wbuf, req); err != nil {
+		_ = rc.c.Close()
+		return blockserve.Frame{}, err
+	}
+	var resp blockserve.Frame
+	resp, rc.rbuf, err = blockserve.ReadFrame(rc.c, rc.rbuf)
+	if err != nil {
+		_ = rc.c.Close()
+		return blockserve.Frame{}, err
+	}
+	if resp.Type == blockserve.RespErr && resp.ID == 0 && req.ID != 0 {
+		// A connection-level rejection (client cap, draining): the server sent
+		// it before reading our request, so it carries no request id. The
+		// condition can clear, so surface it as a retriable transport error
+		// that keeps the server's reason.
+		_ = rc.c.Close()
+		return blockserve.Frame{}, fmt.Errorf("blockdev: remote %s rejected connection: %s", r.addr, resp.Data)
+	}
+	if resp.ID != req.ID {
+		// A stale response on a reused connection (e.g. a late reply after a
+		// previous deadline expiry); the stream is unsynchronized — drop it.
+		_ = rc.c.Close()
+		return blockserve.Frame{}, fmt.Errorf("blockdev: remote %s: response id %d for request %d", r.addr, resp.ID, req.ID)
+	}
+	if resp.Type == blockserve.RespErr {
+		r.putConn(rc)
+		return blockserve.Frame{}, &remoteError{msg: string(resp.Data)}
+	}
+	// The response payload aliases the connection's read buffer; copy it out
+	// before the connection (and buffer) are reused.
+	if len(resp.Data) > 0 {
+		resp.Data = append([]byte(nil), resp.Data...)
+	}
+	r.putConn(rc)
+	return resp, nil
+}
+
+// ReadAt implements Device.
+func (r *Remote) ReadAt(p []byte, off int64) (int, error) {
+	if len(p) > blockserve.MaxPayload {
+		return 0, fmt.Errorf("blockdev: remote read of %d bytes exceeds frame limit %d", len(p), blockserve.MaxPayload)
+	}
+	f, err := r.do(blockserve.Frame{Type: blockserve.OpRead, Off: off, Count: uint32(len(p))})
+	if err != nil {
+		return 0, err
+	}
+	if len(f.Data) != len(p) {
+		return copy(p, f.Data), fmt.Errorf("blockdev: remote short read: %d of %d bytes", len(f.Data), len(p))
+	}
+	return copy(p, f.Data), nil
+}
+
+// WriteAt implements Device.
+func (r *Remote) WriteAt(p []byte, off int64) (int, error) {
+	if len(p) > blockserve.MaxPayload {
+		return 0, fmt.Errorf("blockdev: remote write of %d bytes exceeds frame limit %d", len(p), blockserve.MaxPayload)
+	}
+	f, err := r.do(blockserve.Frame{Type: blockserve.OpWrite, Off: off, Data: p})
+	if err != nil {
+		return 0, err
+	}
+	return int(f.Count), nil
+}
+
+// Flush asks the remote to persist outstanding writes.
+func (r *Remote) Flush() error {
+	_, err := r.do(blockserve.Frame{Type: blockserve.OpFlush})
+	return err
+}
+
+// Status fetches the remote volume's status document.
+func (r *Remote) Status() ([]byte, error) {
+	f, err := r.do(blockserve.Frame{Type: blockserve.OpStatus})
+	if err != nil {
+		return nil, err
+	}
+	return f.Data, nil
+}
+
+// Rebuild asks the remote volume (an array endpoint) to rebuild a disk.
+func (r *Remote) Rebuild(disk int) error {
+	_, err := r.do(blockserve.Frame{Type: blockserve.OpRebuild, Off: int64(disk)})
+	return err
+}
+
+// Size implements Device.
+func (r *Remote) Size() int64 { return r.size }
+
+// Close implements Device, closing every pooled connection.
+func (r *Remote) Close() error {
+	r.mu.Lock()
+	r.closed = true
+	idle := r.idle
+	r.idle = nil
+	r.mu.Unlock()
+	for _, rc := range idle {
+		_ = rc.c.Close()
+	}
+	return nil
+}

@@ -1,0 +1,432 @@
+package blockserve
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dcode/internal/obs"
+	"dcode/internal/trace"
+)
+
+// Backend is the volume a Server fronts: random-access reads and writes over
+// a fixed size. Both *raid.Array and blockdev.Device satisfy it, so the same
+// server binary serves a whole array or a single column file.
+type Backend interface {
+	ReadAt(p []byte, off int64) (int, error)
+	WriteAt(p []byte, off int64) (int, error)
+	Size() int64
+}
+
+// Flusher is implemented by backends that can persist outstanding writes;
+// FLUSH succeeds as a no-op otherwise.
+type Flusher interface {
+	Flush() error
+}
+
+// Statuser is implemented by backends with a richer status document than the
+// default {"size": N}; the array adapter returns the full raid snapshot.
+type Statuser interface {
+	StatusJSON() ([]byte, error)
+}
+
+// Rebuilder is implemented by array backends; REBUILD fails cleanly on
+// backends without it (a single column device has nothing to rebuild).
+type Rebuilder interface {
+	Rebuild(disk int) error
+}
+
+// Config tunes a Server. The zero value is usable: defaults below apply.
+type Config struct {
+	// MaxClients caps concurrently connected clients; further connections
+	// are sent one ERR frame and closed. Default 256.
+	MaxClients int
+	// MaxInflight caps requests being served at once across all clients —
+	// the admission-control/backpressure limit. A connection whose request
+	// cannot acquire a slot stops being read until one frees, so pressure
+	// propagates to the client through TCP flow control. Default 128.
+	MaxInflight int
+	// Tracer, when non-nil and enabled, records one client-tagged span per
+	// served request.
+	Tracer *trace.Tracer
+	// Logf, when non-nil, receives connection lifecycle and protocol-error
+	// lines.
+	Logf func(format string, args ...any)
+}
+
+const (
+	defaultMaxClients  = 256
+	defaultMaxInflight = 128
+)
+
+// ErrDraining is the message sent to clients rejected because the server is
+// shutting down, and ErrClientCap to those beyond the client limit.
+var (
+	ErrDraining  = errors.New("blockserve: server draining")
+	ErrClientCap = errors.New("blockserve: server at client capacity")
+)
+
+// clientState is one connection's tally; counters are atomics because the
+// reader goroutine and the per-request handler goroutines all touch them.
+type clientState struct {
+	id   int64
+	addr string
+	conn net.Conn
+
+	reads, writes, flushes, admin, errs atomic.Int64
+	bytesIn, bytesOut                   atomic.Int64
+
+	// wmu serializes response frames; pipelined requests complete out of
+	// order and interleave on the shared connection.
+	wmu  sync.Mutex
+	bw   *bufio.Writer
+	wbuf []byte
+	// inflight counts this connection's requests being served; drain waits
+	// for every connection to quiesce before closing it.
+	inflight atomic.Int64
+}
+
+func (c *clientState) snapshot(active bool) obs.ClientSnapshot {
+	return obs.ClientSnapshot{
+		ID:       c.id,
+		Addr:     c.addr,
+		Active:   active,
+		Reads:    c.reads.Load(),
+		Writes:   c.writes.Load(),
+		Flushes:  c.flushes.Load(),
+		Admin:    c.admin.Load(),
+		Errors:   c.errs.Load(),
+		BytesIn:  c.bytesIn.Load(),
+		BytesOut: c.bytesOut.Load(),
+	}
+}
+
+// Server serves one Backend to many concurrent clients.
+type Server struct {
+	backend Backend
+	cfg     Config
+
+	sem chan struct{} // inflight-request semaphore
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[*clientState]struct{}
+	closed   obs.ClientSnapshot // aggregate of departed clients
+	draining bool
+
+	nextClient atomic.Int64
+	accepted   atomic.Int64
+	rejected   atomic.Int64
+	inflight   atomic.Int64
+
+	wg sync.WaitGroup
+}
+
+// New returns a Server fronting backend.
+func New(backend Backend, cfg Config) *Server {
+	if cfg.MaxClients <= 0 {
+		cfg.MaxClients = defaultMaxClients
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = defaultMaxInflight
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = trace.Nop
+	}
+	return &Server{
+		backend: backend,
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.MaxInflight),
+		conns:   make(map[*clientState]struct{}),
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Serve accepts connections on ln until Shutdown (or a fatal listener error)
+// and blocks until every connection goroutine has exited.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return ErrDraining
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	defer s.wg.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return nil
+			}
+			return err
+		}
+		s.admit(conn)
+	}
+}
+
+// admit applies the client cap and hands an accepted connection to its
+// reader goroutine. Rejected connections get one best-effort ERR frame so
+// the client sees why, not just a reset.
+func (s *Server) admit(conn net.Conn) {
+	s.mu.Lock()
+	reject := error(nil)
+	switch {
+	case s.draining:
+		reject = ErrDraining
+	case len(s.conns) >= s.cfg.MaxClients:
+		reject = ErrClientCap
+	}
+	if reject != nil {
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		_ = conn.SetWriteDeadline(time.Now().Add(time.Second))
+		_, _ = WriteFrame(conn, nil, Frame{Type: RespErr, Data: []byte(reject.Error())})
+		_ = conn.Close()
+		return
+	}
+	c := &clientState{
+		id:   s.nextClient.Add(1),
+		addr: conn.RemoteAddr().String(),
+		conn: conn,
+		bw:   bufio.NewWriterSize(conn, 64<<10),
+	}
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+	s.accepted.Add(1)
+	s.logf("blockserve: client %d connected from %s", c.id, c.addr)
+	s.wg.Add(1)
+	go s.serveConn(c)
+}
+
+// serveConn is the per-client connection goroutine: it decodes request
+// frames and dispatches each to a handler goroutine once an inflight slot is
+// acquired — acquisition blocks further reads from this client, which is the
+// backpressure path.
+func (s *Server) serveConn(c *clientState) {
+	defer s.wg.Done()
+	defer func() {
+		_ = c.conn.Close()
+		s.mu.Lock()
+		delete(s.conns, c)
+		snap := c.snapshot(false)
+		s.closed.Merge(snap)
+		s.mu.Unlock()
+		s.logf("blockserve: client %d disconnected (%d ops)", c.id, snap.Ops())
+	}()
+	br := bufio.NewReaderSize(c.conn, 64<<10)
+	var rbuf []byte
+	for {
+		f, buf, err := ReadFrame(br, rbuf)
+		rbuf = buf
+		if err != nil {
+			if !errors.Is(err, net.ErrClosed) && !isEOF(err) {
+				s.logf("blockserve: client %d read: %v", c.id, err)
+			}
+			return
+		}
+		if f.Type >= RespOK {
+			s.logf("blockserve: client %d sent response type 0x%02x", c.id, f.Type)
+			return
+		}
+		// A WRITE payload aliases the read buffer, which the next ReadFrame
+		// reuses; copy it before the handler leaves this goroutine.
+		if f.Type == OpWrite && len(f.Data) > 0 {
+			f.Data = append([]byte(nil), f.Data...)
+		}
+		s.sem <- struct{}{} // inflight admission; blocks the reader when full
+		s.inflight.Add(1)
+		c.inflight.Add(1)
+		s.wg.Add(1)
+		go func(f Frame) {
+			defer s.wg.Done()
+			s.handle(c, f)
+			c.inflight.Add(-1)
+			s.inflight.Add(-1)
+			<-s.sem
+		}(f)
+	}
+}
+
+func isEOF(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// handle executes one request and writes its response frame.
+func (s *Server) handle(c *clientState, f Frame) {
+	var (
+		resp Frame
+		op   trace.Op
+	)
+	resp.ID = f.ID
+	resp.Type = RespOK
+	switch f.Type {
+	case OpRead:
+		op = trace.OpServeRead
+	case OpWrite:
+		op = trace.OpServeWrite
+	case OpFlush:
+		op = trace.OpServeFlush
+	case OpStatus:
+		op = trace.OpServeStatus
+	case OpRebuild:
+		op = trace.OpServeRebuild
+	}
+	tc := s.cfg.Tracer.BeginClient(op, int32(c.id), 0)
+	var bytes int64
+	var err error
+
+	switch f.Type {
+	case OpRead:
+		if f.Count > MaxPayload {
+			err = fmt.Errorf("read of %d bytes exceeds frame payload limit %d", f.Count, MaxPayload)
+			break
+		}
+		buf := make([]byte, f.Count)
+		var n int
+		n, err = s.backend.ReadAt(buf, f.Off)
+		if err == nil {
+			resp.Data = buf[:n]
+			bytes = int64(n)
+			c.reads.Add(1)
+			c.bytesOut.Add(bytes)
+		}
+	case OpWrite:
+		var n int
+		n, err = s.backend.WriteAt(f.Data, f.Off)
+		if err == nil {
+			resp.Count = uint32(n)
+			bytes = int64(n)
+			c.writes.Add(1)
+			c.bytesIn.Add(bytes)
+		}
+	case OpFlush:
+		if fl, ok := s.backend.(Flusher); ok {
+			err = fl.Flush()
+		}
+		if err == nil {
+			c.flushes.Add(1)
+		}
+	case OpStatus:
+		resp.Off = s.backend.Size()
+		if st, ok := s.backend.(Statuser); ok {
+			resp.Data, err = st.StatusJSON()
+		} else {
+			resp.Data = []byte(fmt.Sprintf(`{"size":%d}`, resp.Off))
+		}
+		if err == nil {
+			c.admin.Add(1)
+		}
+	case OpRebuild:
+		if rb, ok := s.backend.(Rebuilder); ok {
+			err = rb.Rebuild(int(f.Off))
+		} else {
+			err = errors.New("backend does not support rebuild")
+		}
+		if err == nil {
+			c.admin.Add(1)
+		}
+	}
+
+	if err != nil {
+		c.errs.Add(1)
+		resp = Frame{Type: RespErr, ID: f.ID, Data: []byte(err.Error())}
+	}
+	s.cfg.Tracer.End(tc, bytes, err != nil)
+
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	wbuf, werr := WriteFrame(c.bw, c.wbuf, resp)
+	c.wbuf = wbuf
+	if werr == nil {
+		werr = c.bw.Flush()
+	}
+	if werr != nil {
+		// The reader goroutine notices the closed connection and cleans up.
+		_ = c.conn.Close()
+	}
+}
+
+// Shutdown gracefully drains the server: it stops accepting, waits for every
+// in-flight request to complete (bounded by ctx), then closes the remaining
+// connections and waits for their goroutines. It is the SIGTERM path of
+// cmd/raidserve.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+
+	// Wait for in-flight work, polling cheaply; new requests still arriving
+	// on open connections keep being served until the connections close
+	// below, but the common client (blockdev.Remote, loadgen) stops sending
+	// once its own process winds down.
+	drained := ctx.Err() == nil
+	for drained && s.inflight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			drained = false
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+
+	s.mu.Lock()
+	for c := range s.conns {
+		_ = c.conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	if !drained {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// Snapshot returns the server's metric view: lifecycle counters, the
+// admission configuration, the all-time totals and the live per-client
+// detail, sorted by client id (the conns map iterates randomly).
+func (s *Server) Snapshot() obs.ServerSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := obs.ServerSnapshot{
+		Accepted:    s.accepted.Load(),
+		Rejected:    s.rejected.Load(),
+		Active:      int64(len(s.conns)),
+		Inflight:    s.inflight.Load(),
+		MaxClients:  s.cfg.MaxClients,
+		MaxInflight: s.cfg.MaxInflight,
+		Draining:    s.draining,
+		Totals:      s.closed,
+	}
+	if s.ln != nil {
+		snap.Addr = s.ln.Addr().String()
+	}
+	for c := range s.conns {
+		cs := c.snapshot(true)
+		snap.Totals.Merge(cs)
+		snap.Clients = append(snap.Clients, cs)
+	}
+	// Totals is an aggregate, not a client: strip the identity fields the
+	// merges adopted.
+	snap.Totals.ID, snap.Totals.Addr, snap.Totals.Active = 0, "", false
+	sort.Slice(snap.Clients, func(i, j int) bool { return snap.Clients[i].ID < snap.Clients[j].ID })
+	return snap
+}

@@ -1,0 +1,423 @@
+package blockserve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dcode/internal/blockdev"
+	"dcode/internal/blockserve"
+)
+
+// startServer runs a Server on loopback and tears it down with the test.
+func startServer(t *testing.T, backend blockserve.Backend, cfg blockserve.Config) (string, *blockserve.Server) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := blockserve.New(backend, cfg)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("Serve returned %v after drain, want nil", err)
+		}
+	})
+	return ln.Addr().String(), srv
+}
+
+func TestServerReadWriteStatusFlush(t *testing.T) {
+	addr, srv := startServer(t, blockdev.NewMem(1<<16), blockserve.Config{})
+	dev, err := blockdev.DialRemote(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+
+	if dev.Size() != 1<<16 {
+		t.Fatalf("Size() = %d, want %d (STATUS must carry the volume size)", dev.Size(), 1<<16)
+	}
+	want := bytes.Repeat([]byte{0x5A, 0xC3}, 2048)
+	if _, err := dev.WriteAt(want, 4096); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	got := make([]byte, len(want))
+	if _, err := dev.ReadAt(got, 4096); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("read back different bytes than written")
+	}
+	if err := dev.Flush(); err != nil {
+		t.Fatalf("Flush on a flushless backend should no-op, got %v", err)
+	}
+	doc, err := dev.Status()
+	if err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	var st struct {
+		Size int64 `json:"size"`
+	}
+	if err := json.Unmarshal(doc, &st); err != nil {
+		t.Fatalf("default status document is not JSON: %v (%q)", err, doc)
+	}
+	if st.Size != 1<<16 {
+		t.Fatalf("status size = %d, want %d", st.Size, 1<<16)
+	}
+	if err := dev.Rebuild(0); err == nil {
+		t.Fatal("Rebuild on a non-array backend must fail")
+	}
+
+	snap := srv.Snapshot()
+	if snap.Totals.Reads != 1 || snap.Totals.Writes != 1 || snap.Totals.Flushes != 1 {
+		t.Fatalf("totals = %+v, want 1 read / 1 write / 1 flush", snap.Totals)
+	}
+	if snap.Totals.BytesOut != int64(len(want)) || snap.Totals.BytesIn != int64(len(want)) {
+		t.Fatalf("byte totals = in %d / out %d, want %d both ways",
+			snap.Totals.BytesIn, snap.Totals.BytesOut, len(want))
+	}
+}
+
+// rebuildBackend records REBUILD dispatch so the test can see it arrive.
+type rebuildBackend struct {
+	*blockdev.MemDevice
+	mu      sync.Mutex
+	rebuilt []int
+}
+
+func (b *rebuildBackend) Rebuild(disk int) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.rebuilt = append(b.rebuilt, disk)
+	return nil
+}
+
+func TestRebuildDispatch(t *testing.T) {
+	backend := &rebuildBackend{MemDevice: blockdev.NewMem(4096)}
+	addr, _ := startServer(t, backend, blockserve.Config{})
+	dev, err := blockdev.DialRemote(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	if err := dev.Rebuild(3); err != nil {
+		t.Fatalf("Rebuild: %v", err)
+	}
+	backend.mu.Lock()
+	defer backend.mu.Unlock()
+	if len(backend.rebuilt) != 1 || backend.rebuilt[0] != 3 {
+		t.Fatalf("rebuilt = %v, want [3]", backend.rebuilt)
+	}
+}
+
+func TestClientCapRejects(t *testing.T) {
+	addr, srv := startServer(t, blockdev.NewMem(4096), blockserve.Config{MaxClients: 1})
+	first, err := blockdev.DialRemote(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	// The Remote pools its connection, so the one client occupies the one
+	// slot; a second mount must be rejected with the server's reason intact.
+	_, err = blockdev.DialRemote(addr,
+		blockdev.WithRetry(2, time.Millisecond),
+		blockdev.WithRequestTimeout(time.Second))
+	if err == nil {
+		t.Fatal("second client admitted past MaxClients=1")
+	}
+	if !strings.Contains(err.Error(), "capacity") {
+		t.Fatalf("rejection reason lost: %v", err)
+	}
+	if snap := srv.Snapshot(); snap.Rejected == 0 {
+		t.Fatalf("Rejected = %d, want > 0", snap.Rejected)
+	}
+}
+
+func TestPipelinedRequestsOnOneConnection(t *testing.T) {
+	mem := blockdev.NewMem(1 << 16)
+	for i := int64(0); i < 4; i++ {
+		buf := bytes.Repeat([]byte{byte(i + 1)}, 512)
+		if _, err := mem.WriteAt(buf, i*512); err != nil {
+			t.Fatal(err)
+		}
+	}
+	addr, _ := startServer(t, mem, blockserve.Config{})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Send all requests before reading any response: the ids must come back
+	// matched to their payloads regardless of completion order.
+	var wbuf []byte
+	for i := uint64(0); i < 4; i++ {
+		wbuf, err = blockserve.WriteFrame(conn, wbuf, blockserve.Frame{
+			Type: blockserve.OpRead, ID: 100 + i, Off: int64(i) * 512, Count: 512,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := map[uint64]byte{}
+	var rbuf []byte
+	for i := 0; i < 4; i++ {
+		var f blockserve.Frame
+		f, rbuf, err = blockserve.ReadFrame(conn, rbuf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Type != blockserve.RespOK || len(f.Data) != 512 {
+			t.Fatalf("response %d: type 0x%02x, %d bytes", i, f.Type, len(f.Data))
+		}
+		seen[f.ID] = f.Data[0]
+	}
+	for i := uint64(0); i < 4; i++ {
+		if seen[100+i] != byte(i+1) {
+			t.Fatalf("id %d answered with fill byte %d, want %d", 100+i, seen[100+i], i+1)
+		}
+	}
+}
+
+// gatedBackend blocks every ReadAt until released, so tests can hold requests
+// in flight deliberately.
+type gatedBackend struct {
+	*blockdev.MemDevice
+	gate chan struct{}
+}
+
+func (b *gatedBackend) ReadAt(p []byte, off int64) (int, error) {
+	<-b.gate
+	return b.MemDevice.ReadAt(p, off)
+}
+
+func TestInflightAdmissionLimit(t *testing.T) {
+	backend := &gatedBackend{MemDevice: blockdev.NewMem(1 << 16), gate: make(chan struct{})}
+	addr, srv := startServer(t, backend, blockserve.Config{MaxInflight: 1})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var wbuf []byte
+	for i := uint64(1); i <= 3; i++ {
+		wbuf, err = blockserve.WriteFrame(conn, wbuf, blockserve.Frame{
+			Type: blockserve.OpRead, ID: i, Count: 16,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// With one slot, exactly one request may be in flight no matter how many
+	// are pipelined; the reader goroutine is parked on the semaphore.
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Snapshot().Inflight != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("inflight = %d, want 1", srv.Snapshot().Inflight)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if got := srv.Snapshot().Inflight; got != 1 {
+		t.Fatalf("inflight grew to %d with MaxInflight=1", got)
+	}
+	close(backend.gate)
+	var rbuf []byte
+	for i := 0; i < 3; i++ {
+		var f blockserve.Frame
+		f, rbuf, err = blockserve.ReadFrame(conn, rbuf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Type != blockserve.RespOK {
+			t.Fatalf("response %d: %q", i, f.Data)
+		}
+	}
+}
+
+func TestShutdownDrainsInflight(t *testing.T) {
+	backend := &gatedBackend{MemDevice: blockdev.NewMem(1 << 16), gate: make(chan struct{})}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := blockserve.New(backend, blockserve.Config{})
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := blockserve.WriteFrame(conn, nil, blockserve.Frame{
+		Type: blockserve.OpRead, ID: 7, Count: 8,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Snapshot().Inflight != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never became in-flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	shutDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutDone <- srv.Shutdown(ctx)
+	}()
+	// Shutdown must wait for the gated request, not abandon it.
+	select {
+	case err := <-shutDone:
+		t.Fatalf("Shutdown returned %v with a request still in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(backend.gate)
+	if err := <-shutDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("Serve returned %v after drain, want nil", err)
+	}
+	// The drained request's response must have been written before the close.
+	f, _, err := blockserve.ReadFrame(conn, nil)
+	if err != nil {
+		t.Fatalf("response lost in drain: %v", err)
+	}
+	if f.Type != blockserve.RespOK || f.ID != 7 {
+		t.Fatalf("drained response = %+v", f)
+	}
+	// Connections after drain are rejected with the reason.
+	if _, err := blockdev.DialRemote(ln.Addr().String(),
+		blockdev.WithRetry(1, 0), blockdev.WithRequestTimeout(time.Second)); err == nil {
+		t.Fatal("connection admitted after Shutdown")
+	}
+}
+
+// TestSoakConcurrentClients hammers one server from many goroutine clients
+// while others disconnect mid-stream without reading their responses; run
+// under -race in CI. The surviving clients must see correct data and the
+// server must drain cleanly afterwards.
+func TestSoakConcurrentClients(t *testing.T) {
+	const (
+		clients  = 8
+		opsEach  = 60
+		elemSize = 512
+	)
+	mem := blockdev.NewMem(clients * opsEach * elemSize)
+	addr, srv := startServer(t, mem, blockserve.Config{MaxInflight: 16})
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			if id%4 == 3 {
+				// Rude client: pipeline a burst of writes, then vanish without
+				// reading a single response.
+				conn, err := net.Dial("tcp", addr)
+				if err != nil {
+					errs <- err
+					return
+				}
+				var wbuf []byte
+				for j := 0; j < opsEach; j++ {
+					wbuf, err = blockserve.WriteFrame(conn, wbuf, blockserve.Frame{
+						Type: blockserve.OpWrite, ID: uint64(j + 1),
+						Off:  int64((id*opsEach + j) * elemSize),
+						Data: bytes.Repeat([]byte{byte(id)}, elemSize),
+					})
+					if err != nil {
+						break
+					}
+				}
+				_ = conn.Close()
+				return
+			}
+			dev, err := blockdev.DialRemote(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer dev.Close()
+			buf := make([]byte, elemSize)
+			got := make([]byte, elemSize)
+			for j := 0; j < opsEach; j++ {
+				off := int64((id*opsEach + j) * elemSize)
+				for k := range buf {
+					buf[k] = byte(id ^ j ^ k)
+				}
+				if _, err := dev.WriteAt(buf, off); err != nil {
+					errs <- fmt.Errorf("client %d write %d: %w", id, j, err)
+					return
+				}
+				if _, err := dev.ReadAt(got, off); err != nil {
+					errs <- fmt.Errorf("client %d read %d: %w", id, j, err)
+					return
+				}
+				if !bytes.Equal(got, buf) {
+					errs <- fmt.Errorf("client %d op %d: data mismatch", id, j)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	snap := srv.Snapshot()
+	if snap.Totals.Errors != 0 {
+		t.Fatalf("server recorded %d op errors", snap.Totals.Errors)
+	}
+	if snap.Accepted < clients {
+		t.Fatalf("accepted = %d, want >= %d", snap.Accepted, clients)
+	}
+	// Departed clients' work must persist in the totals aggregate.
+	if min := int64((clients - clients/4) * opsEach); snap.Totals.Writes < min {
+		t.Fatalf("total writes = %d, want >= %d", snap.Totals.Writes, min)
+	}
+}
+
+func TestSnapshotKeepsDepartedClients(t *testing.T) {
+	addr, srv := startServer(t, blockdev.NewMem(4096), blockserve.Config{})
+	dev, err := blockdev.DialRemote(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.WriteAt(make([]byte, 128), 0); err != nil {
+		t.Fatal(err)
+	}
+	_ = dev.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Snapshot().Active != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("connection never unregistered after client close")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	snap := srv.Snapshot()
+	if snap.Totals.Writes != 1 || snap.Totals.Admin == 0 {
+		t.Fatalf("departed client's ops missing from totals: %+v", snap.Totals)
+	}
+	if len(snap.Clients) != 0 {
+		t.Fatalf("live client list = %+v, want empty", snap.Clients)
+	}
+}

@@ -1,0 +1,147 @@
+// Package blockserve serves a block volume — an *raid.Array or any single
+// block device — to remote clients over TCP, speaking a small length-prefixed
+// binary protocol. It is the network front half of the engine: cmd/raidserve
+// runs it in front of an array (or a single column file in -column mode), and
+// blockdev.Remote speaks the same protocol back as a client-side Device, so
+// array columns can live on remote nodes.
+//
+// This file defines the wire format. Every message, request or response, is
+// one frame:
+//
+//	uint32  length of the rest of the frame (big endian)
+//	uint8   type (request op or response status)
+//	uint64  request id (echoed verbatim in the response; clients may pipeline
+//	        multiple outstanding ids on one connection)
+//	int64   off — byte offset for READ/WRITE, the disk index for REBUILD,
+//	        and the volume size in a STATUS response
+//	uint32  count — requested byte count for READ; len(data) elsewhere
+//	[]byte  data — WRITE payload, READ response payload, STATUS response
+//	        JSON, or the error message of an ERR response
+//
+// The fixed header makes truncated, oversized and garbage frames cheap to
+// reject: length is bounded by MaxFrame before any allocation, and a frame
+// shorter than the header is malformed. FuzzWireFrame pins both properties.
+package blockserve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Request ops.
+const (
+	OpRead    uint8 = 1 // read Count bytes at Off
+	OpWrite   uint8 = 2 // write Data at Off
+	OpFlush   uint8 = 3 // persist outstanding writes
+	OpStatus  uint8 = 4 // fetch the volume's status JSON (response Off = size)
+	OpRebuild uint8 = 5 // rebuild disk Off (array backends only)
+)
+
+// Response types.
+const (
+	RespOK  uint8 = 0x80 // success; Data carries the payload if any
+	RespErr uint8 = 0x81 // failure; Data carries the error message
+)
+
+// Frame size limits. MaxFrame bounds a frame's variable part so a malicious
+// or corrupt length prefix cannot force a huge allocation; it also caps the
+// payload of one READ/WRITE, which keeps per-request buffers bounded.
+const (
+	headerLen = 1 + 8 + 8 + 4 // type + id + off + count
+	MaxFrame  = 8<<20 + headerLen
+	// MaxPayload is the largest READ/WRITE payload a single frame carries.
+	MaxPayload = MaxFrame - headerLen
+)
+
+// Wire-format errors.
+var (
+	ErrFrameTooLarge = errors.New("blockserve: frame exceeds MaxFrame")
+	ErrMalformed     = errors.New("blockserve: malformed frame")
+)
+
+// Frame is one decoded protocol message; see the package comment for the
+// field meanings per type.
+type Frame struct {
+	Type  uint8
+	ID    uint64
+	Off   int64
+	Count uint32
+	Data  []byte
+}
+
+// validType reports whether t is a known request op or response type.
+func validType(t uint8) bool {
+	return (t >= OpRead && t <= OpRebuild) || t == RespOK || t == RespErr
+}
+
+// AppendFrame appends the encoded frame to dst and returns the result. It is
+// the encoding primitive both sides share; callers keep dst pooled so a
+// steady request stream does not allocate.
+func AppendFrame(dst []byte, f Frame) ([]byte, error) {
+	if len(f.Data) > MaxPayload {
+		return dst, ErrFrameTooLarge
+	}
+	n := headerLen + len(f.Data)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(n))
+	dst = append(dst, f.Type)
+	dst = binary.BigEndian.AppendUint64(dst, f.ID)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(f.Off))
+	dst = binary.BigEndian.AppendUint32(dst, f.Count)
+	dst = append(dst, f.Data...)
+	return dst, nil
+}
+
+// WriteFrame encodes f into buf (growing it as needed) and writes it to w in
+// one call, returning the possibly-grown buffer for reuse.
+func WriteFrame(w io.Writer, buf []byte, f Frame) ([]byte, error) {
+	buf, err := AppendFrame(buf[:0], f)
+	if err != nil {
+		return buf, err
+	}
+	_, err = w.Write(buf)
+	return buf, err
+}
+
+// ReadFrame reads one frame from r. The returned frame's Data aliases buf
+// when it fits, so the caller may pass a pooled buffer; the possibly-grown
+// buffer is returned for reuse. A frame whose length prefix exceeds MaxFrame
+// fails with ErrFrameTooLarge before any payload allocation; one shorter
+// than the fixed header, or carrying an unknown type, fails with ErrMalformed.
+func ReadFrame(r io.Reader, buf []byte) (Frame, []byte, error) {
+	var lb [4]byte
+	if _, err := io.ReadFull(r, lb[:]); err != nil {
+		return Frame{}, buf, err
+	}
+	n := binary.BigEndian.Uint32(lb[:])
+	if n < headerLen {
+		return Frame{}, buf, fmt.Errorf("%w: length %d below header", ErrMalformed, n)
+	}
+	if n > MaxFrame {
+		return Frame{}, buf, fmt.Errorf("%w: length %d", ErrFrameTooLarge, n)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, buf, err
+	}
+	f := Frame{
+		Type:  buf[0],
+		ID:    binary.BigEndian.Uint64(buf[1:9]),
+		Off:   int64(binary.BigEndian.Uint64(buf[9:17])),
+		Count: binary.BigEndian.Uint32(buf[17:21]),
+	}
+	if !validType(f.Type) {
+		return Frame{}, buf, fmt.Errorf("%w: unknown type 0x%02x", ErrMalformed, f.Type)
+	}
+	if n > headerLen {
+		f.Data = buf[headerLen:n]
+	}
+	return f, buf, nil
+}

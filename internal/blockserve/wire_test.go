@@ -1,0 +1,129 @@
+package blockserve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Type: OpRead, ID: 1, Off: 4096, Count: 512},
+		{Type: OpWrite, ID: 1<<64 - 1, Off: -1, Data: []byte("payload")},
+		{Type: OpFlush, ID: 7},
+		{Type: OpStatus},
+		{Type: OpRebuild, ID: 9, Off: 3},
+		{Type: RespOK, ID: 42, Off: 1 << 40, Data: bytes.Repeat([]byte{0xAB}, 4096)},
+		{Type: RespErr, ID: 3, Data: []byte("blockdev: device failed")},
+	}
+	var wire bytes.Buffer
+	var wbuf []byte
+	for _, f := range frames {
+		var err error
+		wbuf, err = WriteFrame(&wire, wbuf, f)
+		if err != nil {
+			t.Fatalf("WriteFrame(%+v): %v", f, err)
+		}
+	}
+	var rbuf []byte
+	for i, want := range frames {
+		got, buf, err := ReadFrame(&wire, rbuf)
+		rbuf = buf
+		if err != nil {
+			t.Fatalf("frame %d: ReadFrame: %v", i, err)
+		}
+		if got.Type != want.Type || got.ID != want.ID || got.Off != want.Off || got.Count != want.Count {
+			t.Fatalf("frame %d: header mismatch: got %+v want %+v", i, got, want)
+		}
+		if !bytes.Equal(got.Data, want.Data) {
+			t.Fatalf("frame %d: payload mismatch: %d vs %d bytes", i, len(got.Data), len(want.Data))
+		}
+	}
+	if _, _, err := ReadFrame(&wire, rbuf); err != io.EOF {
+		t.Fatalf("after last frame: err = %v, want io.EOF", err)
+	}
+}
+
+func TestReadFrameRejectsBadInput(t *testing.T) {
+	encode := func(f Frame) []byte {
+		b, err := AppendFrame(nil, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	tests := []struct {
+		name string
+		in   []byte
+		want error
+	}{
+		{"empty", nil, io.EOF},
+		{"truncated length", []byte{0, 0}, io.ErrUnexpectedEOF},
+		{"length below header", binary.BigEndian.AppendUint32(nil, headerLen-1), ErrMalformed},
+		{"length above MaxFrame", binary.BigEndian.AppendUint32(nil, MaxFrame+1), ErrFrameTooLarge},
+		{"truncated header", binary.BigEndian.AppendUint32(nil, headerLen)[:6], io.ErrUnexpectedEOF},
+		{"truncated body", encode(Frame{Type: OpWrite, Data: []byte("abcdef")})[:headerLen+4+2], io.ErrUnexpectedEOF},
+		{"unknown type", func() []byte {
+			b := encode(Frame{Type: OpRead})
+			b[4] = 0x7F
+			return b
+		}(), ErrMalformed},
+		{"zero type", func() []byte {
+			b := encode(Frame{Type: OpRead})
+			b[4] = 0
+			return b
+		}(), ErrMalformed},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := ReadFrame(bytes.NewReader(tc.in), nil)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestAppendFrameRejectsOversizedPayload(t *testing.T) {
+	_, err := AppendFrame(nil, Frame{Type: OpWrite, Data: make([]byte, MaxPayload+1)})
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// FuzzWireFrame pins the decoder's safety properties: arbitrary input never
+// panics, never allocates beyond MaxFrame, and any frame that decodes
+// successfully re-encodes to exactly the bytes consumed (so the codec cannot
+// silently lose or invent wire bytes).
+func FuzzWireFrame(f *testing.F) {
+	seed := func(fr Frame) []byte {
+		b, err := AppendFrame(nil, fr)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return b
+	}
+	f.Add(seed(Frame{Type: OpRead, ID: 1, Off: 4096, Count: 512}))
+	f.Add(seed(Frame{Type: OpWrite, ID: 2, Off: 0, Data: []byte("hello")}))
+	f.Add(seed(Frame{Type: RespErr, ID: 3, Data: []byte("boom")}))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})           // absurd length prefix
+	f.Add(binary.BigEndian.AppendUint32(nil, 5))    // below header
+	f.Add(append(seed(Frame{Type: OpFlush}), 0xAA)) // trailing garbage
+	f.Add(seed(Frame{Type: OpStatus})[:7])          // truncated header
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		fr, _, err := ReadFrame(bytes.NewReader(in), nil)
+		if err != nil {
+			return
+		}
+		re, err := AppendFrame(nil, fr)
+		if err != nil {
+			t.Fatalf("decoded frame %+v does not re-encode: %v", fr, err)
+		}
+		if len(re) > len(in) || !bytes.Equal(re, in[:len(re)]) {
+			t.Fatalf("re-encode mismatch: read %d-byte frame from %d-byte input, got different bytes", len(re), len(in))
+		}
+	})
+}

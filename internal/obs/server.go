@@ -1,0 +1,86 @@
+package obs
+
+// Server-side metrics of the network block service (internal/blockserve).
+// The snapshot types live here, next to the other observability payloads, so
+// raid.Snapshot can embed the server view without the raid package importing
+// the server (blockserve builds the snapshot, raid only carries it).
+
+// ClientSnapshot is the per-connection tally of one block-service client.
+type ClientSnapshot struct {
+	// ID is the server-assigned client number (1-based, monotonic per
+	// process); trace spans opened for this client's requests carry it.
+	ID int64 `json:"id"`
+	// Addr is the client's remote address.
+	Addr string `json:"addr,omitempty"`
+	// Active reports whether the connection is still open.
+	Active bool `json:"active,omitempty"`
+
+	Reads   int64 `json:"reads"`
+	Writes  int64 `json:"writes"`
+	Flushes int64 `json:"flushes,omitempty"`
+	Admin   int64 `json:"admin,omitempty"` // STATUS + REBUILD requests
+	Errors  int64 `json:"errors,omitempty"`
+
+	BytesIn  int64 `json:"bytes_in"`  // payload bytes received (writes)
+	BytesOut int64 `json:"bytes_out"` // payload bytes sent (reads)
+}
+
+// Ops returns the client's total request count.
+func (c *ClientSnapshot) Ops() int64 { return c.Reads + c.Writes + c.Flushes + c.Admin }
+
+// Merge accumulates another client tally into c (identity fields adopt o's
+// when c is zero-valued).
+func (c *ClientSnapshot) Merge(o ClientSnapshot) {
+	if c.ID == 0 {
+		c.ID, c.Addr = o.ID, o.Addr
+	}
+	c.Active = c.Active || o.Active
+	c.Reads += o.Reads
+	c.Writes += o.Writes
+	c.Flushes += o.Flushes
+	c.Admin += o.Admin
+	c.Errors += o.Errors
+	c.BytesIn += o.BytesIn
+	c.BytesOut += o.BytesOut
+}
+
+// ServerSnapshot is the block service's contribution to the array snapshot:
+// connection lifecycle counters, the admission-control configuration, the
+// all-clients aggregate (closed connections included), and the per-client
+// detail for connections still open.
+type ServerSnapshot struct {
+	Addr string `json:"addr,omitempty"`
+
+	Accepted int64 `json:"accepted"` // connections admitted
+	Rejected int64 `json:"rejected"` // connections turned away at the client cap
+	Active   int64 `json:"active"`   // connections currently open
+	Inflight int64 `json:"inflight"` // requests currently being served
+
+	MaxClients  int  `json:"max_clients"`
+	MaxInflight int  `json:"max_inflight"`
+	Draining    bool `json:"draining,omitempty"`
+
+	// Totals aggregates every request ever served, including those of
+	// connections that have since closed.
+	Totals ClientSnapshot `json:"totals"`
+	// Clients is the per-connection detail of the currently open clients.
+	Clients []ClientSnapshot `json:"clients,omitempty"`
+}
+
+// Merge accumulates another server snapshot into s. Gauges (Active, Inflight,
+// Draining, per-client detail) adopt o's values — they are point-in-time
+// views, not sums — while the lifecycle counters and totals accumulate.
+func (s *ServerSnapshot) Merge(o ServerSnapshot) {
+	if s.Addr == "" {
+		s.Addr = o.Addr
+	}
+	s.Accepted += o.Accepted
+	s.Rejected += o.Rejected
+	s.Active = o.Active
+	s.Inflight = o.Inflight
+	s.MaxClients = o.MaxClients
+	s.MaxInflight = o.MaxInflight
+	s.Draining = o.Draining
+	s.Totals.Merge(o.Totals)
+	s.Clients = o.Clients
+}

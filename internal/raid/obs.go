@@ -89,6 +89,11 @@ type Snapshot struct {
 	// Trace carries the tracer's ring counters and retained slow spans; nil
 	// (omitted) when the array runs with the Nop tracer.
 	Trace *TraceSnapshot `json:"trace,omitempty"`
+
+	// Server carries the network block service's per-client op/byte metrics
+	// when the array is served over TCP (see SetServerStats); nil (omitted)
+	// for a purely in-process array.
+	Server *obs.ServerSnapshot `json:"server,omitempty"`
 }
 
 // XORSnapshot aliases the erasure engine's counter snapshot so Snapshot
@@ -178,8 +183,19 @@ func (a *Array) Snapshot() Snapshot {
 	if a.tr != nil && a.tr != trace.Nop {
 		s.Trace = &TraceSnapshot{Stats: a.tr.Stats(), SlowSpans: a.tr.SlowSpans()}
 	}
+	if a.serverStats != nil {
+		ss := a.serverStats()
+		s.Server = &ss
+	}
 	return s
 }
+
+// SetServerStats registers the network block service's snapshot provider, so
+// Array.Snapshot — and with it /stats, /metrics and raidctl — carries the
+// per-client byte/op metrics of the process serving this array. Set it
+// during process startup, before the array serves traffic; the field is read
+// without synchronization afterwards.
+func (a *Array) SetServerStats(fn func() obs.ServerSnapshot) { a.serverStats = fn }
 
 // Merge accumulates another snapshot into s; raidctl uses it to aggregate
 // statistics across process lifetimes. Code identity fields are taken from o
@@ -236,6 +252,12 @@ func (s *Snapshot) Merge(o Snapshot) {
 	if o.Window != nil {
 		w := *o.Window
 		s.Window = &w
+	}
+	if o.Server != nil {
+		if s.Server == nil {
+			s.Server = &obs.ServerSnapshot{}
+		}
+		s.Server.Merge(*o.Server)
 	}
 	if o.Trace != nil {
 		if s.Trace == nil {

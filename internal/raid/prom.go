@@ -97,6 +97,47 @@ func (s *Snapshot) WriteProm(pw *obs.PromWriter) {
 		pw.SampleInt("dcode_cache_bytes", nil, c.Bytes)
 	}
 
+	if srv := s.Server; srv != nil {
+		pw.Family("dcode_server_connections_total", "Block-service connections by outcome.", "counter")
+		pw.SampleInt("dcode_server_connections_total", []obs.Label{{Name: "outcome", Value: "accepted"}}, srv.Accepted)
+		pw.SampleInt("dcode_server_connections_total", []obs.Label{{Name: "outcome", Value: "rejected"}}, srv.Rejected)
+		pw.Family("dcode_server_clients", "Currently connected block-service clients.", "gauge")
+		pw.SampleInt("dcode_server_clients", nil, srv.Active)
+		pw.Family("dcode_server_inflight_requests", "Requests being served right now.", "gauge")
+		pw.SampleInt("dcode_server_inflight_requests", nil, srv.Inflight)
+		pw.Family("dcode_server_requests_total", "Block-service requests by kind, all clients.", "counter")
+		for _, kv := range []struct {
+			op string
+			n  int64
+		}{
+			{"read", srv.Totals.Reads},
+			{"write", srv.Totals.Writes},
+			{"flush", srv.Totals.Flushes},
+			{"admin", srv.Totals.Admin},
+			{"error", srv.Totals.Errors},
+		} {
+			pw.SampleInt("dcode_server_requests_total", []obs.Label{{Name: "op", Value: kv.op}}, kv.n)
+		}
+		pw.Family("dcode_server_bytes_total", "Payload bytes through the block service.", "counter")
+		pw.SampleInt("dcode_server_bytes_total", []obs.Label{{Name: "dir", Value: "in"}}, srv.Totals.BytesIn)
+		pw.SampleInt("dcode_server_bytes_total", []obs.Label{{Name: "dir", Value: "out"}}, srv.Totals.BytesOut)
+		pw.Family("dcode_server_client_ops_total", "Requests per connected client.", "counter")
+		pw.Family("dcode_server_client_bytes_total", "Payload bytes per connected client.", "counter")
+		for i := range srv.Clients {
+			c := &srv.Clients[i]
+			id := obs.Label{Name: "client", Value: strconv.FormatInt(c.ID, 10)}
+			pw.SampleInt("dcode_server_client_ops_total", []obs.Label{id}, c.Ops())
+			pw.SampleInt("dcode_server_client_bytes_total", []obs.Label{id, {Name: "dir", Value: "in"}}, c.BytesIn)
+			pw.SampleInt("dcode_server_client_bytes_total", []obs.Label{id, {Name: "dir", Value: "out"}}, c.BytesOut)
+		}
+		pw.Family("dcode_server_draining", "1 while the server is draining for shutdown.", "gauge")
+		draining := int64(0)
+		if srv.Draining {
+			draining = 1
+		}
+		pw.SampleInt("dcode_server_draining", nil, draining)
+	}
+
 	if t := s.Trace; t != nil {
 		pw.Family("dcode_trace_spans_total", "Spans recorded into the trace ring.", "counter")
 		pw.SampleInt("dcode_trace_spans_total", nil, t.Recorded)

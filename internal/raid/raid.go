@@ -89,6 +89,10 @@ type Array struct {
 	// plancache.go); planMemoOff disables it for benchmarking the saving.
 	plans       planMemo
 	planMemoOff bool
+
+	// serverStats, when set (SetServerStats), contributes the network block
+	// service's per-client metrics to Snapshot.
+	serverStats func() obs.ServerSnapshot
 }
 
 func (a *Array) lockStripe(si int64) *sync.Mutex {

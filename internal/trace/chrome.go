@@ -18,6 +18,7 @@ import (
 const (
 	chromeTidOps     = 0
 	chromeTidStripes = 1
+	chromeTidServe   = 2  // network block-server request spans
 	chromeTidDisks   = 10 // disk d renders on tid 10+d
 )
 
@@ -41,6 +42,8 @@ func chromeTid(sp Span) int {
 		return chromeTidDisks
 	case OpRead, OpWrite, OpRebuild, OpScrub:
 		return chromeTidOps
+	case OpServeRead, OpServeWrite, OpServeFlush, OpServeStatus, OpServeRebuild:
+		return chromeTidServe
 	default:
 		return chromeTidStripes
 	}
@@ -53,9 +56,13 @@ func WriteChrome(w io.Writer, spans []Span) error {
 
 	// Name the tracks so the viewer is self-describing.
 	maxDisk := int32(-1)
+	hasServe := false
 	for _, sp := range spans {
 		if (sp.Op == OpDevRead || sp.Op == OpDevWrite) && sp.Disk > maxDisk {
 			maxDisk = sp.Disk
+		}
+		if chromeTid(sp) == chromeTidServe {
+			hasServe = true
 		}
 	}
 	nameTrack := func(tid int, name string) {
@@ -66,6 +73,11 @@ func WriteChrome(w io.Writer, spans []Span) error {
 	}
 	nameTrack(chromeTidOps, "array ops")
 	nameTrack(chromeTidStripes, "stripe ops")
+	// The serve track only appears in traces that carry server spans, so
+	// library-only traces render exactly as before.
+	if hasServe {
+		nameTrack(chromeTidServe, "served requests")
+	}
 	for d := int32(0); d <= maxDisk; d++ {
 		nameTrack(chromeTidDisks+int(d), fmt.Sprintf("disk %d", d))
 	}
@@ -86,6 +98,9 @@ func WriteChrome(w io.Writer, spans []Span) error {
 		}
 		if sp.Disk >= 0 {
 			args["disk"] = sp.Disk
+		}
+		if sp.Client > 0 {
+			args["client"] = sp.Client
 		}
 		if sp.Err {
 			args["err"] = true

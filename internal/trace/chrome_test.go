@@ -58,6 +58,38 @@ func TestWriteChrome(t *testing.T) {
 	}
 }
 
+func TestWriteChromeServeTrack(t *testing.T) {
+	spans := []Span{
+		{ID: 1, Op: OpServeRead, Disk: -1, Stripe: -1, Client: 7, Bytes: 512, Start: 100, Dur: 50},
+		{ID: 2, Op: OpRead, Disk: -1, Stripe: -1, Start: 120, Dur: 20},
+	}
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	var serveNamed bool
+	for _, e := range events {
+		if e["ph"] == "M" && e["tid"] == float64(chromeTidServe) {
+			serveNamed = true
+		}
+		if e["ph"] == "X" && e["name"] == "serve_read" {
+			if e["tid"] != float64(chromeTidServe) {
+				t.Errorf("serve span on tid %v, want %d", e["tid"], chromeTidServe)
+			}
+			if args := e["args"].(map[string]any); args["client"] != 7.0 {
+				t.Errorf("serve span args %v, want client=7", args)
+			}
+		}
+	}
+	if !serveNamed {
+		t.Error("serve track not named despite serve spans present")
+	}
+}
+
 func TestWriteChromeEmpty(t *testing.T) {
 	var buf bytes.Buffer
 	if err := WriteChrome(&buf, nil); err != nil {

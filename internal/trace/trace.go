@@ -42,6 +42,11 @@ const (
 	OpScrubStripe
 	OpDevRead
 	OpDevWrite
+	OpServeRead
+	OpServeWrite
+	OpServeFlush
+	OpServeStatus
+	OpServeRebuild
 )
 
 var opNames = [...]string{
@@ -57,6 +62,11 @@ var opNames = [...]string{
 	OpScrubStripe:   "scrub_stripe",
 	OpDevRead:       "dev_read",
 	OpDevWrite:      "dev_write",
+	OpServeRead:     "serve_read",
+	OpServeWrite:    "serve_write",
+	OpServeFlush:    "serve_flush",
+	OpServeStatus:   "serve_status",
+	OpServeRebuild:  "serve_rebuild",
 }
 
 func (o Op) String() string {
@@ -68,12 +78,15 @@ func (o Op) String() string {
 
 // Span is one completed, timed unit of work. Disk and Stripe are -1 when the
 // span is not bound to a single column or stripe (e.g. a whole ReadAt).
+// Client is 0 unless the span was opened by the network block server on
+// behalf of a connected client (client IDs start at 1).
 type Span struct {
 	ID     uint64 `json:"id"`
 	Parent uint64 `json:"parent,omitempty"`
 	Op     Op     `json:"op"`
 	Disk   int32  `json:"disk"`
 	Stripe int64  `json:"stripe"`
+	Client int32  `json:"client,omitempty"`
 	Bytes  int64  `json:"bytes"`
 	Start  int64  `json:"start_ns"` // unix nanoseconds
 	Dur    int64  `json:"dur_ns"`
@@ -90,6 +103,7 @@ type Ctx struct {
 	start  int64
 	stripe int64
 	disk   int32
+	client int32
 	op     Op
 	ok     bool
 }
@@ -179,6 +193,15 @@ func (t *Tracer) Begin(op Op, disk int32, stripe int64, parent uint64) Ctx {
 	}
 }
 
+// BeginClient opens a span tagged with the network client it serves. The
+// block server uses it so every request span carries which connection issued
+// it; disk and stripe are unbound (-1).
+func (t *Tracer) BeginClient(op Op, client int32, parent uint64) Ctx {
+	c := t.Begin(op, -1, -1, parent)
+	c.client = client
+	return c
+}
+
 // End completes a span opened by Begin and records it. Inert Ctxs (disabled
 // tracer, zero value) return immediately.
 func (t *Tracer) End(c Ctx, bytes int64, failed bool) {
@@ -191,6 +214,7 @@ func (t *Tracer) End(c Ctx, bytes int64, failed bool) {
 		Op:     c.op,
 		Disk:   c.disk,
 		Stripe: c.stripe,
+		Client: c.client,
 		Bytes:  bytes,
 		Start:  c.start,
 		Dur:    time.Now().UnixNano() - c.start,
