@@ -10,6 +10,7 @@ package dcode_test
 import (
 	"fmt"
 	"math"
+	"os"
 	"runtime"
 	"testing"
 	"time"
@@ -567,6 +568,20 @@ func BenchmarkArrayRebuild(b *testing.B) {
 
 const benchDelay = 50 * time.Microsecond
 
+// benchPerByte is the transfer-cost term of the delayed model: 1ns/byte
+// (~1 GB/s streaming) next to the 50µs positioning cost, so a coalesced run
+// pays for the extra bytes it moves instead of riding free on the per-call
+// term. BENCH_PERBYTE overrides it ("0s" reproduces the flat per-call model
+// that baselines recorded before the two-term model existed).
+func benchPerByte() time.Duration {
+	if s := os.Getenv("BENCH_PERBYTE"); s != "" {
+		if d, err := time.ParseDuration(s); err == nil && d >= 0 {
+			return d
+		}
+	}
+	return time.Nanosecond
+}
+
 func newDelayedBenchArray(b *testing.B, conc int) (*dcode.Array, []*blockdev.MemDevice) {
 	b.Helper()
 	code, err := dcode.New(7)
@@ -578,7 +593,7 @@ func newDelayedBenchArray(b *testing.B, conc int) (*dcode.Array, []*blockdev.Mem
 	devs := make([]dcode.Device, code.Cols())
 	for i := range devs {
 		mems[i] = dcode.NewMemDevice(stripes * int64(code.Rows()) * elem)
-		devs[i] = &blockdev.Delayed{Device: mems[i], Delay: benchDelay}
+		devs[i] = &blockdev.Delayed{Device: mems[i], Delay: benchDelay, PerByte: benchPerByte()}
 	}
 	a, err := dcode.NewArray(code, devs, elem, stripes, dcode.WithConcurrency(conc))
 	if err != nil {
@@ -603,6 +618,55 @@ func BenchmarkArrayWriteAtDelayed(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := a.WriteAt(buf, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkArraySmallWritesDelayed is the write-combining ablation: a burst
+// of sequential 256B writes through one stripe, with the batching window off
+// and on. Off, every write pays its own read-modify-write against the delayed
+// devices; on, the burst merges into full-stripe flushes and the positioning
+// cost amortizes across the whole run.
+func BenchmarkArraySmallWritesDelayed(b *testing.B) {
+	const chunk = 256
+	for _, batched := range []bool{false, true} {
+		b.Run(fmt.Sprintf("batched=%v", batched), func(b *testing.B) {
+			code, err := dcode.New(7)
+			if err != nil {
+				b.Fatal(err)
+			}
+			const stripes, elem = 16, 4096
+			devs := make([]dcode.Device, code.Cols())
+			for i := range devs {
+				mem := dcode.NewMemDevice(stripes * int64(code.Rows()) * elem)
+				devs[i] = &blockdev.Delayed{Device: mem, Delay: benchDelay, PerByte: benchPerByte()}
+			}
+			opts := []dcode.ArrayOption{dcode.WithConcurrency(8)}
+			if batched {
+				opts = append(opts, dcode.WithBatching(time.Millisecond, 1<<20))
+			}
+			a, err := dcode.NewArray(code, devs, elem, stripes, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sdb := int64(code.DataElems()) * elem
+			buf := make([]byte, chunk)
+			for i := range buf {
+				buf[i] = byte(i)
+			}
+			b.SetBytes(sdb)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				base := (int64(i) % stripes) * sdb
+				for off := int64(0); off < sdb; off += chunk {
+					if _, err := a.WriteAt(buf, base+off); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := a.Flush(); err != nil {
 					b.Fatal(err)
 				}
 			}

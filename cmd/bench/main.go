@@ -49,6 +49,8 @@ func main() {
 	seed := flag.Int64("seed", 42, "workload generator seed")
 	conc := flag.Int("conc", 1, "array concurrency: goroutine fan-out bound (0 = GOMAXPROCS)")
 	cacheBytes := flag.Int64("cache", 0, "element-cache budget in bytes: adds a \"+cache\" variant of every cell (0 = off)")
+	delay := flag.Duration("delay", 0, "per-call positioning delay modeled on every device (blockdev.Delayed; 0 = raw memory)")
+	perbyte := flag.Duration("perbyte", 0, "per-byte transfer delay modeled on every device (pairs with -delay)")
 	traceOn := flag.Bool("trace", false, "run every cell with per-op tracing enabled (span counts to stderr)")
 	flag.Parse()
 
@@ -84,6 +86,12 @@ func main() {
 	}
 	if *cacheBytes > 0 {
 		cfg.CacheBytes = *cacheBytes
+	}
+	if *delay > 0 {
+		cfg.DelayNs = delay.Nanoseconds()
+	}
+	if *perbyte > 0 {
+		cfg.PerByteNs = perbyte.Nanoseconds()
 	}
 
 	entries := codes.Comparison()
@@ -156,6 +164,13 @@ func runCell(e codes.Entry, prof workload.Profile, cfg benchfmt.Config, cacheByt
 	devSize := cfg.Stripes * int64(code.Rows()) * int64(cfg.ElemSize)
 	for i := range devs {
 		devs[i] = blockdev.NewMem(devSize)
+		if cfg.DelayNs > 0 || cfg.PerByteNs > 0 {
+			devs[i] = &blockdev.Delayed{
+				Device:  devs[i],
+				Delay:   time.Duration(cfg.DelayNs),
+				PerByte: time.Duration(cfg.PerByteNs),
+			}
+		}
 	}
 	// Concurrency 0 falls through to the array's GOMAXPROCS default;
 	// WithConcurrency ignores non-positive values by design. WithCache

@@ -1,6 +1,8 @@
 package dcode
 
 import (
+	"time"
+
 	"dcode/internal/blaumroth"
 	"dcode/internal/blockdev"
 	"dcode/internal/core"
@@ -117,6 +119,18 @@ func WithConcurrency(n int) ArrayOption { return raid.WithConcurrency(n) }
 // and parity are absorbed, and degraded reads memoize reconstructed elements.
 // Omitted or ≤ 0 leaves the cache off (the default).
 func WithCache(bytes int64) ArrayOption { return raid.WithCache(bytes) }
+
+// WithBatching enables the cross-op write-combining window: small writes
+// confined to one stripe's data region are acknowledged immediately, merged
+// with adjacent pending writes, and land on the devices when the window
+// fills, the timer expires, a read or conflicting write touches them, or a
+// barrier (Array.Flush, FailDisk, Rebuild, Scrub) runs. Like a volatile
+// write cache, acknowledged-but-unflushed writes are lost on a crash — pair
+// it with the journal when that matters. window ≤ 0 means 500µs; maxBytes
+// ≤ 0 means 1MiB. Off by default.
+func WithBatching(window time.Duration, maxBytes int) ArrayOption {
+	return raid.WithBatching(window, maxBytes)
+}
 
 // NewArray assembles a RAID-6 volume from one device per column of the code,
 // with the given element size and stripe count.

@@ -51,6 +51,12 @@ type Config struct {
 	// (0 = the run had no cache scenario). Part of the config identity like
 	// Concurrency: cached runs issue different device ops.
 	CacheBytes int64 `json:"cache_bytes,omitempty"`
+	// DelayNs and PerByteNs are the blockdev.Delayed service-time model
+	// applied to every device (0 = raw MemDevice). Timing under a delay model
+	// measures scheduling — coalescing, vectoring, batching — rather than
+	// memcpy speed, so delayed runs only compare against delayed baselines.
+	DelayNs   int64 `json:"delay_ns,omitempty"`
+	PerByteNs int64 `json:"per_byte_ns,omitempty"`
 }
 
 // Result is one cell of the matrix: one code under one workload profile.

@@ -24,6 +24,16 @@ type Device interface {
 	ReadAt(p []byte, off int64) (int, error)
 	// WriteAt stores p to the device starting at off.
 	WriteAt(p []byte, off int64) (int, error)
+	// ReadVecAt fills each buffer of bufs, in order, from the contiguous
+	// device range starting at off — a scatter read: bufs[0] from off,
+	// bufs[1] from off+len(bufs[0]), and so on. It returns the total bytes
+	// read. Devices with native vectored support issue one physical access
+	// for the whole list; others fall back to one ReadAt per buffer.
+	ReadVecAt(bufs [][]byte, off int64) (int, error)
+	// WriteVecAt stores each buffer of bufs, in order, to the contiguous
+	// device range starting at off — a gather write — returning the total
+	// bytes written.
+	WriteVecAt(bufs [][]byte, off int64) (int, error)
 	// Size returns the device capacity in bytes.
 	Size() int64
 	// Close releases the device.
@@ -64,11 +74,21 @@ func (d *MemDevice) SetWriteLimit(n int64) {
 	d.mu.Unlock()
 }
 
-func (d *MemDevice) checkRange(p []byte, off int64) error {
-	if off < 0 || off+int64(len(p)) > int64(len(d.buf)) {
-		return fmt.Errorf("blockdev: range [%d,%d) outside device of %d bytes", off, off+int64(len(p)), len(d.buf))
+func (d *MemDevice) checkRange(n int, off int64) error {
+	if off < 0 || off+int64(n) > int64(len(d.buf)) {
+		return fmt.Errorf("blockdev: range [%d,%d) outside device of %d bytes", off, off+int64(n), len(d.buf))
 	}
 	return nil
+}
+
+// badInRange reports whether any injected bad sector falls in [off, off+n).
+func (d *MemDevice) badInRange(n int, off int64) bool {
+	for b := range d.bad {
+		if b >= off && b < off+int64(n) {
+			return true
+		}
+	}
+	return false
 }
 
 // ReadAt implements Device.
@@ -78,18 +98,41 @@ func (d *MemDevice) ReadAt(p []byte, off int64) (int, error) {
 	if d.failed {
 		return 0, ErrFailed
 	}
-	if err := d.checkRange(p, off); err != nil {
+	if err := d.checkRange(len(p), off); err != nil {
 		return 0, err
 	}
-	for b := range d.bad {
-		if b >= off && b < off+int64(len(p)) {
-			return 0, ErrBadSector
-		}
+	if d.badInRange(len(p), off) {
+		return 0, ErrBadSector
 	}
 	copy(p, d.buf[off:])
 	d.stats.Reads++
 	d.stats.BytesRead += int64(len(p))
 	return len(p), nil
+}
+
+// ReadVecAt implements Device natively: one physical access (one Stats read)
+// scattering the contiguous range at off into bufs, with the same failure and
+// bad-sector semantics as a single ReadAt of the whole range.
+func (d *MemDevice) ReadVecAt(bufs [][]byte, off int64) (int, error) {
+	total := VecLen(bufs)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failed {
+		return 0, ErrFailed
+	}
+	if err := d.checkRange(total, off); err != nil {
+		return 0, err
+	}
+	if d.badInRange(total, off) {
+		return 0, ErrBadSector
+	}
+	n := 0
+	for _, b := range bufs {
+		n += copy(b, d.buf[off+int64(n):])
+	}
+	d.stats.Reads++
+	d.stats.BytesRead += int64(total)
+	return total, nil
 }
 
 // WriteAt implements Device. Writing over a bad sector heals it, as
@@ -100,7 +143,7 @@ func (d *MemDevice) WriteAt(p []byte, off int64) (int, error) {
 	if d.failed {
 		return 0, ErrFailed
 	}
-	if err := d.checkRange(p, off); err != nil {
+	if err := d.checkRange(len(p), off); err != nil {
 		return 0, err
 	}
 	if d.writeLimit == 0 {
@@ -113,14 +156,51 @@ func (d *MemDevice) WriteAt(p []byte, off int64) (int, error) {
 		d.writeLimit--
 	}
 	copy(d.buf[off:], p)
-	for b := range d.bad {
-		if b >= off && b < off+int64(len(p)) {
-			delete(d.bad, b)
-		}
-	}
+	d.healRange(len(p), off)
 	d.stats.Writes++
 	d.stats.BytesWritten += int64(len(p))
 	return len(p), nil
+}
+
+// healRange heals bad sectors overwritten by [off, off+n).
+func (d *MemDevice) healRange(n int, off int64) {
+	for b := range d.bad {
+		if b >= off && b < off+int64(n) {
+			delete(d.bad, b)
+		}
+	}
+}
+
+// WriteVecAt implements Device natively: one physical access (one Stats
+// write, one write-limit charge) gathering bufs into the contiguous range at
+// off, with the same failure, volatile-cache, and sector-healing semantics as
+// a single WriteAt of the whole range.
+func (d *MemDevice) WriteVecAt(bufs [][]byte, off int64) (int, error) {
+	total := VecLen(bufs)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failed {
+		return 0, ErrFailed
+	}
+	if err := d.checkRange(total, off); err != nil {
+		return 0, err
+	}
+	if d.writeLimit == 0 {
+		d.stats.Writes++
+		d.stats.BytesWritten += int64(total)
+		return total, nil
+	}
+	if d.writeLimit > 0 {
+		d.writeLimit--
+	}
+	n := 0
+	for _, b := range bufs {
+		n += copy(d.buf[off+int64(n):], b)
+	}
+	d.healRange(total, off)
+	d.stats.Writes++
+	d.stats.BytesWritten += int64(total)
+	return total, nil
 }
 
 // Size implements Device.
@@ -205,26 +285,47 @@ func (d *FileDevice) Sync() error { return d.f.Sync() }
 // Close implements Device.
 func (d *FileDevice) Close() error { return d.f.Close() }
 
-// Delayed wraps a Device with a fixed service time per physical call — a
-// crude disk model that makes I/O scheduling measurable on fast backends: a
-// MemDevice completes in nanoseconds, so only a per-call latency exposes what
-// the array's concurrency and coalescing actually buy (overlapped device
-// waits, fewer calls). The array's coalesced ReadAtN/WriteAtN reach the
-// wrapped device as one ReadAt/WriteAt, so a coalesced run pays the service
-// time once, like a single contiguous disk access.
+// Delayed wraps a Device with a two-term service-time model per physical
+// call: a fixed positioning cost (Delay — seek plus rotational latency) and a
+// per-byte transfer cost (PerByte). It makes I/O scheduling measurable on
+// fast backends: a MemDevice completes in nanoseconds, so only modeled
+// latency exposes what the array's concurrency, coalescing, and vectoring
+// actually buy. A coalesced or vectored run reaches the wrapped device as one
+// physical call, so it pays the positioning cost once — but, unlike the old
+// flat per-call model, it still pays the transfer cost for every byte moved:
+// an 8-element run is no longer priced the same as a 1-element read, which
+// had overstated coalescing and hidden the cost of moving extra bytes.
 type Delayed struct {
 	Device
-	Delay time.Duration
+	Delay   time.Duration // per-call positioning cost
+	PerByte time.Duration // per-byte transfer cost
+}
+
+func (d *Delayed) sleep(n int) {
+	time.Sleep(d.Delay + time.Duration(n)*d.PerByte)
 }
 
 // ReadAt implements Device, sleeping one service time first.
 func (d *Delayed) ReadAt(p []byte, off int64) (int, error) {
-	time.Sleep(d.Delay)
+	d.sleep(len(p))
 	return d.Device.ReadAt(p, off)
 }
 
 // WriteAt implements Device, sleeping one service time first.
 func (d *Delayed) WriteAt(p []byte, off int64) (int, error) {
-	time.Sleep(d.Delay)
+	d.sleep(len(p))
 	return d.Device.WriteAt(p, off)
+}
+
+// ReadVecAt implements Device: one physical call, one positioning cost,
+// transfer cost for the total bytes.
+func (d *Delayed) ReadVecAt(bufs [][]byte, off int64) (int, error) {
+	d.sleep(VecLen(bufs))
+	return d.Device.ReadVecAt(bufs, off)
+}
+
+// WriteVecAt implements Device; see ReadVecAt.
+func (d *Delayed) WriteVecAt(bufs [][]byte, off int64) (int, error) {
+	d.sleep(VecLen(bufs))
+	return d.Device.WriteVecAt(bufs, off)
 }

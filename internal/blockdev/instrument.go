@@ -70,9 +70,61 @@ func (d *Instrumented) ReadAtN(p []byte, off int64, ops int64) (int, error) {
 	return n, err
 }
 
+// ReadVecAt implements Device, tallied as one logical operation like ReadAt;
+// the raid layer uses ReadVecAtN to carry the real ops-equivalent count.
+func (d *Instrumented) ReadVecAt(bufs [][]byte, off int64) (int, error) {
+	return d.ReadVecAtN(bufs, off, 1)
+}
+
+// ReadVecAtN is one physical scatter read standing in for ops element-sized
+// accesses, with exactly ReadAtN's accounting: ops reads on success, one
+// failed read on error, bytes as moved, latency observed once.
+func (d *Instrumented) ReadVecAtN(bufs [][]byte, off int64, ops int64) (int, error) {
+	start := time.Now()
+	n, err := d.dev.ReadVecAt(bufs, off)
+	d.m.ReadLatency.Observe(time.Since(start))
+	if err != nil {
+		d.m.Reads.Inc()
+		d.m.ReadErrors.Inc()
+		ops = 1
+	} else {
+		d.m.Reads.Add(ops)
+	}
+	d.m.BytesRead.Add(int64(n))
+	if d.hook != nil {
+		d.hook(false, ops, int64(n))
+	}
+	return n, err
+}
+
 // WriteAt implements Device.
 func (d *Instrumented) WriteAt(p []byte, off int64) (int, error) {
 	return d.WriteAtN(p, off, 1)
+}
+
+// WriteVecAt implements Device; see ReadVecAt.
+func (d *Instrumented) WriteVecAt(bufs [][]byte, off int64) (int, error) {
+	return d.WriteVecAtN(bufs, off, 1)
+}
+
+// WriteVecAtN is WriteVecAt tallied as ops coalesced element writes; see
+// ReadVecAtN.
+func (d *Instrumented) WriteVecAtN(bufs [][]byte, off int64, ops int64) (int, error) {
+	start := time.Now()
+	n, err := d.dev.WriteVecAt(bufs, off)
+	d.m.WriteLatency.Observe(time.Since(start))
+	if err != nil {
+		d.m.Writes.Inc()
+		d.m.WriteErrors.Inc()
+		ops = 1
+	} else {
+		d.m.Writes.Add(ops)
+	}
+	d.m.BytesWritten.Add(int64(n))
+	if d.hook != nil {
+		d.hook(true, ops, int64(n))
+	}
+	return n, err
 }
 
 // WriteAtN is WriteAt tallied as ops coalesced element writes; see ReadAtN.

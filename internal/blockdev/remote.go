@@ -310,6 +310,47 @@ func (r *Remote) WriteAt(p []byte, off int64) (int, error) {
 	return int(f.Count), nil
 }
 
+// ReadVecAt implements Device. The wire protocol moves one contiguous
+// payload either way, so a vectored read is a single request for the total
+// length scattered into bufs on receipt — still one remote round trip per
+// coalesced run; the scatter copy is the unavoidable deserialization cost.
+func (r *Remote) ReadVecAt(bufs [][]byte, off int64) (int, error) {
+	total := VecLen(bufs)
+	if total > blockserve.MaxPayload {
+		return 0, fmt.Errorf("blockdev: remote vectored read of %d bytes exceeds frame limit %d", total, blockserve.MaxPayload)
+	}
+	f, err := r.do(blockserve.Frame{Type: blockserve.OpRead, Off: off, Count: uint32(total)})
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, b := range bufs {
+		n += copy(b, f.Data[min(n, len(f.Data)):])
+	}
+	if len(f.Data) != total {
+		return n, fmt.Errorf("blockdev: remote short read: %d of %d bytes", len(f.Data), total)
+	}
+	return n, nil
+}
+
+// WriteVecAt implements Device, gathering bufs into one frame payload — a
+// single remote round trip per coalesced run.
+func (r *Remote) WriteVecAt(bufs [][]byte, off int64) (int, error) {
+	total := VecLen(bufs)
+	if total > blockserve.MaxPayload {
+		return 0, fmt.Errorf("blockdev: remote vectored write of %d bytes exceeds frame limit %d", total, blockserve.MaxPayload)
+	}
+	p := make([]byte, 0, total)
+	for _, b := range bufs {
+		p = append(p, b...)
+	}
+	f, err := r.do(blockserve.Frame{Type: blockserve.OpWrite, Off: off, Data: p})
+	if err != nil {
+		return 0, err
+	}
+	return int(f.Count), nil
+}
+
 // Flush asks the remote to persist outstanding writes.
 func (r *Remote) Flush() error {
 	_, err := r.do(blockserve.Frame{Type: blockserve.OpFlush})

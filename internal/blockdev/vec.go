@@ -1,0 +1,44 @@
+package blockdev
+
+// VecLen returns the total byte length of a vectored I/O buffer list.
+func VecLen(bufs [][]byte) int {
+	n := 0
+	for _, b := range bufs {
+		n += len(b)
+	}
+	return n
+}
+
+// readVecLoop implements ReadVecAt as one ReadAt per buffer — the portable
+// fallback for devices without native scatter support. A partial failure
+// returns the bytes landed so far with the error, like a short vectored read.
+func readVecLoop(dev Device, bufs [][]byte, off int64) (int, error) {
+	n := 0
+	for _, b := range bufs {
+		if len(b) == 0 {
+			continue
+		}
+		m, err := dev.ReadAt(b, off+int64(n))
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// writeVecLoop is readVecLoop's gather counterpart.
+func writeVecLoop(dev Device, bufs [][]byte, off int64) (int, error) {
+	n := 0
+	for _, b := range bufs {
+		if len(b) == 0 {
+			continue
+		}
+		m, err := dev.WriteAt(b, off+int64(n))
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,14 @@
+//go:build !linux
+
+package blockdev
+
+// ReadVecAt implements Device with the portable per-buffer loop; only linux
+// gets the single-syscall preadv fast path.
+func (d *FileDevice) ReadVecAt(bufs [][]byte, off int64) (int, error) {
+	return readVecLoop(d, bufs, off)
+}
+
+// WriteVecAt implements Device with the portable per-buffer loop.
+func (d *FileDevice) WriteVecAt(bufs [][]byte, off int64) (int, error) {
+	return writeVecLoop(d, bufs, off)
+}

@@ -58,6 +58,45 @@ func (c *Code) encodeGroupInto(s *stripe.Stripe, gi int) {
 	stripe.XORMulti(dst, srcs...)
 }
 
+// EncodeFrom computes every parity element like Encode, but reads each data
+// element through data — indexed by DataIndex(r, col) — when that entry is
+// non-nil, falling back to the stripe cell otherwise. Parity lands in s as
+// usual. The raid layer's zero-copy full-stripe write passes views of the
+// user's buffer here, so the data bytes are XOR-folded straight from where
+// the caller handed them over and never transit stripe memory. XOR tallies
+// are identical to Encode's: members-1 per group.
+func (c *Code) EncodeFrom(s *stripe.Stripe, data [][]byte) {
+	c.checkStripe(s)
+	for _, gi := range c.encodeOrder {
+		g := &c.groups[gi]
+		dst := s.Elem(g.Parity.Row, g.Parity.Col)
+		copy(dst, c.cellFrom(s, data, g.Members[0]))
+		var arr [16][]byte
+		srcs := arr[:0]
+		for _, m := range g.Members[1:] {
+			srcs = append(srcs, c.cellFrom(s, data, m))
+			if len(srcs) == cap(srcs) {
+				stripe.XORMulti(dst, srcs...)
+				srcs = srcs[:0]
+			}
+		}
+		stripe.XORMulti(dst, srcs...)
+		ops := int64(len(g.Members) - 1)
+		c.xor.addEncode(ops, ops*int64(s.ElemSize()))
+	}
+}
+
+// cellFrom resolves one group member for EncodeFrom: the caller's buffer view
+// for a covered data cell, the stripe cell for parity members (groups that
+// cover other parities, as in RDP/HDP) and for data cells the caller did not
+// provide.
+func (c *Code) cellFrom(s *stripe.Stripe, data [][]byte, m Coord) []byte {
+	if di := c.dataIndex[m.Row][m.Col]; di >= 0 && di < len(data) && data[di] != nil {
+		return data[di]
+	}
+	return s.Elem(m.Row, m.Col)
+}
+
 // codeScratch is the pooled per-call scratch of UpdateData and Verify.
 type codeScratch struct {
 	buf  []byte

@@ -1,0 +1,89 @@
+package erasure
+
+import "testing"
+
+// TestEncodeFromMatchesEncode pins the zero-copy encode entry point: parity
+// computed from external data views must be bit-identical to copying the data
+// into the stripe and running Encode, with identical XOR tallies.
+func TestEncodeFromMatchesEncode(t *testing.T) {
+	c := xorPair(t)
+	elemSize := 64
+
+	want := c.NewStripe(elemSize)
+	want.Fill(5)
+	c.Encode(want)
+	base := c.XORStats()
+
+	// The stripe handed to EncodeFrom has stale garbage in its data cells;
+	// only the external views carry the real data.
+	s := c.NewStripe(elemSize)
+	s.Fill(99)
+	data := make([][]byte, c.DataElems())
+	backing := make([]byte, c.DataElems()*elemSize)
+	for i := 0; i < c.DataElems(); i++ {
+		co := c.DataCoord(i)
+		data[i] = backing[i*elemSize : (i+1)*elemSize]
+		copy(data[i], want.Elem(co.Row, co.Col))
+	}
+	c.EncodeFrom(s, data)
+
+	for _, g := range c.Groups() {
+		got := s.Elem(g.Parity.Row, g.Parity.Col)
+		exp := want.Elem(g.Parity.Row, g.Parity.Col)
+		for i := range got {
+			if got[i] != exp[i] {
+				t.Fatalf("parity (%d,%d) differs at byte %d", g.Parity.Row, g.Parity.Col, i)
+			}
+		}
+	}
+	after := c.XORStats()
+	if ops := after.EncodeOps - base.EncodeOps; ops != base.EncodeOps {
+		t.Fatalf("EncodeFrom tallied %d XOR ops, Encode tallied %d — accounting must match", ops, base.EncodeOps)
+	}
+}
+
+// TestEncodeFromDependentParity checks the stripe fallback: a group whose
+// members include another parity (RDP-style) must read that member from the
+// stripe, where the earlier group just wrote it.
+func TestEncodeFromDependentParity(t *testing.T) {
+	groups := []Group{
+		{Parity: Coord{0, 1}, Members: []Coord{{0, 0}, {1, 0}}},
+		{Parity: Coord{1, 1}, Members: []Coord{{0, 1}, {0, 0}}}, // depends on parity (0,1)
+	}
+	c, err := New("dep", 3, 2, 2, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elemSize := 32
+	s := c.NewStripe(elemSize)
+	s.Fill(7)
+	data := make([][]byte, c.DataElems())
+	for i := 0; i < c.DataElems(); i++ {
+		co := c.DataCoord(i)
+		data[i] = append([]byte(nil), s.Elem(co.Row, co.Col)...)
+	}
+	s.Fill(1234) // scramble: parity must come from the views alone
+	for i := 0; i < c.DataElems(); i++ {
+		co := c.DataCoord(i)
+		// Data cells must also end up correct for Verify; the raid layer
+		// writes them from the user buffer, here we just restore them.
+		copy(s.Elem(co.Row, co.Col), data[i])
+	}
+	c.EncodeFrom(s, data)
+	if !c.Verify(s) {
+		t.Fatal("EncodeFrom with a dependent parity group fails Verify")
+	}
+}
+
+// TestEncodeFromNilEntriesFallBack checks that nil views read the stripe cell.
+func TestEncodeFromNilEntriesFallBack(t *testing.T) {
+	c := xorPair(t)
+	s := c.NewStripe(16)
+	s.Fill(3)
+	want := s.Clone()
+	c.Encode(want)
+	c.EncodeFrom(s, make([][]byte, c.DataElems()))
+	if !s.Equal(want) {
+		t.Fatal("EncodeFrom with all-nil views differs from Encode")
+	}
+}

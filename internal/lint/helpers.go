@@ -101,9 +101,12 @@ func isMutexType(t types.Type) bool {
 	return typeIs(t, "sync", "Mutex") || typeIs(t, "sync", "RWMutex")
 }
 
-// deviceMethodNames is the accounting-bearing device I/O surface.
+// deviceMethodNames is the accounting-bearing device I/O surface, scalar and
+// vectored alike — a discarded scatter/gather error skips failure marking
+// exactly as a discarded ReadAt error would.
 var deviceMethodNames = map[string]bool{
 	"ReadAt": true, "WriteAt": true, "ReadAtN": true, "WriteAtN": true,
+	"ReadVecAt": true, "WriteVecAt": true, "ReadVecAtN": true, "WriteVecAtN": true,
 }
 
 // deviceCall classifies a call as device-surface I/O: a

@@ -15,6 +15,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -22,6 +23,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -145,6 +147,9 @@ func (m *Module) parseDir(dir string) (*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		if buildExcluded(f) {
+			continue
+		}
 		pkg.Files = append(pkg.Files, f)
 		pkg.Filenames = append(pkg.Filenames, full)
 		pkg.Name = f.Name.Name
@@ -163,6 +168,33 @@ func (m *Module) parseDir(dir string) (*Package, error) {
 
 func (m *Module) inModule(importPath string) bool {
 	return importPath == m.Path || strings.HasPrefix(importPath, m.Path+"/")
+}
+
+// buildExcluded reports whether a file's //go:build constraint rules it out
+// on the host platform. The loader type-checks one concrete build of the
+// module — the host's, like the compiler — so platform-variant files (e.g.
+// the preadv/pwritev syscall path and its portable fallback) don't collide
+// as duplicate declarations. Only explicit //go:build lines are consulted;
+// this module does not use filename-implied constraints.
+func buildExcluded(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break // only comments above the package clause can constrain
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				return false
+			}
+			return !expr.Eval(func(tag string) bool {
+				return tag == runtime.GOOS || tag == runtime.GOARCH
+			})
+		}
+	}
+	return false
 }
 
 // topoSort orders the module packages so every package follows its imports.
@@ -261,6 +293,9 @@ func (m *Module) LoadDir(dir, importPath string) (*Package, error) {
 		f, err := parser.ParseFile(m.Fset, full, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, err
+		}
+		if buildExcluded(f) {
+			continue
 		}
 		pkg.Files = append(pkg.Files, f)
 		pkg.Filenames = append(pkg.Filenames, full)

@@ -1,0 +1,267 @@
+package raid
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"dcode/internal/blockdev"
+	"dcode/internal/codes"
+)
+
+// batchOp is one step of a coherence workload.
+type batchOp struct {
+	write bool
+	fail  int // FailDisk(fail) when >= 0, before the op
+	off   int64
+	n     int
+	seed  byte
+}
+
+// runBatchWorkload applies ops to the array, mirroring every write into
+// model, and checks read-your-writes on the way: reads must observe every
+// acknowledged write, batched or not.
+func runBatchWorkload(t *testing.T, a *Array, ops []batchOp, model []byte) {
+	t.Helper()
+	for i, op := range ops {
+		if op.fail >= 0 {
+			if err := a.FailDisk(op.fail); err != nil {
+				t.Fatalf("op %d: FailDisk(%d): %v", i, op.fail, err)
+			}
+			continue
+		}
+		if op.write {
+			p := pattern(op.n, op.seed)
+			if _, err := a.WriteAt(p, op.off); err != nil {
+				t.Fatalf("op %d: WriteAt(%d, %d): %v", i, op.n, op.off, err)
+			}
+			copy(model[op.off:], p)
+		} else {
+			got := make([]byte, op.n)
+			if _, err := a.ReadAt(got, op.off); err != nil {
+				t.Fatalf("op %d: ReadAt(%d, %d): %v", i, op.n, op.off, err)
+			}
+			if !bytes.Equal(got, model[op.off:int(op.off)+op.n]) {
+				t.Fatalf("op %d: read [%d,%d) does not observe acknowledged writes", i, op.off, int(op.off)+op.n)
+			}
+		}
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatalf("final Flush: %v", err)
+	}
+	got := make([]byte, len(model))
+	if _, err := a.ReadAt(got, 0); err != nil {
+		t.Fatalf("final ReadAt: %v", err)
+	}
+	if !bytes.Equal(got, model) {
+		t.Fatal("volume diverged from the write history")
+	}
+}
+
+// TestBatchingCoherence pins the tentpole property of the write-combining
+// window: for any workload, an array with batching on ends up bit-identical
+// to one with batching off — and to a plain byte-slice model of the write
+// history — including reads issued mid-window and a disk failed mid-batch.
+func TestBatchingCoherence(t *testing.T) {
+	const stripes = 8
+	profiles := []struct {
+		name   string
+		window time.Duration
+		gen    func(rng *rand.Rand, size int64, sdb int64) []batchOp
+	}{
+		{
+			// Sequential small writes: the adjacency-merge path. A huge
+			// window and byte budget mean only barriers and reads flush, so
+			// merging is deterministic.
+			name:   "sequential",
+			window: time.Hour,
+			gen: func(rng *rand.Rand, size, sdb int64) []batchOp {
+				var ops []batchOp
+				off := int64(0)
+				for off < size {
+					n := 16 + rng.Intn(96)
+					if off+int64(n) > size {
+						n = int(size - off)
+					}
+					ops = append(ops, batchOp{write: true, fail: -1, off: off, n: n, seed: byte(rng.Intn(256))})
+					off += int64(n)
+					if rng.Intn(8) == 0 {
+						ro := rng.Int63n(size - 64)
+						ops = append(ops, batchOp{fail: -1, off: ro, n: 64})
+					}
+				}
+				return ops
+			},
+		},
+		{
+			// Random writes with overlaps: the overlap-flush path, plus the
+			// background timer (tight window) racing the foreground.
+			name:   "random-overlap",
+			window: 200 * time.Microsecond,
+			gen: func(rng *rand.Rand, size, sdb int64) []batchOp {
+				var ops []batchOp
+				for i := 0; i < 300; i++ {
+					n := 1 + rng.Intn(int(sdb))
+					off := rng.Int63n(size - int64(n))
+					ops = append(ops, batchOp{write: true, fail: -1, off: off, n: n, seed: byte(i)})
+					if rng.Intn(6) == 0 {
+						rn := 1 + rng.Intn(256)
+						ro := rng.Int63n(size - int64(rn))
+						ops = append(ops, batchOp{fail: -1, off: ro, n: rn})
+					}
+				}
+				return ops
+			},
+		},
+		{
+			// A disk fails mid-batch: FailDisk is a barrier, so every write
+			// acknowledged before it must survive the failure, and writes
+			// after it batch against a degraded array.
+			name:   "mid-batch-faildisk",
+			window: time.Hour,
+			gen: func(rng *rand.Rand, size, sdb int64) []batchOp {
+				var ops []batchOp
+				for i := 0; i < 60; i++ {
+					n := 8 + rng.Intn(int(sdb)/2)
+					off := rng.Int63n(size - int64(n))
+					ops = append(ops, batchOp{write: true, fail: -1, off: off, n: n, seed: byte(i * 7)})
+				}
+				ops = append(ops, batchOp{fail: 2})
+				for i := 0; i < 60; i++ {
+					n := 8 + rng.Intn(int(sdb)/2)
+					off := rng.Int63n(size - int64(n))
+					ops = append(ops, batchOp{write: true, fail: -1, off: off, n: n, seed: byte(i*11 + 3)})
+				}
+				return ops
+			},
+		},
+	}
+	for _, prof := range profiles {
+		t.Run(prof.name, func(t *testing.T) {
+			for _, conc := range []int{1, 4} {
+				t.Run(fmt.Sprintf("conc=%d", conc), func(t *testing.T) {
+					rng := rand.New(rand.NewSource(42))
+					ab, _ := newArrayConc(t, "dcode", 5, stripes,
+						WithConcurrency(conc), WithBatching(prof.window, 1<<20))
+					au, _ := newArrayConc(t, "dcode", 5, stripes, WithConcurrency(conc))
+					size := ab.Size()
+					sdb := ab.stripeDataBytes()
+					ops := prof.gen(rng, size, sdb)
+					modelB := make([]byte, size)
+					modelU := make([]byte, size)
+					runBatchWorkload(t, ab, ops, modelB)
+					runBatchWorkload(t, au, ops, modelU)
+					if !bytes.Equal(modelB, modelU) {
+						t.Fatal("workload mirror mismatch (test bug)")
+					}
+					gb := make([]byte, size)
+					gu := make([]byte, size)
+					if _, err := ab.ReadAt(gb, 0); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := au.ReadAt(gu, 0); err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(gb, gu) {
+						t.Fatal("batching-on volume differs from batching-off")
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestBatchingMergesAndCounters pins that sequential small writes actually
+// merge (the point of the window) and that the batch counters land in the
+// snapshot.
+func TestBatchingMergesAndCounters(t *testing.T) {
+	a, _ := newArrayConc(t, "dcode", 5, 4, WithConcurrency(1), WithBatching(time.Hour, 1<<20))
+	const chunk = 32
+	sdb := int(a.stripeDataBytes())
+	for off := 0; off < sdb; off += chunk {
+		if _, err := a.WriteAt(pattern(chunk, byte(off)), int64(off)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s := a.Snapshot()
+	wantWrites := int64(sdb / chunk)
+	if s.Counters.BatchedWrites != wantWrites {
+		t.Fatalf("BatchedWrites = %d, want %d", s.Counters.BatchedWrites, wantWrites)
+	}
+	if s.Counters.BatchMergedWrites != wantWrites-1 {
+		t.Fatalf("BatchMergedWrites = %d, want %d (every write after the first extends the run)",
+			s.Counters.BatchMergedWrites, wantWrites-1)
+	}
+	if s.Counters.BatchFlushes != 1 {
+		t.Fatalf("BatchFlushes = %d, want 1 (the whole stripe flushed as one run)", s.Counters.BatchFlushes)
+	}
+	if s.Counters.Writes != wantWrites {
+		t.Fatalf("logical Writes = %d, want %d (counted at enqueue)", s.Counters.Writes, wantWrites)
+	}
+	// The merged run covered the full stripe, so the flush was one
+	// reconstruct-write, not sdb/chunk RMWs.
+	if s.Counters.FullStripeWrites != 1 || s.Counters.RMWWrites != 0 {
+		t.Fatalf("flush did %d full-stripe / %d RMW writes, want 1 / 0",
+			s.Counters.FullStripeWrites, s.Counters.RMWWrites)
+	}
+}
+
+// TestBatchingFlushErrorSurfaces pins that a flush hitting a dead array
+// reports the failure to the caller instead of dropping acknowledged writes
+// silently.
+func TestBatchingFlushErrorSurfaces(t *testing.T) {
+	a, mems := newArrayConc(t, "dcode", 5, 4, WithConcurrency(1), WithBatching(time.Hour, 1<<20))
+	if _, err := a.WriteAt(pattern(64, 1), 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range mems[:3] {
+		m.Fail()
+	}
+	if err := a.Flush(); err == nil {
+		t.Fatal("Flush with three dead disks reported success")
+	}
+}
+
+// TestBatchingJournalBracketing pins that flushed batches keep the journal's
+// intent/commit discipline: after a clean Flush the journal replays nothing.
+func TestBatchingJournalBracketing(t *testing.T) {
+	code := codes.MustNew("dcode", 5)
+	devs := make([]blockdev.Device, code.Cols())
+	devSize := int64(4) * int64(code.Rows()) * elemSize
+	for i := range devs {
+		devs[i] = blockdev.NewMem(devSize)
+	}
+	jdev := blockdev.NewMem(1 << 16)
+	a, err := NewJournaled(code, devs, elemSize, 4, jdev, WithBatching(time.Hour, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pattern(300, 5)
+	for off := 0; off < len(want); off += 50 {
+		end := min(off+50, len(want))
+		if _, err := a.WriteAt(want[off:end], int64(off)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Remount over the same devices: replay must find every intent paired
+	// and the data intact.
+	b, err := NewJournaled(code, devs, elemSize, 4, jdev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(want))
+	if _, err := b.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("journaled batched writes did not survive a remount")
+	}
+}

@@ -180,11 +180,12 @@ func (a *Array) cacheFill(si int64, cells []erasure.Coord, s *stripe.Stripe) {
 
 // readRun reads one coalesced run into s. A single-cell run goes through
 // readElem directly, keeping its transparent bad-sector read-repair. A
-// longer run is staged through one pooled column buffer and one physical
-// ReadAtN; if that fails — a latent sector error anywhere in the run, or the
-// device dying — it falls back to element-at-a-time readElem, which repairs
-// bad sectors in place and marks the disk failed on real errors, exactly
-// like the uncoalesced path.
+// longer run lands in stripe memory directly — the column-major layout makes
+// the run one contiguous ColRange, so one physical ReadAtN fills the cells
+// with no staging copy. If that fails — a latent sector error anywhere in
+// the run, or the device dying — it falls back to element-at-a-time
+// readElem, which repairs bad sectors in place and marks the disk failed on
+// real errors, exactly like the uncoalesced path.
 func (a *Array) readRun(si int64, run cellRun, s *stripe.Stripe, parent uint64) error {
 	tc := a.tr.Begin(trace.OpDevRead, int32(run.col), si, parent)
 	err := a.readRunDev(si, run, s)
@@ -200,16 +201,11 @@ func (a *Array) readRunDev(si int64, run cellRun, s *stripe.Stripe) error {
 	if a.isFailed(run.col) {
 		return blockdev.ErrFailed
 	}
-	cb := a.getColBuf(run.n * a.elemSize)
-	_, err := a.iodevs[run.col].ReadAtN(cb.b, a.deviceOffset(si, run.row), int64(run.n))
+	dst := s.ColRange(run.col, run.row, run.n)
+	_, err := a.iodevs[run.col].ReadAtN(dst, a.deviceOffset(si, run.row), int64(run.n))
 	if err == nil {
-		for k := 0; k < run.n; k++ {
-			copy(s.Elem(run.row+k, run.col), cb.b[k*a.elemSize:(k+1)*a.elemSize])
-		}
-		a.putColBuf(cb)
 		return nil
 	}
-	a.putColBuf(cb)
 	for k := 0; k < run.n; k++ {
 		co := erasure.Coord{Row: run.row + k, Col: run.col}
 		if err := a.readElem(si, co, s.Elem(co.Row, co.Col)); err != nil {
@@ -252,13 +248,10 @@ func (a *Array) writeRunDev(si int64, run cellRun, s *stripe.Stripe) {
 	if a.isFailed(run.col) {
 		return
 	}
-	cb := a.getColBuf(run.n * a.elemSize)
-	for k := 0; k < run.n; k++ {
-		copy(cb.b[k*a.elemSize:(k+1)*a.elemSize], s.Elem(run.row+k, run.col))
-	}
-	_, err := a.iodevs[run.col].WriteAtN(cb.b, a.deviceOffset(si, run.row), int64(run.n))
-	a.putColBuf(cb)
-	if err != nil {
+	// The run is one contiguous ColRange of stripe memory: write it out
+	// directly, no staging copy.
+	src := s.ColRange(run.col, run.row, run.n)
+	if _, err := a.iodevs[run.col].WriteAtN(src, a.deviceOffset(si, run.row), int64(run.n)); err != nil {
 		// Retry element-at-a-time so a partially failing device still gets
 		// the cells it can take; writeElem marks the disk failed on error.
 		for k := 0; k < run.n; k++ {
@@ -269,39 +262,17 @@ func (a *Array) writeRunDev(si int64, run cellRun, s *stripe.Stripe) {
 }
 
 // writeColumn writes one whole column of a stripe as a single coalesced
-// device call, bypassing the failure mark — Rebuild uses it to fill the
-// replaced device, which is still marked failed. Unlike the best-effort
-// data-path writes, a rebuild must land every byte, so errors propagate.
+// device call straight from stripe memory, bypassing the failure mark —
+// Rebuild uses it to fill the replaced device, which is still marked failed.
+// Unlike the best-effort data-path writes, a rebuild must land every byte,
+// so errors propagate.
 func (a *Array) writeColumn(si int64, col int, s *stripe.Stripe, parent uint64) error {
 	tc := a.tr.Begin(trace.OpDevWrite, int32(col), si, parent)
 	rows := a.code.Rows()
-	cb := a.getColBuf(rows * a.elemSize)
-	defer a.putColBuf(cb)
-	for r := 0; r < rows; r++ {
-		copy(cb.b[r*a.elemSize:(r+1)*a.elemSize], s.Elem(r, col))
-	}
-	_, err := a.iodevs[col].WriteAtN(cb.b, a.deviceOffset(si, 0), int64(rows))
+	_, err := a.iodevs[col].WriteAtN(s.ColRange(col, 0, rows), a.deviceOffset(si, 0), int64(rows))
 	a.tr.End(tc, int64(rows*a.elemSize), err != nil)
 	return err
 }
-
-// colBuf is a pooled staging buffer for coalesced column I/O. The slice is
-// boxed in a struct so Get/Put round trips don't allocate a slice header.
-type colBuf struct{ b []byte }
-
-func (a *Array) getColBuf(n int) *colBuf {
-	if v := a.colPool.Get(); v != nil {
-		cb := v.(*colBuf)
-		if cap(cb.b) >= n {
-			cb.b = cb.b[:n]
-			return cb
-		}
-	}
-	//lint:escape an undersized pooled buffer is dropped for the GC on purpose: re-Putting it would make the pool ratchet down to the smallest request ever seen
-	return &colBuf{b: make([]byte, n)}
-}
-
-func (a *Array) putColBuf(cb *colBuf) { a.colPool.Put(cb) }
 
 // opScratch is the pooled per-stripe-task scratch: one stripe buffer used as
 // the element arena, mark bitmaps (consumers clear the ones they use before
@@ -310,17 +281,21 @@ func (a *Array) putColBuf(cb *colBuf) { a.colPool.Put(cb) }
 // stripe task at a time; the per-column goroutines under it only touch
 // disjoint cells of sc.s and the shared run list built before the fan-out.
 type opScratch struct {
-	s      *stripe.Stripe
-	seen   []bool // rows×cols cell marks
-	part   []bool // rows×cols partial-write marks
-	gseen  []bool // per-group marks
-	coords []erasure.Coord
-	fetch  []erasure.Coord
-	miss   []erasure.Coord // readCells' cache-miss list
-	srcs   [][]byte
-	runs   []cellRun
-	b1, b2 []byte    // element-sized RMW scratch (new value, delta)
-	tc     trace.Ctx // the stripe task's span; set at every task start (pooled state is stale)
+	s       *stripe.Stripe
+	seen    []bool // rows×cols cell marks
+	part    []bool // rows×cols partial-write marks
+	gseen   []bool // per-group marks
+	coords  []erasure.Coord
+	fetch   []erasure.Coord
+	miss    []erasure.Coord // readCells' cache-miss list
+	srcs    [][]byte
+	runs    []cellRun
+	ers     []elemRange // direct-path sorted range copy
+	vruns   []vecRun    // direct-path coalesced device runs
+	vecbufs [][]byte    // direct-path iovec assembly (cleared after use)
+	data    [][]byte    // direct-path user-buffer views by data index (cleared after use)
+	b1, b2  []byte      // element-sized RMW scratch (new value, delta)
+	tc      trace.Ctx   // the stripe task's span; set at every task start (pooled state is stale)
 }
 
 func (a *Array) getScratch() *opScratch {
@@ -333,6 +308,7 @@ func (a *Array) getScratch() *opScratch {
 		seen:  make([]bool, cells),
 		part:  make([]bool, cells),
 		gseen: make([]bool, len(a.code.Groups())),
+		data:  make([][]byte, a.code.DataElems()),
 		b1:    make([]byte, a.elemSize),
 		b2:    make([]byte, a.elemSize),
 	}

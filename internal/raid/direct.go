@@ -1,0 +1,185 @@
+package raid
+
+// This file holds the zero-copy vectored fast paths of the data plane. When
+// a stripe task is fully element-aligned on a healthy, cache-less array, the
+// array skips the stripe arena for data bytes entirely:
+//
+//   - reads scatter straight from the device into the caller's buffer, one
+//     ReadVecAtN per coalesced column run;
+//   - full-stripe writes gather straight from the caller's buffer (parity
+//     from stripe memory, computed by EncodeFrom without staging the data),
+//     one WriteVecAtN per column.
+//
+// Both paths preserve the general path's accounting exactly: the same
+// coalesced runs, the same ops-equivalent tallies (one physical call stands
+// for run-length element accesses), the same OpDevRead/OpDevWrite trace
+// spans, and the same XOR counts. Any device error abandons the fast path
+// and lets the general path re-serve the stripe with its full read-repair
+// and failure-marking semantics.
+
+import (
+	"slices"
+
+	"dcode/internal/erasure"
+	"dcode/internal/trace"
+)
+
+// vecRun is one coalesced device run of a vectored operation: rows
+// [row, row+n) of column col, served by the iovec list bufs[lo:hi].
+type vecRun struct {
+	col, row, n int
+	lo, hi      int
+}
+
+// directRangesEligible reports whether every range covers a whole element —
+// the alignment both fast paths require.
+func (a *Array) directRangesEligible(ers []elemRange) bool {
+	for _, er := range ers {
+		if er.start != 0 || er.length != a.elemSize {
+			return false
+		}
+	}
+	return true
+}
+
+// readStripeDirect serves one stripe's element ranges by scattering device
+// reads directly into the caller's buffer, bypassing stripe memory. It
+// returns true only when the stripe was fully served; on any device error it
+// returns false with the buffer contents unspecified, and the caller falls
+// back to the general path, which re-reads everything with read-repair and
+// failure marking. Eligible only on a healthy array with no cache attached
+// (a cache wants elements in stripe memory to fill from) and fully aligned
+// ranges.
+func (a *Array) readStripeDirect(si int64, ers []elemRange, p []byte, sc *opScratch) bool {
+	if a.cache != nil || a.failedCount() != 0 || !a.directRangesEligible(ers) {
+		return false
+	}
+	// Sort a pooled copy by (col, row) — the same order coalesce uses — so
+	// device-contiguous runs are adjacent. splitBytes never repeats an
+	// element within one stripe run, so the sorted ranges coalesce into
+	// exactly the runs the general path would issue.
+	sers := append(sc.ers[:0], ers...)
+	sc.ers = sers
+	slices.SortFunc(sers, func(x, y elemRange) int {
+		if x.coord.Col != y.coord.Col {
+			return x.coord.Col - y.coord.Col
+		}
+		return x.coord.Row - y.coord.Row
+	})
+	bufs := sc.vecbufs[:0]
+	vruns := sc.vruns[:0]
+	for k := 0; k < len(sers); {
+		j := k + 1
+		for j < len(sers) && sers[j].coord.Col == sers[k].coord.Col &&
+			sers[j].coord.Row == sers[j-1].coord.Row+1 {
+			j++
+		}
+		lo := len(bufs)
+		for _, er := range sers[k:j] {
+			bufs = append(bufs, p[er.bufOff:er.bufOff+er.length])
+		}
+		vruns = append(vruns, vecRun{
+			col: sers[k].coord.Col, row: sers[k].coord.Row, n: j - k,
+			lo: lo, hi: len(bufs),
+		})
+		k = j
+	}
+	sc.vecbufs = bufs
+	sc.vruns = vruns
+
+	// A failed run abandons the whole stripe to the general path, so there
+	// is no need to finish the remaining runs — fanOut's stop-on-error is
+	// exactly right, and the serial loop mirrors it.
+	ok := true
+	if a.conc <= 1 || len(vruns) <= 1 { // see readCells: avoid the escaping closure
+		for _, r := range vruns {
+			if a.readVecRun(si, r, sc) != nil {
+				ok = false
+				break
+			}
+		}
+	} else if a.fanOut(len(vruns), func(i int) error { return a.readVecRun(si, vruns[i], sc) }) != nil {
+		ok = false
+	}
+	clear(bufs) // drop the user-buffer references before the scratch is pooled
+	return ok
+}
+
+// readVecRun issues one coalesced scatter read of the direct read path; the
+// iovec list lives in sc.vecbufs at the run's [lo, hi).
+func (a *Array) readVecRun(si int64, r vecRun, sc *opScratch) error {
+	tc := a.tr.Begin(trace.OpDevRead, int32(r.col), si, sc.tc.ID())
+	_, err := a.iodevs[r.col].ReadVecAtN(sc.vecbufs[r.lo:r.hi], a.deviceOffset(si, r.row), int64(r.n))
+	a.tr.End(tc, int64(r.n*a.elemSize), err != nil)
+	return err
+}
+
+// writeStripeDirect serves a fully aligned full-stripe write by gathering
+// device writes directly from the caller's buffer: EncodeFrom folds parity
+// from the user's data views into stripe memory, then each column commits as
+// one WriteVecAtN whose iovecs mix user data (in place) with the freshly
+// encoded parity cells. Returns done=false when the write is not eligible
+// (partial stripe, unaligned, degraded array, or a cache wanting
+// write-through); the general path then serves it. Like reconstructWrite,
+// the commit is best-effort per column — a device failing mid-commit is
+// marked (by the element-at-a-time retry) and skipped, and the caller learns
+// the array's fate from the returned error.
+func (a *Array) writeStripeDirect(si int64, ers []elemRange, p []byte, sc *opScratch) (bool, error) {
+	if a.cache != nil || a.failedCount() != 0 || len(ers) != a.code.DataElems() ||
+		!a.directRangesEligible(ers) {
+		return false, nil
+	}
+	data := sc.data
+	for _, er := range ers {
+		data[a.code.DataIndex(er.coord.Row, er.coord.Col)] = p[er.bufOff : er.bufOff+er.length]
+	}
+	a.code.EncodeFrom(sc.s, data)
+	rows := a.code.Rows()
+	cols := a.code.Cols()
+	bufs := sc.vecbufs[:0]
+	for c := 0; c < cols; c++ {
+		for r := 0; r < rows; r++ {
+			if di := a.code.DataIndex(r, c); di >= 0 {
+				bufs = append(bufs, data[di])
+			} else {
+				bufs = append(bufs, sc.s.Elem(r, c))
+			}
+		}
+	}
+	sc.vecbufs = bufs
+
+	if a.conc <= 1 || cols <= 1 { // see readCells: avoid the escaping closure
+		for c := 0; c < cols; c++ {
+			a.writeVecColumn(si, c, sc)
+		}
+	} else {
+		_ = a.fanOut(cols, func(c int) error { a.writeVecColumn(si, c, sc); return nil })
+	}
+	clear(bufs)
+	clear(data)
+	a.m.fullStripeWrites.Inc()
+	if a.failedCount() > 2 {
+		return true, ErrTooManyFailures
+	}
+	return true, nil
+}
+
+// writeVecColumn commits one column of the direct write path as a single
+// gather write from sc.vecbufs, best-effort like writeRunDev: a device error
+// retries element-at-a-time, which marks the disk failed and keeps whatever
+// cells the device can still take.
+func (a *Array) writeVecColumn(si int64, c int, sc *opScratch) {
+	if a.isFailed(c) {
+		return
+	}
+	rows := a.code.Rows()
+	col := sc.vecbufs[c*rows : (c+1)*rows]
+	tc := a.tr.Begin(trace.OpDevWrite, int32(c), si, sc.tc.ID())
+	_, err := a.iodevs[c].WriteVecAtN(col, a.deviceOffset(si, 0), int64(rows))
+	a.tr.End(tc, int64(rows*a.elemSize), err != nil)
+	if err != nil {
+		for r := 0; r < rows; r++ {
+			_ = a.writeElem(si, erasure.Coord{Row: r, Col: c}, col[r])
+		}
+	}
+}

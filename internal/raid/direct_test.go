@@ -1,0 +1,189 @@
+package raid
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"dcode/internal/blockdev"
+	"dcode/internal/codes"
+)
+
+// vecRecorder wraps a device and records the exact iovec slices of every
+// vectored call, so tests can pin that the array passed views of the
+// caller's buffer — not staged copies — down to the device layer.
+type vecRecorder struct {
+	blockdev.Device
+	mu     sync.Mutex
+	reads  [][]byte
+	writes [][]byte
+}
+
+func (v *vecRecorder) ReadVecAt(bufs [][]byte, off int64) (int, error) {
+	v.mu.Lock()
+	v.reads = append(v.reads, bufs...)
+	v.mu.Unlock()
+	return v.Device.ReadVecAt(bufs, off)
+}
+
+func (v *vecRecorder) WriteVecAt(bufs [][]byte, off int64) (int, error) {
+	v.mu.Lock()
+	v.writes = append(v.writes, bufs...)
+	v.mu.Unlock()
+	return v.Device.WriteVecAt(bufs, off)
+}
+
+func newRecordedArray(t *testing.T, stripes int64, opts ...Option) (*Array, []*vecRecorder) {
+	t.Helper()
+	code := codes.MustNew("dcode", 5)
+	devs := make([]blockdev.Device, code.Cols())
+	recs := make([]*vecRecorder, code.Cols())
+	devSize := stripes * int64(code.Rows()) * elemSize
+	for i := range devs {
+		recs[i] = &vecRecorder{Device: blockdev.NewMem(devSize)}
+		devs[i] = recs[i]
+	}
+	a, err := New(code, devs, elemSize, stripes, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, recs
+}
+
+// aliasSet maps the address of every element-aligned chunk of p to its
+// offset, for deciding whether a device-visible buffer is a view of p.
+func aliasSet(p []byte) map[*byte]int {
+	m := make(map[*byte]int)
+	for i := 0; i+elemSize <= len(p); i += elemSize {
+		m[&p[i]] = i
+	}
+	return m
+}
+
+// TestDirectReadZeroCopy pins the tentpole claim for reads: an aligned
+// full-stripe read on a healthy array hands the device views of the caller's
+// buffer — every iovec the devices saw is element-sized and aliases p, so
+// not one byte was staged through stripe memory.
+func TestDirectReadZeroCopy(t *testing.T) {
+	a, recs := newRecordedArray(t, 4, WithConcurrency(1))
+	stripeBytes := a.code.DataElems() * elemSize
+	want := pattern(2*stripeBytes, 3)
+	if _, err := a.WriteAt(want, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		r.reads = nil
+	}
+
+	p := make([]byte, len(want))
+	if _, err := a.ReadAt(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p, want) {
+		t.Fatal("direct read returned wrong data")
+	}
+	chunks := aliasSet(p)
+	seen := 0
+	for col, r := range recs {
+		for _, buf := range r.reads {
+			if len(buf) != elemSize {
+				t.Fatalf("col %d saw a %d-byte iovec, want element-sized %d", col, len(buf), elemSize)
+			}
+			if _, ok := chunks[&buf[0]]; !ok {
+				t.Fatalf("col %d read into a staging buffer, not the caller's", col)
+			}
+			seen++
+		}
+	}
+	if wantBufs := 2 * a.code.DataElems(); seen != wantBufs {
+		t.Fatalf("devices saw %d read iovecs, want %d (every data element, once)", seen, wantBufs)
+	}
+}
+
+// TestDirectWriteZeroCopy pins the tentpole claim for writes: an aligned
+// full-stripe write gathers the data elements straight from the caller's
+// buffer. Parity iovecs come from stripe memory (they have to — they are
+// computed), so exactly DataElems of each stripe's iovecs alias p.
+func TestDirectWriteZeroCopy(t *testing.T) {
+	a, recs := newRecordedArray(t, 4, WithConcurrency(1))
+	stripeBytes := a.code.DataElems() * elemSize
+	p := pattern(stripeBytes, 9)
+	if _, err := a.WriteAt(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	chunks := aliasSet(p)
+	aliased, total := 0, 0
+	for col, r := range recs {
+		for _, buf := range r.writes {
+			if len(buf) != elemSize {
+				t.Fatalf("col %d saw a %d-byte write iovec, want %d", col, len(buf), elemSize)
+			}
+			if _, ok := chunks[&buf[0]]; ok {
+				aliased++
+			}
+			total++
+		}
+	}
+	if aliased != a.code.DataElems() {
+		t.Fatalf("%d write iovecs alias the caller's buffer, want %d (every data element)",
+			aliased, a.code.DataElems())
+	}
+	if wantTotal := a.code.Rows() * a.code.Cols(); total != wantTotal {
+		t.Fatalf("devices saw %d write iovecs, want %d (every cell of the stripe)", total, wantTotal)
+	}
+	got := make([]byte, len(p))
+	if _, err := a.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, p) {
+		t.Fatal("zero-copy write round trip corrupted data")
+	}
+}
+
+// TestDirectReadFallsBackOnError pins the safety valve: a device error on
+// the vectored fast path hands the stripe to the general path, which marks
+// the disk and reconstructs — the caller still gets correct data.
+func TestDirectReadFallsBackOnError(t *testing.T) {
+	a, mems := newArray(t, "dcode", 5, 4)
+	stripeBytes := a.code.DataElems() * elemSize
+	want := pattern(stripeBytes, 7)
+	if _, err := a.WriteAt(want, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Fail a device out from under the array (no FailDisk) so the fast
+	// path's eligibility check passes and the error surfaces mid-read.
+	mems[1].Fail()
+	got := make([]byte, len(want))
+	if _, err := a.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("fallback read after mid-path device failure returned wrong data")
+	}
+	if !a.isFailed(1) {
+		t.Fatal("general-path fallback did not mark the failed disk")
+	}
+}
+
+// TestDirectWriteFallsBackOnError exercises writeVecColumn's element-at-a-
+// time retry: the failing column is marked, the others commit, and a
+// degraded read reconstructs the stripe the write produced.
+func TestDirectWriteFallsBackOnError(t *testing.T) {
+	a, mems := newArray(t, "dcode", 5, 4)
+	stripeBytes := a.code.DataElems() * elemSize
+	mems[2].Fail()
+	want := pattern(stripeBytes, 11)
+	if _, err := a.WriteAt(want, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !a.isFailed(2) {
+		t.Fatal("write retry did not mark the failed disk")
+	}
+	got := make([]byte, len(want))
+	if _, err := a.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("degraded read after mid-write failure returned wrong data")
+	}
+}

@@ -40,6 +40,15 @@ type arrayMetrics struct {
 	// degradedPlanHits counts degraded/repair plans served from the
 	// per-array plan memo instead of recomputed.
 	degradedPlanHits obs.Counter
+
+	// Batching-window counters (see batch.go); all zero without WithBatching.
+	// batchedWrites counts writes accepted into the window, batchMergedWrites
+	// the subset absorbed into an adjacent pending range, and batchFlushes
+	// the per-stripe write-backs — batchedWrites/batchFlushes is the write
+	// amplification the window removed.
+	batchedWrites     obs.Counter
+	batchMergedWrites obs.Counter
+	batchFlushes      obs.Counter
 }
 
 // countDecodeXOR records n element XORs executed by a raid-layer
@@ -119,6 +128,9 @@ type CounterSnapshot struct {
 	SectorsRepaired     int64 `json:"sectors_repaired"`
 	RMWPreReadsAbsorbed int64 `json:"rmw_prereads_absorbed,omitempty"`
 	DegradedPlanHits    int64 `json:"degraded_plan_hits,omitempty"`
+	BatchedWrites       int64 `json:"batched_writes,omitempty"`
+	BatchMergedWrites   int64 `json:"batch_merged_writes,omitempty"`
+	BatchFlushes        int64 `json:"batch_flushes,omitempty"`
 }
 
 // LatencySnapshot groups the array-level histograms.
@@ -148,6 +160,9 @@ func (a *Array) Snapshot() Snapshot {
 			SectorsRepaired:     a.m.sectorsRepaired.Load(),
 			RMWPreReadsAbsorbed: a.m.rmwPreReadsAbsorbed.Load(),
 			DegradedPlanHits:    a.m.degradedPlanHits.Load(),
+			BatchedWrites:       a.m.batchedWrites.Load(),
+			BatchMergedWrites:   a.m.batchMergedWrites.Load(),
+			BatchFlushes:        a.m.batchFlushes.Load(),
 		},
 		Latency: LatencySnapshot{
 			Read:         a.m.readLatency.Snapshot(),
@@ -219,6 +234,9 @@ func (s *Snapshot) Merge(o Snapshot) {
 	s.Counters.SectorsRepaired += o.Counters.SectorsRepaired
 	s.Counters.RMWPreReadsAbsorbed += o.Counters.RMWPreReadsAbsorbed
 	s.Counters.DegradedPlanHits += o.Counters.DegradedPlanHits
+	s.Counters.BatchedWrites += o.Counters.BatchedWrites
+	s.Counters.BatchMergedWrites += o.Counters.BatchMergedWrites
+	s.Counters.BatchFlushes += o.Counters.BatchFlushes
 
 	s.Latency.Read.Merge(o.Latency.Read)
 	s.Latency.Write.Merge(o.Latency.Write)
@@ -297,6 +315,9 @@ func (a *Array) ResetMetrics() {
 	a.m.decodeXORBytes.Reset()
 	a.m.rmwPreReadsAbsorbed.Reset()
 	a.m.degradedPlanHits.Reset()
+	a.m.batchedWrites.Reset()
+	a.m.batchMergedWrites.Reset()
+	a.m.batchFlushes.Reset()
 	for _, d := range a.iodevs {
 		d.Metrics().Reset()
 	}

@@ -34,6 +34,9 @@ func (s *Snapshot) WriteProm(pw *obs.PromWriter) {
 		{"stripe_rebuild", s.Counters.StripesRebuilt},
 		{"scrub_fix", s.Counters.ScrubErrorsFixed},
 		{"sector_repair", s.Counters.SectorsRepaired},
+		{"batched_write", s.Counters.BatchedWrites},
+		{"batch_merged_write", s.Counters.BatchMergedWrites},
+		{"batch_flush", s.Counters.BatchFlushes},
 	} {
 		pw.SampleInt("dcode_ops_total", []obs.Label{{Name: "op", Value: kv.op}}, kv.n)
 	}

@@ -72,12 +72,17 @@ type Array struct {
 	jnl *journal
 
 	// conc bounds each fan-out point of the data path (see concurrency.go);
-	// scratch, opBufs and colPool recycle the per-operation buffers so the
-	// steady-state data path does not allocate.
+	// scratch and opBufs recycle the per-operation buffers so the
+	// steady-state data path does not allocate. Coalesced column I/O needs no
+	// staging pool: the column-major stripe layout lets device calls move
+	// bytes directly between stripe memory and the device.
 	conc    int
 	scratch sync.Pool
 	opBufs  sync.Pool
-	colPool sync.Pool
+
+	// batch, when non-nil, is the cross-op write-combining window (see
+	// batch.go); WithBatching attaches it.
+	batch *batcher
 
 	// cache, when non-nil, is the sharded element cache serving read hits
 	// and absorbing RMW pre-reads without device I/O (see cache.go);
@@ -220,11 +225,19 @@ func (a *Array) failedList() []int {
 }
 
 // FailDisk marks a column failed (as after an I/O error or pulled drive).
+// It is a batching barrier: parked writes flush first (while the column can
+// still take its share), and a flush failure is reported alongside the
+// disk-state result — the mark is applied regardless.
 func (a *Array) FailDisk(col int) error {
+	ferr := a.Flush()
 	a.opMu.Lock()
 	defer a.opMu.Unlock()
 	if col < 0 || col >= a.code.Cols() {
-		return fmt.Errorf("raid: disk %d out of range", col)
+		err := fmt.Errorf("raid: disk %d out of range", col)
+		if ferr != nil {
+			return errors.Join(ferr, err)
+		}
+		return err
 	}
 	a.markFailed(col)
 	// The column's cached entries are still logically valid (they predate
@@ -233,9 +246,12 @@ func (a *Array) FailDisk(col int) error {
 	a.cacheInvalidateColumn(col)
 	a.invalidatePlans()
 	if a.failedCount() > 2 {
+		if ferr != nil {
+			return errors.Join(ferr, ErrTooManyFailures)
+		}
 		return ErrTooManyFailures
 	}
-	return nil
+	return ferr
 }
 
 // deviceOffset converts (stripeIdx, row) to a device byte offset.
@@ -388,7 +404,7 @@ type elemRange struct {
 // their stripe indices are non-decreasing — stripeRuns relies on that.
 func (a *Array) splitBytes(off int64, n int, out []elemRange) ([]elemRange, error) {
 	if off < 0 || off+int64(n) > a.Size() {
-		return out, fmt.Errorf("raid: range [%d,%d) outside volume of %d bytes", off, off+int64(n), a.Size())
+		return out, outOfRangeErr(a, off, n)
 	}
 	d := int64(a.code.DataElems())
 	bufOff := 0
@@ -421,6 +437,14 @@ func (a *Array) splitBytes(off int64, n int, out []elemRange) ([]elemRange, erro
 // paper's low-I/O degraded read); a double failure falls back to
 // whole-stripe reconstruction.
 func (a *Array) ReadAt(p []byte, off int64) (n int, err error) {
+	// Read-your-writes with batching on: any stripe this read touches that
+	// has parked writes is flushed first. Cheap when the window is empty.
+	if a.batch != nil && len(p) > 0 && off >= 0 && off+int64(len(p)) <= a.Size() {
+		sdb := a.stripeDataBytes()
+		if err := a.flushStripes(off/sdb, (off+int64(len(p))-1)/sdb); err != nil {
+			return 0, err
+		}
+	}
 	tc := a.tr.Begin(trace.OpRead, -1, -1, 0)
 	start := time.Now()
 	defer func() {
@@ -491,6 +515,11 @@ func rangeBytes(ers []elemRange, tc trace.Ctx) int64 {
 // progressively degraded strategies as failures are discovered. The fetched
 // elements land in sc.s.
 func (a *Array) readStripeRanges(si int64, ers []elemRange, p []byte, sc *opScratch) error {
+	// Aligned ranges on a healthy cache-less array scatter device reads
+	// straight into p; any error falls through to the general path below.
+	if a.readStripeDirect(si, ers, p, sc) {
+		return nil
+	}
 	for {
 		if a.failedCount() > 2 {
 			return ErrTooManyFailures
@@ -513,6 +542,12 @@ func (a *Array) readStripeRanges(si int64, ers []elemRange, p []byte, sc *opScra
 // errRetryDegraded signals that a device failure was discovered mid-read and
 // the stripe should be re-planned.
 var errRetryDegraded = errors.New("raid: retry degraded")
+
+// outOfRangeErr is the shared out-of-bounds error of the data path, so the
+// batched and unbatched write fronts reject a bad range identically.
+func outOfRangeErr(a *Array, off int64, n int) error {
+	return fmt.Errorf("raid: range [%d,%d) outside volume of %d bytes", off, off+int64(n), a.Size())
+}
 
 // fetchStripeElems reads the full contents of every element the ranges touch
 // into sc.s, choosing the cheapest strategy for the current failure state.
@@ -640,7 +675,18 @@ func (a *Array) fetchStripeElems(si int64, ers []elemRange, sc *opScratch) error
 // written in one pass; partial updates use read-modify-write parity patching
 // (the UpdateData path); writes while disks are failed take a degraded
 // full-stripe path so parity stays consistent for the eventual rebuild.
+// With batching enabled (WithBatching), small stripe-local writes park in
+// the write-combining window instead and land on flush; see batch.go.
 func (a *Array) WriteAt(p []byte, off int64) (n int, err error) {
+	if a.batch != nil {
+		return a.writeAtBatched(p, off)
+	}
+	return a.writeAtDirect(p, off)
+}
+
+// writeAtDirect is the regular write path, batching-agnostic; the batched
+// front end writes through it for anything the window cannot hold.
+func (a *Array) writeAtDirect(p []byte, off int64) (n int, err error) {
 	tc := a.tr.Begin(trace.OpWrite, -1, -1, 0)
 	start := time.Now()
 	defer func() {
@@ -724,6 +770,12 @@ func (a *Array) writeStripeRunLocked(r stripeRun, ranges []elemRange, p []byte, 
 // load-reconstruct-encode-store path. Elements already committed by RMW stay
 // consistent, so falling back mid-stripe is safe.
 func (a *Array) writeStripeRanges(si int64, ers []elemRange, p []byte, sc *opScratch) error {
+	// An aligned full-stripe write on a healthy cache-less array gathers
+	// straight from p, encoding parity from the user's views (EncodeFrom) —
+	// the data bytes never transit stripe memory.
+	if done, err := a.writeStripeDirect(si, ers, p, sc); done {
+		return err
+	}
 	if a.failedCount() == 0 {
 		cols := a.code.Cols()
 		clear(sc.seen)
@@ -911,6 +963,11 @@ func (a *Array) rmwElement(stripeIdx int64, er elemRange, p []byte, sc *opScratc
 // reads than rebuilding through one parity kind); a second concurrent
 // failure falls back to whole-stripe reconstruction.
 func (a *Array) Rebuild(col int) (err error) {
+	// Batching barrier: the rebuilt column must include every acknowledged
+	// write, so the window drains before the array is taken exclusively.
+	if err := a.Flush(); err != nil {
+		return err
+	}
 	tcOp := a.tr.Begin(trace.OpRebuild, int32(col), -1, 0)
 	defer func() { a.tr.End(tcOp, 0, err != nil) }()
 	a.opMu.Lock()
@@ -1079,6 +1136,11 @@ func (a *Array) rebuildStripePlanned(si int64, col int, plan *recovery.Plan, sc 
 // re-encoded from their data (the data is trusted, as a real scrubber does
 // absent checksums). It returns how many stripes were repaired.
 func (a *Array) Scrub() (fixedN int64, err error) {
+	// Batching barrier: parked writes must land before parity is audited,
+	// or the scrubber would see stripes the writers have already moved past.
+	if err := a.Flush(); err != nil {
+		return 0, err
+	}
 	tcOp := a.tr.Begin(trace.OpScrub, -1, -1, 0)
 	defer func() { a.tr.End(tcOp, 0, err != nil) }()
 	a.opMu.Lock()

@@ -4,6 +4,12 @@
 // A stripe is a rows×cols matrix of fixed-size elements stored in one
 // contiguous allocation; element (r, c) models the r-th block of the c-th
 // disk within one stripe of a RAID-6 array.
+//
+// Storage is column-major: the elements of one column are adjacent in the
+// backing buffer, in row order. That mirrors the on-disk layout — a stripe's
+// rows are contiguous per device — so a coalesced run of same-column cells is
+// one contiguous range of stripe memory (see ColRange) and device I/O can
+// move bytes directly between the device and the stripe with no staging copy.
 package stripe
 
 import (
@@ -50,11 +56,26 @@ func (s *Stripe) Elem(r, c int) []byte {
 	if r < 0 || r >= s.rows || c < 0 || c >= s.cols {
 		panic(fmt.Sprintf("stripe: element (%d,%d) outside %d×%d", r, c, s.rows, s.cols))
 	}
-	off := (r*s.cols + c) * s.elemSize
+	off := (c*s.rows + r) * s.elemSize
 	return s.buf[off : off+s.elemSize : off+s.elemSize]
 }
 
-// Bytes returns the whole stripe storage, row-major.
+// ColRange returns the n elements of column c starting at row r as one
+// contiguous slice aliasing the stripe's storage — the column-major layout
+// guarantees adjacency. It is the zero-copy hand-off point for coalesced
+// device I/O: the raid layer reads and writes column runs through it without
+// staging buffers. Writes through the slice modify the stripe.
+func (s *Stripe) ColRange(c, r, n int) []byte {
+	if c < 0 || c >= s.cols || r < 0 || n <= 0 || r+n > s.rows {
+		panic(fmt.Sprintf("stripe: column range (col %d, rows [%d,%d)) outside %d×%d",
+			c, r, r+n, s.rows, s.cols))
+	}
+	off := (c*s.rows + r) * s.elemSize
+	end := off + n*s.elemSize
+	return s.buf[off:end:end]
+}
+
+// Bytes returns the whole stripe storage, column-major.
 func (s *Stripe) Bytes() []byte { return s.buf }
 
 // Clone returns a deep copy of the stripe.
@@ -79,9 +100,7 @@ func (s *Stripe) Zero() {
 
 // ZeroColumn clears every element of column c, simulating a failed disk.
 func (s *Stripe) ZeroColumn(c int) {
-	for r := 0; r < s.rows; r++ {
-		clear(s.Elem(r, c))
-	}
+	clear(s.ColRange(c, 0, s.rows))
 }
 
 // ZeroElem clears the element at (r, c).

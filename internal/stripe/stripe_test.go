@@ -51,7 +51,8 @@ func TestElemDistinctOffsets(t *testing.T) {
 			if len(e) != 8 {
 				t.Fatalf("Elem(%d,%d) length %d", r, c, len(e))
 			}
-			off := (r*7 + c) * 8
+			// Column-major: the elements of one column are adjacent.
+			off := (c*5 + r) * 8
 			if &e[0] != &s.Bytes()[off] {
 				t.Fatalf("Elem(%d,%d) at wrong offset", r, c)
 			}
@@ -60,6 +61,44 @@ func TestElemDistinctOffsets(t *testing.T) {
 			}
 			seen[off] = true
 		}
+	}
+}
+
+// TestColRangeAliasesColumn pins the zero-copy contract: ColRange(c, r, n) is
+// the same memory as elements (r..r+n-1, c), contiguous and capped.
+func TestColRangeAliasesColumn(t *testing.T) {
+	s := New(5, 7, 8)
+	s.Fill(21)
+	for c := 0; c < 7; c++ {
+		full := s.ColRange(c, 0, 5)
+		if len(full) != 5*8 || cap(full) != 5*8 {
+			t.Fatalf("ColRange(%d,0,5) len/cap = %d/%d, want 40/40", c, len(full), cap(full))
+		}
+		for r := 0; r < 5; r++ {
+			e := s.Elem(r, c)
+			if &e[0] != &full[r*8] {
+				t.Fatalf("Elem(%d,%d) does not alias ColRange at offset %d", r, c, r*8)
+			}
+		}
+		sub := s.ColRange(c, 2, 2)
+		sub[0] ^= 0xFF
+		if s.Elem(2, c)[0] != full[2*8] {
+			t.Fatalf("write through ColRange(%d,2,2) not visible via Elem", c)
+		}
+	}
+}
+
+func TestColRangeBoundsPanics(t *testing.T) {
+	s := New(3, 4, 2)
+	for _, crn := range [][3]int{{-1, 0, 1}, {4, 0, 1}, {0, -1, 1}, {0, 0, 0}, {0, 2, 2}, {0, 0, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ColRange(%d,%d,%d) did not panic", crn[0], crn[1], crn[2])
+				}
+			}()
+			s.ColRange(crn[0], crn[1], crn[2])
+		}()
 	}
 }
 

@@ -1,0 +1,170 @@
+package stripe
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// xorLens exercises the word-wide body, the byte tail, and lengths that are
+// not multiples of the 8-byte step (misaligned-length cases).
+var xorLens = []int{1, 3, 7, 8, 9, 15, 16, 17, 63, 64, 65, 1000, 1024, 4103}
+
+// TestXOR8MatchesOracle checks the widest kernel against iterated XOR for
+// every tail shape.
+func TestXOR8MatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range xorLens {
+		dst := make([]byte, n)
+		rng.Read(dst)
+		want := bytes.Clone(dst)
+		srcs := make([][]byte, 8)
+		for i := range srcs {
+			srcs[i] = make([]byte, n)
+			rng.Read(srcs[i])
+			XOR(want, srcs[i])
+		}
+		XOR8(dst, srcs[0], srcs[1], srcs[2], srcs[3], srcs[4], srcs[5], srcs[6], srcs[7])
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("n=%d: XOR8 diverges from iterated XOR", n)
+		}
+	}
+}
+
+// TestXORMulti8WayMatchesOracle pushes XORMulti through the 8-way pass and
+// every tail count after it (8..17 sources covers one and two full 8-way
+// passes plus each 4/3/2/1 remainder).
+func TestXORMulti8WayMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range xorLens {
+		for srcCount := 8; srcCount <= 17; srcCount++ {
+			dst := make([]byte, n)
+			rng.Read(dst)
+			want := bytes.Clone(dst)
+			srcs := make([][]byte, srcCount)
+			for i := range srcs {
+				srcs[i] = make([]byte, n)
+				rng.Read(srcs[i])
+				XOR(want, srcs[i])
+			}
+			XORMulti(dst, srcs...)
+			if !bytes.Equal(dst, want) {
+				t.Fatalf("n=%d srcs=%d: XORMulti diverges from iterated XOR", n, srcCount)
+			}
+		}
+	}
+}
+
+// TestXOR8AliasedSources feeds the kernel sources that alias each other —
+// overlapping windows of one backing buffer, including the same slice twice.
+// Sources aliasing each other (not dst) are legal: pairs cancel, and the
+// kernel must read each source stream independently.
+func TestXOR8AliasedSources(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, n := range xorLens {
+		backing := make([]byte, n+8)
+		rng.Read(backing)
+		// Overlapping windows shifted by 0 and 1 byte, each used twice, plus
+		// two distinct buffers used twice each: everything cancels pairwise.
+		w0 := backing[0:n]
+		w1 := backing[1 : 1+n]
+		x := make([]byte, n)
+		y := make([]byte, n)
+		rng.Read(x)
+		rng.Read(y)
+		dst := make([]byte, n)
+		rng.Read(dst)
+		want := bytes.Clone(dst)
+		XOR8(dst, w0, w1, x, y, w0, w1, x, y)
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("n=%d: XOR8 over pairwise-cancelling aliased sources is not a no-op", n)
+		}
+	}
+}
+
+func TestXOR8LengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched source length")
+		}
+	}()
+	ok := make([]byte, 16)
+	XOR8(ok, ok[:15], ok, ok, ok, ok, ok, ok, ok)
+}
+
+// FuzzXORKernels pins XOR8 and the 8-way XORMulti path against the iterated
+// single-source oracle on arbitrary data and source counts.
+func FuzzXORKernels(f *testing.F) {
+	f.Add([]byte("0123456789abcdef0123456789abcdef"), uint8(9))
+	f.Add([]byte{1}, uint8(8))
+	f.Add([]byte{}, uint8(12))
+	f.Fuzz(func(t *testing.T, data []byte, srcCount uint8) {
+		n := len(data) / 2
+		if n == 0 {
+			return
+		}
+		count := int(srcCount%16) + 8 // 8..23: always at least one 8-way pass
+		seedA, seedB := data[:n], data[n:2*n]
+		dst := bytes.Clone(seedA)
+		want := bytes.Clone(seedA)
+		srcs := make([][]byte, count)
+		for i := range srcs {
+			srcs[i] = bytes.Clone(seedB)
+			srcs[i][i%n] ^= byte(i) // make the streams distinct
+			XOR(want, srcs[i])
+		}
+		XORMulti(dst, srcs...)
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("n=%d srcs=%d: XORMulti diverges from iterated XOR", n, count)
+		}
+		dst8 := bytes.Clone(seedA)
+		want8 := bytes.Clone(seedA)
+		for i := 0; i < 8; i++ {
+			XOR(want8, srcs[i])
+		}
+		XOR8(dst8, srcs[0], srcs[1], srcs[2], srcs[3], srcs[4], srcs[5], srcs[6], srcs[7])
+		if !bytes.Equal(dst8, want8) {
+			t.Fatalf("n=%d: XOR8 diverges from iterated XOR", n)
+		}
+	})
+}
+
+// benchSinkB keeps the kernels' work observable to the compiler.
+var benchSinkB byte
+
+func benchXORWide(b *testing.B, srcCount int) {
+	const n = 4096
+	dst := make([]byte, n)
+	srcs := make([][]byte, srcCount)
+	backing := make([]byte, srcCount*n)
+	rand.New(rand.NewSource(3)).Read(backing)
+	for i := range srcs {
+		srcs[i] = backing[i*n : (i+1)*n]
+	}
+	b.SetBytes(int64(srcCount * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		XORMulti(dst, srcs...)
+	}
+	benchSinkB = dst[0]
+}
+
+func BenchmarkXORMulti8Src4K(b *testing.B)  { benchXORWide(b, 8) }
+func BenchmarkXORMulti12Src4K(b *testing.B) { benchXORWide(b, 12) }
+
+func BenchmarkXOR84K(b *testing.B) {
+	const n = 4096
+	dst := make([]byte, n)
+	backing := make([]byte, 8*n)
+	rand.New(rand.NewSource(5)).Read(backing)
+	s := make([][]byte, 8)
+	for i := range s {
+		s[i] = backing[i*n : (i+1)*n]
+	}
+	b.SetBytes(8 * n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		XOR8(dst, s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7])
+	}
+	benchSinkB = dst[0]
+}
