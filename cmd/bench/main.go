@@ -9,6 +9,7 @@
 // It doubles as the regression comparator CI runs over two artifacts:
 //
 //	bench [-quick] [-out FILE] [-rev REV] [-codes rdp,dcode,...] [-notiming]
+//	      [-async] [-qd N] [-delay D -inflight N]
 //	bench -compare BASE.json CURRENT.json [-threshold 0.10]
 //
 // The comparator exits 1 when any metric is more than threshold worse in
@@ -52,6 +53,9 @@ func main() {
 	delay := flag.Duration("delay", 0, "per-call positioning delay modeled on every device (blockdev.Delayed; 0 = raw memory)")
 	perbyte := flag.Duration("perbyte", 0, "per-byte transfer delay modeled on every device (pairs with -delay)")
 	traceOn := flag.Bool("trace", false, "run every cell with per-op tracing enabled (span counts to stderr)")
+	async := flag.Bool("async", false, "enable the asynchronous device-submission engine (WithAsyncIO)")
+	qd := flag.Int("qd", 0, "async queue depth (implies -async; 0 with -async = engine default)")
+	inflight := flag.Int("inflight", 0, "max concurrent ops per delayed device (pairs with -delay; 0 = unlimited)")
 	flag.Parse()
 
 	if *compare {
@@ -92,6 +96,14 @@ func main() {
 	}
 	if *perbyte > 0 {
 		cfg.PerByteNs = perbyte.Nanoseconds()
+	}
+	if *qd > 0 {
+		cfg.AsyncDepth = *qd
+	} else if *async {
+		cfg.AsyncDepth = blockdev.DefaultAsyncDepth
+	}
+	if *inflight > 0 {
+		cfg.MaxInflight = *inflight
 	}
 
 	entries := codes.Comparison()
@@ -166,9 +178,10 @@ func runCell(e codes.Entry, prof workload.Profile, cfg benchfmt.Config, cacheByt
 		devs[i] = blockdev.NewMem(devSize)
 		if cfg.DelayNs > 0 || cfg.PerByteNs > 0 {
 			devs[i] = &blockdev.Delayed{
-				Device:  devs[i],
-				Delay:   time.Duration(cfg.DelayNs),
-				PerByte: time.Duration(cfg.PerByteNs),
+				Device:      devs[i],
+				Delay:       time.Duration(cfg.DelayNs),
+				PerByte:     time.Duration(cfg.PerByteNs),
+				MaxInflight: cfg.MaxInflight,
 			}
 		}
 	}
@@ -176,6 +189,9 @@ func runCell(e codes.Entry, prof workload.Profile, cfg benchfmt.Config, cacheByt
 	// WithConcurrency ignores non-positive values by design. WithCache
 	// ignores non-positive budgets the same way.
 	opts := []raid.Option{raid.WithConcurrency(cfg.Concurrency), raid.WithCache(cacheBytes)}
+	if cfg.AsyncDepth > 0 {
+		opts = append(opts, raid.WithAsyncIO(cfg.AsyncDepth))
+	}
 	var tr *trace.Tracer
 	if traceOn {
 		tr = trace.New(trace.DefaultCapacity, trace.DefaultSlowCapacity)
@@ -186,6 +202,7 @@ func runCell(e codes.Entry, prof workload.Profile, cfg benchfmt.Config, cacheByt
 	if err != nil {
 		return benchfmt.Result{}, err
 	}
+	defer func() { _ = a.Close() }()
 	if tr != nil {
 		tr.Enable()
 	}
@@ -265,7 +282,9 @@ func runCell(e codes.Entry, prof workload.Profile, cfg benchfmt.Config, cacheByt
 		res.MBPerSec = float64(res.BytesMoved) / (1 << 20) / sec
 	}
 	res.ReadP99Ns = snap.Latency.Read.P99Nanos
+	res.ReadP999Ns = snap.Latency.Read.P999Nanos
 	res.WriteP99Ns = snap.Latency.Write.P99Nanos
+	res.WriteP999Ns = snap.Latency.Write.P999Nanos
 	if tr != nil {
 		st := tr.Stats()
 		if st.Recorded == 0 {

@@ -6,13 +6,17 @@
 // position-determined byte pattern, so any data corruption — healthy or
 // degraded, local or remote column — counts as an error.
 //
-// It reports per-op latency (p50/p95/p99 for reads and writes separately),
-// throughput, and the error count, both as a human-readable summary and as a
-// benchfmt artifact with the same JSON shape cmd/bench emits — so CI gates a
-// load run with the same `bench -compare` used for benchmark regressions:
+// It reports per-op latency (p50/p95/p99/p999 for reads and writes
+// separately), throughput, and the error count, both as a human-readable
+// summary and as a benchfmt artifact with the same JSON shape cmd/bench emits
+// — so CI gates a load run with the same `bench -compare` used for benchmark
+// regressions. With -ops the run is execution-bound instead of
+// deadline-bound, so a seeded run offers a byte-identical op stream every
+// time:
 //
 //	loadgen -addr HOST:PORT [-clients 8] [-duration 5s] [-profile mixed]
-//	        [-out LOADGEN.json] [-md SUMMARY.md] [-max-errors 0]
+//	        [-seed 1] [-ops 0] [-out LOADGEN.json] [-md SUMMARY.md]
+//	        [-max-errors 0]
 //
 // Exit status: 0 on success, 1 when errors exceed -max-errors or nothing
 // executed, 2 on usage/setup failures.
@@ -51,6 +55,7 @@ func main() {
 	maxLen := flag.Int("maxlen", 8, "max op length L in elements")
 	maxTimes := flag.Int("maxtimes", 2, "max repeat count T per op")
 	seed := flag.Int64("seed", 1, "workload generator seed (client i uses seed+i)")
+	opsFlag := flag.Int("ops", 0, "op executions per client (0 = run until -duration; >0 makes a seeded run fully deterministic)")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-request deadline on the protocol client")
 	retries := flag.Int("retries", 4, "transport attempts per op before the client reports failure")
 	out := flag.String("out", "", "write a benchfmt JSON artifact to this path")
@@ -129,6 +134,7 @@ func main() {
 				seed:    *seed + int64(id),
 				maxLen:  *maxLen,
 				maxT:    *maxTimes,
+				maxOps:  *opsFlag,
 				prof:    prof,
 			}
 			if err := runClient(c, deadline, shared); err != nil {
@@ -151,6 +157,7 @@ func main() {
 	rs, ws := shared.readLat.Snapshot(), shared.writeLat.Snapshot()
 	res.ReadP50Ns, res.ReadP95Ns, res.ReadP99Ns = rs.P50Nanos, rs.P95Nanos, rs.P99Nanos
 	res.WriteP50Ns, res.WriteP95Ns, res.WriteP99Ns = ws.P50Nanos, ws.P95Nanos, ws.P99Nanos
+	res.ReadP999Ns, res.WriteP999Ns = rs.P999Nanos, ws.P999Nanos
 	if sec := elapsed.Seconds(); sec > 0 {
 		res.MBPerSec = float64(res.BytesMoved) / (1 << 20) / sec
 		res.OpsPerSec = float64(res.Executions) / sec
@@ -173,7 +180,7 @@ func main() {
 			Timing:    true,
 			Config: benchfmt.Config{
 				ElemSize: st.ElemSize,
-				Ops:      0, // open-ended: the run is deadline-bound, not op-bound
+				Ops:      *opsFlag, // 0 = open-ended (deadline-bound, not op-bound)
 				MaxLen:   *maxLen,
 				MaxTimes: *maxTimes,
 				Seed:     *seed,
@@ -215,6 +222,7 @@ type clientCfg struct {
 	seed    int64
 	maxLen  int
 	maxT    int
+	maxOps  int // stop after this many executions (0 = deadline-bound)
 	prof    workload.Profile
 }
 
@@ -260,7 +268,18 @@ func runClient(c clientCfg, deadline time.Time, shared *runState) error {
 	opBuf := make([]byte, int64(c.maxLen)*c.elem)
 	want := make([]byte, int64(c.maxLen)*c.elem)
 	logged := false
-	for i := 0; time.Now().Before(deadline); i++ {
+	attempted := 0
+	// With -ops the trace is bounded by execution count, not wall clock, so a
+	// seeded run offers the exact same op stream every time (the deadline
+	// stays as a safety cap). Attempts count even when the op errors —
+	// determinism of the offered load must not depend on server health.
+	more := func() bool {
+		if c.maxOps > 0 {
+			return attempted < c.maxOps && time.Now().Before(deadline)
+		}
+		return time.Now().Before(deadline)
+	}
+	for i := 0; more(); i++ {
 		op := ops[i%len(ops)]
 		off := c.start + int64(op.S)*c.elem
 		n := int64(op.L) * c.elem
@@ -270,7 +289,8 @@ func runClient(c clientCfg, deadline time.Time, shared *runState) error {
 		if n <= 0 {
 			continue
 		}
-		for t := 0; t < op.T && time.Now().Before(deadline); t++ {
+		for t := 0; t < op.T && more(); t++ {
+			attempted++
 			var opErr error
 			start := time.Now()
 			if op.Kind == workload.Read {
@@ -342,10 +362,10 @@ func profileByName(name string) (workload.Profile, error) {
 func report(w *os.File, res benchfmt.Result, rs, ws obs.HistogramSnapshot) {
 	fmt.Fprintf(w, "loadgen: %s %q x%d: %d ops, %.1f MB/s, %.0f ops/s, %d errors\n",
 		res.Code, res.Workload, res.Clients, res.Executions, res.MBPerSec, res.OpsPerSec, res.Errors)
-	fmt.Fprintf(w, "  read  (%d): p50 %s  p95 %s  p99 %s  max %s\n",
-		rs.Count, ms(rs.P50Nanos), ms(rs.P95Nanos), ms(rs.P99Nanos), ms(rs.MaxNanos))
-	fmt.Fprintf(w, "  write (%d): p50 %s  p95 %s  p99 %s  max %s\n",
-		ws.Count, ms(ws.P50Nanos), ms(ws.P95Nanos), ms(ws.P99Nanos), ms(ws.MaxNanos))
+	fmt.Fprintf(w, "  read  (%d): p50 %s  p95 %s  p99 %s  p999 %s  max %s\n",
+		rs.Count, ms(rs.P50Nanos), ms(rs.P95Nanos), ms(rs.P99Nanos), ms(rs.P999Nanos), ms(rs.MaxNanos))
+	fmt.Fprintf(w, "  write (%d): p50 %s  p95 %s  p99 %s  p999 %s  max %s\n",
+		ws.Count, ms(ws.P50Nanos), ms(ws.P95Nanos), ms(ws.P99Nanos), ms(ws.P999Nanos), ms(ws.MaxNanos))
 }
 
 // appendMarkdown appends the latency table CI shows in the job summary.
@@ -361,17 +381,17 @@ func appendMarkdown(path string, res benchfmt.Result, rs, ws obs.HistogramSnapsh
 	}()
 	_, err = fmt.Fprintf(f, `### loadgen: %s, %q, %d clients
 
-| op | count | p50 | p95 | p99 | max |
-|---|---:|---:|---:|---:|---:|
-| read | %d | %s | %s | %s | %s |
-| write | %d | %s | %s | %s | %s |
+| op | count | p50 | p95 | p99 | p999 | max |
+|---|---:|---:|---:|---:|---:|---:|
+| read | %d | %s | %s | %s | %s | %s |
+| write | %d | %s | %s | %s | %s | %s |
 
 %d executions, %.1f MB/s, %.0f ops/s, **%d errors**
 
 `,
 		res.Code, res.Workload, res.Clients,
-		rs.Count, ms(rs.P50Nanos), ms(rs.P95Nanos), ms(rs.P99Nanos), ms(rs.MaxNanos),
-		ws.Count, ms(ws.P50Nanos), ms(ws.P95Nanos), ms(ws.P99Nanos), ms(ws.MaxNanos),
+		rs.Count, ms(rs.P50Nanos), ms(rs.P95Nanos), ms(rs.P99Nanos), ms(rs.P999Nanos), ms(rs.MaxNanos),
+		ws.Count, ms(ws.P50Nanos), ms(ws.P95Nanos), ms(ws.P99Nanos), ms(ws.P999Nanos), ms(ws.MaxNanos),
 		res.Executions, res.MBPerSec, res.OpsPerSec, res.Errors)
 	return err
 }

@@ -253,7 +253,7 @@ func renderStats(s *raid.Snapshot) string {
 		c.Reads, c.DegradedReads, c.Writes, c.FullStripeWrites, c.RMWWrites)
 	fmt.Fprintf(&b, "     %d stripes rebuilt  %d scrub fixes  %d sectors repaired\n\n",
 		c.StripesRebuilt, c.ScrubErrorsFixed, c.SectorsRepaired)
-	fmt.Fprintf(&b, "latency           %10s %10s %10s %10s\n", "p50", "p95", "p99", "max")
+	fmt.Fprintf(&b, "latency           %10s %10s %10s %10s %10s\n", "p50", "p95", "p99", "p999", "max")
 	for _, row := range []struct {
 		name string
 		h    obs.HistogramSnapshot
@@ -267,9 +267,14 @@ func renderStats(s *raid.Snapshot) string {
 		if row.h.Count == 0 {
 			continue
 		}
-		fmt.Fprintf(&b, "  %-15s %10s %10s %10s %10s\n", row.name,
+		fmt.Fprintf(&b, "  %-15s %10s %10s %10s %10s %10s\n", row.name,
 			time.Duration(row.h.P50Nanos), time.Duration(row.h.P95Nanos),
-			time.Duration(row.h.P99Nanos), time.Duration(row.h.MaxNanos))
+			time.Duration(row.h.P99Nanos), time.Duration(row.h.P999Nanos),
+			time.Duration(row.h.MaxNanos))
+	}
+	if as := s.Async; as != nil {
+		fmt.Fprintf(&b, "\nasync: %s engine qd=%d  %d submitted  %d in flight  %.1f ops/batch\n",
+			as.Engine, as.Depth, as.Submitted, as.Inflight, as.MeanBatch())
 	}
 	fmt.Fprintf(&b, "\nload: LF %s  CV %.3f  per-disk %v\n", fmtLF(s.Load.LF), s.Load.CV, s.Load.PerDisk)
 	if s.Window != nil {

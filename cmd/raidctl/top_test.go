@@ -101,13 +101,16 @@ func TestRenderStats(t *testing.T) {
 	s.Latency.Read = obs.HistogramSnapshot{
 		Count: 10, P50Nanos: int64(time.Millisecond),
 		P95Nanos: int64(2 * time.Millisecond), P99Nanos: int64(3 * time.Millisecond),
-		MaxNanos: int64(4 * time.Millisecond),
+		P999Nanos: int64(3500 * time.Microsecond),
+		MaxNanos:  int64(4 * time.Millisecond),
 	}
+	s.Async = &obs.AsyncSnapshot{Engine: "pool", Depth: 16, Submitted: 40, Completed: 40, Batches: 10}
 	out := renderStats(s)
 	for _, frag := range []string{
 		"ops: 10 reads (0 degraded)  4 writes (1 full-stripe, 3 rmw)",
-		"p50", "p95", "p99",
-		"read", "1ms", "2ms", "3ms", "4ms",
+		"p50", "p95", "p99", "p999",
+		"read", "1ms", "2ms", "3ms", "3.5ms", "4ms",
+		"async: pool engine qd=16  40 submitted  0 in flight  4.0 ops/batch",
 		"load: LF 3.000",
 		"window: LF 3.000  3.5 reads/s  2.5 writes/s",
 	} {

@@ -132,6 +132,15 @@ func WithBatching(window time.Duration, maxBytes int) ArrayOption {
 	return raid.WithBatching(window, maxBytes)
 }
 
+// WithAsyncIO enables the asynchronous device-submission engine: each stripe
+// task batch-submits its per-column device runs through one queue (io_uring
+// on file-backed Linux arrays, a worker pool elsewhere) and harvests the
+// completions, instead of spawning a goroutine per column. depth is the
+// queue depth — the useful device overlap — with ≤ 0 selecting the default.
+// Off by default; semantics (tallies, repair, failure marking) are identical
+// to the synchronous path. Call Array.Close to release the engine.
+func WithAsyncIO(depth int) ArrayOption { return raid.WithAsyncIO(depth) }
+
 // NewArray assembles a RAID-6 volume from one device per column of the code,
 // with the given element size and stripe count.
 func NewArray(c *Code, devs []Device, elemSize int, stripes int64, opts ...ArrayOption) (*Array, error) {
@@ -154,4 +163,14 @@ func NewMemDevice(size int64) *MemDevice { return blockdev.NewMem(size) }
 // size.
 func OpenFileDevice(path string, size int64) (Device, error) {
 	return blockdev.OpenFile(path, size)
+}
+
+// OpenFileDeviceDirect is OpenFileDevice with an O_DIRECT descriptor armed
+// next to the buffered one where the OS and filesystem support it: the
+// required alignment is probed at open, aligned requests bypass the page
+// cache (bouncing through pooled aligned buffers when caller memory is not
+// aligned), and unaligned or unsupported cases degrade to the buffered
+// descriptor — identical to OpenFileDevice.
+func OpenFileDeviceDirect(path string, size int64) (Device, error) {
+	return blockdev.OpenFileDirect(path, size)
 }

@@ -57,6 +57,14 @@ type Config struct {
 	// memcpy speed, so delayed runs only compare against delayed baselines.
 	DelayNs   int64 `json:"delay_ns,omitempty"`
 	PerByteNs int64 `json:"per_byte_ns,omitempty"`
+	// AsyncDepth is the WithAsyncIO queue depth (0 = the default synchronous
+	// arrays). Part of the config identity: the async scheduler overlaps
+	// device ops, so async runs only compare against async baselines.
+	AsyncDepth int `json:"async_depth,omitempty"`
+	// MaxInflight bounds concurrent ops per Delayed device (0 = unlimited).
+	// It makes queue-depth effects visible on the in-memory service model and
+	// is config identity for the same reason as DelayNs.
+	MaxInflight int `json:"max_inflight,omitempty"`
 }
 
 // Result is one cell of the matrix: one code under one workload profile.
@@ -96,15 +104,17 @@ type Result struct {
 	Errors  int64 `json:"errors,omitempty"`
 
 	// Timing metrics; zero and omitted when the file has Timing=false.
-	NsPerOp    float64 `json:"ns_per_op,omitempty"`
-	MBPerSec   float64 `json:"mb_per_s,omitempty"`
-	OpsPerSec  float64 `json:"ops_per_s,omitempty"`
-	ReadP50Ns  int64   `json:"read_p50_ns,omitempty"`
-	ReadP95Ns  int64   `json:"read_p95_ns,omitempty"`
-	ReadP99Ns  int64   `json:"read_p99_ns,omitempty"`
-	WriteP50Ns int64   `json:"write_p50_ns,omitempty"`
-	WriteP95Ns int64   `json:"write_p95_ns,omitempty"`
-	WriteP99Ns int64   `json:"write_p99_ns,omitempty"`
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	MBPerSec    float64 `json:"mb_per_s,omitempty"`
+	OpsPerSec   float64 `json:"ops_per_s,omitempty"`
+	ReadP50Ns   int64   `json:"read_p50_ns,omitempty"`
+	ReadP95Ns   int64   `json:"read_p95_ns,omitempty"`
+	ReadP99Ns   int64   `json:"read_p99_ns,omitempty"`
+	ReadP999Ns  int64   `json:"read_p999_ns,omitempty"`
+	WriteP50Ns  int64   `json:"write_p50_ns,omitempty"`
+	WriteP95Ns  int64   `json:"write_p95_ns,omitempty"`
+	WriteP99Ns  int64   `json:"write_p99_ns,omitempty"`
+	WriteP999Ns int64   `json:"write_p999_ns,omitempty"`
 }
 
 // StripTiming clears the timing fields and marks the file non-timing; used
@@ -118,9 +128,11 @@ func (f *File) StripTiming() {
 		f.Results[i].ReadP50Ns = 0
 		f.Results[i].ReadP95Ns = 0
 		f.Results[i].ReadP99Ns = 0
+		f.Results[i].ReadP999Ns = 0
 		f.Results[i].WriteP50Ns = 0
 		f.Results[i].WriteP95Ns = 0
 		f.Results[i].WriteP99Ns = 0
+		f.Results[i].WriteP999Ns = 0
 	}
 }
 
@@ -254,6 +266,8 @@ func Compare(base, current File, threshold float64) []Regression {
 			worse(b, "ns_per_op", b.NsPerOp, c.NsPerOp, false)
 			worse(b, "read_p99_ns", float64(b.ReadP99Ns), float64(c.ReadP99Ns), false)
 			worse(b, "write_p99_ns", float64(b.WriteP99Ns), float64(c.WriteP99Ns), false)
+			worse(b, "read_p999_ns", float64(b.ReadP999Ns), float64(c.ReadP999Ns), false)
+			worse(b, "write_p999_ns", float64(b.WriteP999Ns), float64(c.WriteP999Ns), false)
 			worse(b, "mb_per_s", b.MBPerSec, c.MBPerSec, true)
 		}
 	}

@@ -251,10 +251,20 @@ func (d *MemDevice) Corrupt(off int64) {
 	d.mu.Unlock()
 }
 
-// FileDevice is a Device backed by a file.
+// FileDevice is a Device backed by a file. OpenFileDirect additionally arms
+// an O_DIRECT descriptor (see direct.go): aligned requests then bypass the
+// page cache, everything else falls back to the buffered descriptor.
 type FileDevice struct {
 	f    *os.File
 	size int64
+
+	// Direct-I/O mode (Linux only; zero-valued otherwise): direct is the
+	// O_DIRECT descriptor and align the probed offset/length/memory
+	// alignment it requires; bounce pools align-allocated staging buffers
+	// for callers whose memory is not.
+	direct *os.File
+	align  int
+	bounce sync.Pool
 }
 
 // OpenFile creates (truncating to size) or opens a file-backed device.
@@ -270,10 +280,20 @@ func OpenFile(path string, size int64) (*FileDevice, error) {
 }
 
 // ReadAt implements Device.
-func (d *FileDevice) ReadAt(p []byte, off int64) (int, error) { return d.f.ReadAt(p, off) }
+func (d *FileDevice) ReadAt(p []byte, off int64) (int, error) {
+	if d.direct != nil && d.alignedRange(len(p), off) {
+		return d.directRead(p, off)
+	}
+	return d.f.ReadAt(p, off)
+}
 
 // WriteAt implements Device.
-func (d *FileDevice) WriteAt(p []byte, off int64) (int, error) { return d.f.WriteAt(p, off) }
+func (d *FileDevice) WriteAt(p []byte, off int64) (int, error) {
+	if d.direct != nil && d.alignedRange(len(p), off) {
+		return d.directWrite(p, off)
+	}
+	return d.f.WriteAt(p, off)
+}
 
 // Size implements Device.
 func (d *FileDevice) Size() int64 { return d.size }
@@ -283,7 +303,12 @@ func (d *FileDevice) Size() int64 { return d.size }
 func (d *FileDevice) Sync() error { return d.f.Sync() }
 
 // Close implements Device.
-func (d *FileDevice) Close() error { return d.f.Close() }
+func (d *FileDevice) Close() error {
+	if d.direct != nil {
+		return errors.Join(d.direct.Close(), d.f.Close())
+	}
+	return d.f.Close()
+}
 
 // Delayed wraps a Device with a two-term service-time model per physical
 // call: a fixed positioning cost (Delay — seek plus rotational latency) and a
@@ -295,13 +320,31 @@ func (d *FileDevice) Close() error { return d.f.Close() }
 // flat per-call model, it still pays the transfer cost for every byte moved:
 // an 8-element run is no longer priced the same as a 1-element read, which
 // had overstated coalescing and hidden the cost of moving extra bytes.
+//
+// MaxInflight adds the third term of a real device: an internal queue depth.
+// Up to MaxInflight calls serve their modeled time concurrently — like the
+// overlapping command queue of an NCQ disk or NVMe namespace — and calls
+// beyond it queue until a slot frees. Zero (or negative) keeps the historic
+// unlimited-overlap behavior. The model is what makes asynchronous
+// submission measurable in memory: a serial caller can never hold more than
+// one slot busy, while a batched submitter fills the queue and pays the
+// positioning cost of a whole batch once in wall-clock terms.
 type Delayed struct {
 	Device
-	Delay   time.Duration // per-call positioning cost
-	PerByte time.Duration // per-byte transfer cost
+	Delay       time.Duration // per-call positioning cost
+	PerByte     time.Duration // per-byte transfer cost
+	MaxInflight int           // service slots that may overlap; ≤ 0 is unlimited
+
+	semOnce sync.Once
+	sem     chan struct{}
 }
 
 func (d *Delayed) sleep(n int) {
+	if d.MaxInflight > 0 {
+		d.semOnce.Do(func() { d.sem = make(chan struct{}, d.MaxInflight) })
+		d.sem <- struct{}{}
+		defer func() { <-d.sem }()
+	}
 	time.Sleep(d.Delay + time.Duration(n)*d.PerByte)
 }
 

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package blockdev
+
+// OpenFileDirect falls back to a plain buffered device off Linux; the
+// direct-mode fields stay zero and DirectAlign reports 0.
+func OpenFileDirect(path string, size int64) (*FileDevice, error) {
+	return OpenFile(path, size)
+}

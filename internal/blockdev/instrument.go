@@ -55,6 +55,17 @@ func (d *Instrumented) ReadAt(p []byte, off int64) (int, error) {
 func (d *Instrumented) ReadAtN(p []byte, off int64, ops int64) (int, error) {
 	start := time.Now()
 	n, err := d.dev.ReadAt(p, off)
+	d.AccountRead(start, n, err, ops)
+	return n, err
+}
+
+// AccountRead applies ReadAtN's exact accounting to a read that was executed
+// outside the wrapper: the async engines drive the raw device (or its file
+// descriptor) directly and report the outcome here, so per-disk tallies stay
+// identical whichever path served the bytes. start is when the operation was
+// handed to the device, so the observed latency includes any time it queued
+// there.
+func (d *Instrumented) AccountRead(start time.Time, n int, err error, ops int64) {
 	d.m.ReadLatency.Observe(time.Since(start))
 	if err != nil {
 		d.m.Reads.Inc()
@@ -67,7 +78,22 @@ func (d *Instrumented) ReadAtN(p []byte, off int64, ops int64) (int, error) {
 	if d.hook != nil {
 		d.hook(false, ops, int64(n))
 	}
-	return n, err
+}
+
+// AccountWrite is AccountRead for the write path; see WriteAtN.
+func (d *Instrumented) AccountWrite(start time.Time, n int, err error, ops int64) {
+	d.m.WriteLatency.Observe(time.Since(start))
+	if err != nil {
+		d.m.Writes.Inc()
+		d.m.WriteErrors.Inc()
+		ops = 1
+	} else {
+		d.m.Writes.Add(ops)
+	}
+	d.m.BytesWritten.Add(int64(n))
+	if d.hook != nil {
+		d.hook(true, ops, int64(n))
+	}
 }
 
 // ReadVecAt implements Device, tallied as one logical operation like ReadAt;
@@ -82,18 +108,7 @@ func (d *Instrumented) ReadVecAt(bufs [][]byte, off int64) (int, error) {
 func (d *Instrumented) ReadVecAtN(bufs [][]byte, off int64, ops int64) (int, error) {
 	start := time.Now()
 	n, err := d.dev.ReadVecAt(bufs, off)
-	d.m.ReadLatency.Observe(time.Since(start))
-	if err != nil {
-		d.m.Reads.Inc()
-		d.m.ReadErrors.Inc()
-		ops = 1
-	} else {
-		d.m.Reads.Add(ops)
-	}
-	d.m.BytesRead.Add(int64(n))
-	if d.hook != nil {
-		d.hook(false, ops, int64(n))
-	}
+	d.AccountRead(start, n, err, ops)
 	return n, err
 }
 
@@ -112,18 +127,7 @@ func (d *Instrumented) WriteVecAt(bufs [][]byte, off int64) (int, error) {
 func (d *Instrumented) WriteVecAtN(bufs [][]byte, off int64, ops int64) (int, error) {
 	start := time.Now()
 	n, err := d.dev.WriteVecAt(bufs, off)
-	d.m.WriteLatency.Observe(time.Since(start))
-	if err != nil {
-		d.m.Writes.Inc()
-		d.m.WriteErrors.Inc()
-		ops = 1
-	} else {
-		d.m.Writes.Add(ops)
-	}
-	d.m.BytesWritten.Add(int64(n))
-	if d.hook != nil {
-		d.hook(true, ops, int64(n))
-	}
+	d.AccountWrite(start, n, err, ops)
 	return n, err
 }
 
@@ -131,18 +135,7 @@ func (d *Instrumented) WriteVecAtN(bufs [][]byte, off int64, ops int64) (int, er
 func (d *Instrumented) WriteAtN(p []byte, off int64, ops int64) (int, error) {
 	start := time.Now()
 	n, err := d.dev.WriteAt(p, off)
-	d.m.WriteLatency.Observe(time.Since(start))
-	if err != nil {
-		d.m.Writes.Inc()
-		d.m.WriteErrors.Inc()
-		ops = 1
-	} else {
-		d.m.Writes.Add(ops)
-	}
-	d.m.BytesWritten.Add(int64(n))
-	if d.hook != nil {
-		d.hook(true, ops, int64(n))
-	}
+	d.AccountWrite(start, n, err, ops)
 	return n, err
 }
 

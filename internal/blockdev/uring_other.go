@@ -1,0 +1,15 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package blockdev
+
+import "errors"
+
+// newURingQueue is the non-Linux stub: NewAsyncQueue always falls back to
+// the goroutine-pool engine, which is semantically identical (and pinned so
+// by the fallback-parity tests).
+func newURingQueue(devs []Device, depth int) (AsyncQueue, error) {
+	return nil, errors.New("blockdev: io_uring unavailable on this platform")
+}
+
+// URingAvailable reports io_uring support; always false off Linux.
+func URingAvailable() bool { return false }

@@ -83,16 +83,19 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 
 // HistogramSnapshot is the JSON-friendly view of a Histogram. Buckets are
 // log₂: Buckets[i] counts observations in [2^(i-1), 2^i) nanoseconds.
-// P50/P95/P99 are bucket-upper-bound estimates, so they overestimate by at
-// most 2× — adequate for trend tracking and regression gates.
+// P50/P95/P99/P999 are bucket-upper-bound estimates, so they overestimate by
+// at most 2× — adequate for trend tracking and regression gates. P999 is the
+// async-submission tail: a queue-depth backlog shows up there long before it
+// moves P99.
 type HistogramSnapshot struct {
-	Count    int64   `json:"count"`
-	SumNanos int64   `json:"sum_ns"`
-	MaxNanos int64   `json:"max_ns"`
-	P50Nanos int64   `json:"p50_ns"`
-	P95Nanos int64   `json:"p95_ns"`
-	P99Nanos int64   `json:"p99_ns"`
-	Buckets  []int64 `json:"buckets"`
+	Count     int64   `json:"count"`
+	SumNanos  int64   `json:"sum_ns"`
+	MaxNanos  int64   `json:"max_ns"`
+	P50Nanos  int64   `json:"p50_ns"`
+	P95Nanos  int64   `json:"p95_ns"`
+	P99Nanos  int64   `json:"p99_ns"`
+	P999Nanos int64   `json:"p999_ns"`
+	Buckets   []int64 `json:"buckets"`
 }
 
 // Quantile estimates the q-quantile (0 < q ≤ 1) in nanoseconds from the
@@ -134,6 +137,7 @@ func (s *HistogramSnapshot) refreshQuantiles() {
 	s.P50Nanos = s.Quantile(0.50)
 	s.P95Nanos = s.Quantile(0.95)
 	s.P99Nanos = s.Quantile(0.99)
+	s.P999Nanos = s.Quantile(0.999)
 }
 
 // Merge accumulates another snapshot into s (bucket-wise sums, max of maxes)

@@ -175,7 +175,7 @@ func (p *PromWriter) WriteHistogramSummary(name, help string, labels []Label, h 
 	for _, q := range [...]struct {
 		q  string
 		ns int64
-	}{{"0.5", h.P50Nanos}, {"0.95", h.P95Nanos}, {"0.99", h.P99Nanos}} {
+	}{{"0.5", h.P50Nanos}, {"0.95", h.P95Nanos}, {"0.99", h.P99Nanos}, {"0.999", h.P999Nanos}} {
 		ql := append(append([]Label(nil), labels...), Label{"quantile", q.q})
 		p.Sample(name, ql, float64(q.ns)/1e9)
 	}

@@ -147,6 +147,15 @@ func (a *Array) readCells(si int64, cells []erasure.Coord, s *stripe.Stripe, sc 
 		cells = miss
 	}
 	runs := coalesce(cells, sc)
+	// With the async engine on, the whole batch of runs is staged and kicked
+	// as one submission instead of fanning out per run.
+	if a.aio != nil {
+		if err := a.readRunsAsync(si, runs, s, sc); err != nil {
+			return hits, err
+		}
+		a.cacheFill(si, cells, s)
+		return hits, nil
+	}
 	// The serial case loops directly: the fanOut closure escapes into its
 	// goroutine path, so constructing it would heap-allocate on every call.
 	if a.conc <= 1 || len(runs) <= 1 {
@@ -221,6 +230,10 @@ func (a *Array) readRunDev(si int64, run cellRun, s *stripe.Stripe) error {
 // moot — and the caller decides via failedCount whether the array survived.
 func (a *Array) writeCellsBestEffort(si int64, cells []erasure.Coord, s *stripe.Stripe, sc *opScratch) {
 	runs := coalesce(cells, sc)
+	if a.aio != nil {
+		a.writeRunsBestEffortAsync(si, runs, s, sc)
+		return
+	}
 	if a.conc <= 1 || len(runs) <= 1 { // see readCells: avoid the escaping closure
 		for _, r := range runs {
 			a.writeRunBestEffort(si, r, s, sc.tc.ID())
@@ -296,6 +309,14 @@ type opScratch struct {
 	data    [][]byte    // direct-path user-buffer views by data index (cleared after use)
 	b1, b2  []byte      // element-sized RMW scratch (new value, delta)
 	tc      trace.Ctx   // the stripe task's span; set at every task start (pooled state is stale)
+
+	// Async-scheduler staging (see async.go): completion handles, device
+	// spans and harvested errors of the current batch, plus per-run
+	// single-buffer iovec storage.
+	comps []*blockdev.Completion
+	ctcs  []trace.Ctx
+	abufs [][]byte
+	aerrs []error
 }
 
 func (a *Array) getScratch() *opScratch {

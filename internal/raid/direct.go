@@ -89,9 +89,13 @@ func (a *Array) readStripeDirect(si int64, ers []elemRange, p []byte, sc *opScra
 
 	// A failed run abandons the whole stripe to the general path, so there
 	// is no need to finish the remaining runs — fanOut's stop-on-error is
-	// exactly right, and the serial loop mirrors it.
+	// exactly right, and the serial loop mirrors it. The async engine instead
+	// stages the whole stripe as one batch (it must harvest every completion
+	// anyway before the buffer can be reused).
 	ok := true
-	if a.conc <= 1 || len(vruns) <= 1 { // see readCells: avoid the escaping closure
+	if a.aio != nil {
+		ok = a.readVecRunsAsync(si, vruns, sc)
+	} else if a.conc <= 1 || len(vruns) <= 1 { // see readCells: avoid the escaping closure
 		for _, r := range vruns {
 			if a.readVecRun(si, r, sc) != nil {
 				ok = false
@@ -148,7 +152,9 @@ func (a *Array) writeStripeDirect(si int64, ers []elemRange, p []byte, sc *opScr
 	}
 	sc.vecbufs = bufs
 
-	if a.conc <= 1 || cols <= 1 { // see readCells: avoid the escaping closure
+	if a.aio != nil {
+		a.writeVecColumnsAsync(si, sc)
+	} else if a.conc <= 1 || cols <= 1 { // see readCells: avoid the escaping closure
 		for c := 0; c < cols; c++ {
 			a.writeVecColumn(si, c, sc)
 		}

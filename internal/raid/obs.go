@@ -103,6 +103,11 @@ type Snapshot struct {
 	// when the array is served over TCP (see SetServerStats); nil (omitted)
 	// for a purely in-process array.
 	Server *obs.ServerSnapshot `json:"server,omitempty"`
+
+	// Async carries the asynchronous submission engine's counters (engine,
+	// depth, in-flight, batch sizes, queue-time latency); nil (omitted) when
+	// the array was built without WithAsyncIO.
+	Async *obs.AsyncSnapshot `json:"async,omitempty"`
 }
 
 // XORSnapshot aliases the erasure engine's counter snapshot so Snapshot
@@ -202,6 +207,12 @@ func (a *Array) Snapshot() Snapshot {
 		ss := a.serverStats()
 		s.Server = &ss
 	}
+	if a.aio != nil {
+		as := a.aio.Metrics().Snapshot()
+		as.Engine = a.aio.Engine()
+		as.Depth = a.aio.Depth()
+		s.Async = &as
+	}
 	return s
 }
 
@@ -277,6 +288,12 @@ func (s *Snapshot) Merge(o Snapshot) {
 		}
 		s.Server.Merge(*o.Server)
 	}
+	if o.Async != nil {
+		if s.Async == nil {
+			s.Async = &obs.AsyncSnapshot{}
+		}
+		s.Async.Merge(*o.Async)
+	}
 	if o.Trace != nil {
 		if s.Trace == nil {
 			s.Trace = &TraceSnapshot{}
@@ -325,6 +342,9 @@ func (a *Array) ResetMetrics() {
 	// — they remain coherent, and the bench harness measures a warm cache.
 	if a.cache != nil {
 		a.cache.Metrics().Reset()
+	}
+	if a.aio != nil {
+		a.aio.Metrics().Reset()
 	}
 	a.window.Reset()
 	a.code.ResetXORStats()

@@ -12,6 +12,7 @@ package raid
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -83,6 +84,12 @@ type Array struct {
 	// batch, when non-nil, is the cross-op write-combining window (see
 	// batch.go); WithBatching attaches it.
 	batch *batcher
+
+	// aio, when non-nil, is the asynchronous device-submission engine (see
+	// async.go); WithAsyncIO enables it and asyncDepth carries the option's
+	// queue depth to construction.
+	aio        blockdev.AsyncQueue
+	asyncDepth int
 
 	// cache, when non-nil, is the sharded element cache serving read hits
 	// and absorbing RMW pre-reads without device I/O (see cache.go);
@@ -176,6 +183,11 @@ func New(code *erasure.Code, devs []blockdev.Device, elemSize int, stripes int64
 	}
 	if a.cacheBytes > 0 {
 		a.cache = cache.New(a.cacheBytes, elemSize)
+	}
+	if a.asyncDepth > 0 {
+		// The queue targets the Instrumented wrappers (column index = target
+		// index), so async completions tally exactly like synchronous calls.
+		a.aio = blockdev.NewAsyncQueue(a.devs, a.asyncDepth)
 	}
 	a.initObservability()
 	return a, nil
@@ -333,26 +345,40 @@ func (a *Array) writeElem(stripeIdx int64, co erasure.Coord, src []byte) error {
 	return err
 }
 
-// loadStripe reads a full stripe from the surviving disks into s and
-// reconstructs any failed columns — one goroutine per surviving column, each
-// column as one coalesced device read. A device that fails silently is
-// discovered here (the read errors and marks it), in which case the load
-// restarts without it, up to the code's two-failure tolerance.
-func (a *Array) loadStripe(stripeIdx int64, s *stripe.Stripe, parent uint64) error {
+// loadStripe reads a full stripe from the surviving disks into sc.s and
+// reconstructs any failed columns — each surviving column as one coalesced
+// device read, fanned out per column or batch-submitted through the async
+// engine. A device that fails silently is discovered here (the read errors
+// and marks it), in which case the load restarts without it, up to the
+// code's two-failure tolerance.
+func (a *Array) loadStripe(stripeIdx int64, sc *opScratch) error {
 	rows := a.code.Rows()
+	s := sc.s
 	for {
 		failed := a.failedList()
 		if len(failed) > 2 {
 			return ErrTooManyFailures
 		}
-		err := a.fanOut(a.code.Cols(), func(c int) error {
-			for _, f := range failed {
-				if f == c {
-					return nil
+		var err error
+		if a.aio != nil {
+			runs := sc.runs[:0]
+			for c := 0; c < a.code.Cols(); c++ {
+				if !slices.Contains(failed, c) {
+					runs = append(runs, cellRun{col: c, row: 0, n: rows})
 				}
 			}
-			return a.readRun(stripeIdx, cellRun{col: c, row: 0, n: rows}, s, parent)
-		})
+			sc.runs = runs
+			err = a.readRunsAsync(stripeIdx, runs, s, sc)
+		} else {
+			err = a.fanOut(a.code.Cols(), func(c int) error {
+				for _, f := range failed {
+					if f == c {
+						return nil
+					}
+				}
+				return a.readRun(stripeIdx, cellRun{col: c, row: 0, n: rows}, s, sc.tc.ID())
+			})
+		}
 		if err != nil {
 			// The failing read marked its disk; restart the load degraded
 			// (or give up via the failure-count check — the failed set only
@@ -368,22 +394,34 @@ func (a *Array) loadStripe(stripeIdx int64, s *stripe.Stripe, parent uint64) err
 	}
 }
 
-// storeStripe writes a full encoded stripe to every surviving disk — one
-// goroutine per column, each column as one coalesced device write. A disk
-// that fails during the store is skipped — its content is moot and the
-// stripe stays reconstructable — unless that pushes the array past two
-// failures.
-func (a *Array) storeStripe(stripeIdx int64, s *stripe.Stripe, parent uint64) error {
+// storeStripe writes a full encoded stripe from sc.s to every surviving
+// disk — each column as one coalesced device write, fanned out per column or
+// batch-submitted through the async engine. A disk that fails during the
+// store is skipped — its content is moot and the stripe stays
+// reconstructable — unless that pushes the array past two failures.
+func (a *Array) storeStripe(stripeIdx int64, sc *opScratch) error {
 	rows := a.code.Rows()
-	_ = a.fanOut(a.code.Cols(), func(c int) error {
-		if a.isFailed(c) {
-			return nil
+	s := sc.s
+	if a.aio != nil {
+		runs := sc.runs[:0]
+		for c := 0; c < a.code.Cols(); c++ {
+			if !a.isFailed(c) {
+				runs = append(runs, cellRun{col: c, row: 0, n: rows})
+			}
 		}
-		// writeRunBestEffort marks a disk failed on error and keeps going so
-		// the surviving disks still receive a consistent stripe.
-		a.writeRunBestEffort(stripeIdx, cellRun{col: c, row: 0, n: rows}, s, parent)
-		return nil
-	})
+		sc.runs = runs
+		a.writeRunsBestEffortAsync(stripeIdx, runs, s, sc)
+	} else {
+		_ = a.fanOut(a.code.Cols(), func(c int) error {
+			if a.isFailed(c) {
+				return nil
+			}
+			// writeRunBestEffort marks a disk failed on error and keeps going
+			// so the surviving disks still receive a consistent stripe.
+			a.writeRunBestEffort(stripeIdx, cellRun{col: c, row: 0, n: rows}, s, sc.tc.ID())
+			return nil
+		})
+	}
 	if a.failedCount() > 2 {
 		return ErrTooManyFailures
 	}
@@ -657,7 +695,7 @@ func (a *Array) fetchStripeElems(si int64, ers []elemRange, sc *opScratch) error
 			a.tr.End(tcd, int64(len(wanted))*int64(a.elemSize), false)
 		}()
 		a.m.degradedReads.Inc()
-		if err := a.loadStripe(si, sc.s, sc.tc.ID()); err != nil {
+		if err := a.loadStripe(si, sc); err != nil {
 			return err
 		}
 		// Insert the wanted cells (loadStripe bypasses the cache): the lost
@@ -837,7 +875,7 @@ func (a *Array) writeStripeRanges(si int64, ers []elemRange, p []byte, sc *opScr
 		}
 		// A disk failed mid-write; redo the stripe degraded.
 	}
-	if err := a.loadStripe(si, sc.s, sc.tc.ID()); err != nil {
+	if err := a.loadStripe(si, sc); err != nil {
 		return err
 	}
 	for _, er := range ers {
@@ -845,7 +883,7 @@ func (a *Array) writeStripeRanges(si int64, ers []elemRange, p []byte, sc *opScr
 			p[er.bufOff:er.bufOff+er.length])
 	}
 	a.code.Encode(sc.s)
-	if err := a.storeStripe(si, sc.s, sc.tc.ID()); err != nil {
+	if err := a.storeStripe(si, sc); err != nil {
 		return err
 	}
 	// Write the whole encoded stripe through: on a degraded array the cells
@@ -1023,7 +1061,7 @@ func (a *Array) rebuildStripe(si int64, col int, plan *recovery.Plan, parent uin
 		}
 		// On error a new failure was likely discovered; fall back.
 	}
-	if err := a.loadStripe(si, sc.s, sc.tc.ID()); err != nil {
+	if err := a.loadStripe(si, sc); err != nil {
 		return err
 	}
 	if err := a.writeColumn(si, col, sc.s, sc.tc.ID()); err != nil {
@@ -1165,7 +1203,7 @@ func (a *Array) scrubStripeTask(si int64, parent uint64) (fixed int64, err error
 	sc.tc = a.tr.Begin(trace.OpScrubStripe, -1, si, parent)
 	defer func() { a.tr.End(sc.tc, 0, err != nil) }()
 	stripeStart := time.Now()
-	if err := a.loadStripe(si, sc.s, sc.tc.ID()); err != nil {
+	if err := a.loadStripe(si, sc); err != nil {
 		return 0, err
 	}
 	if a.code.Verify(sc.s) {
@@ -1173,7 +1211,7 @@ func (a *Array) scrubStripeTask(si int64, parent uint64) (fixed int64, err error
 		return 0, nil
 	}
 	a.code.Encode(sc.s)
-	if err := a.storeStripe(si, sc.s, sc.tc.ID()); err != nil {
+	if err := a.storeStripe(si, sc); err != nil {
 		return 0, err
 	}
 	// The stripe disagreed with its parity, so some device diverged from
