@@ -1,7 +1,8 @@
 // dcodelint runs the project's static analyzers (internal/lint) over the
-// module: iocheck, poolcheck, lockcheck, cachecheck and geomcheck, plus
-// hygiene checks on the suppression directives themselves. It exits 1 when
-// any unsuppressed finding remains, so CI can gate on it.
+// module: iocheck, poolcheck, lockcheck, cachecheck, geomcheck, and the
+// dataflow-engine trio gocheck, ctxcheck and atomiccheck, plus hygiene
+// checks on the suppression directives themselves. It exits 1 when any
+// unsuppressed finding remains, so CI can gate on it.
 //
 // Usage:
 //
@@ -9,11 +10,14 @@
 //
 //	-C dir          module root to analyze (default: walk up from .)
 //	-analyzers a,b  run only the named analyzers (skips directive hygiene)
+//	-json           emit findings as JSON Lines (one object per finding,
+//	                suppressed ones included with "suppressed": true)
 //	-list           print the registered analyzers and exit
 //	-suppressions   print every active suppression directive and exit
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,9 +27,21 @@ import (
 	"dcode/internal/lint"
 )
 
+// jsonFinding is the machine-readable form of one finding, for the CI
+// artifact: stable lowercase keys, one object per line.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
 func main() {
 	root := flag.String("C", "", "module root (default: nearest go.mod above the working directory)")
 	analyzerList := flag.String("analyzers", "", "comma-separated subset of analyzers to run")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON Lines (suppressed findings included, flagged)")
 	listOnly := flag.Bool("list", false, "list registered analyzers and exit")
 	suppressions := flag.Bool("suppressions", false, "list active suppression directives and exit")
 	flag.Usage = func() {
@@ -94,11 +110,33 @@ func main() {
 		return
 	}
 
-	for _, f := range res.Findings {
-		fmt.Println(f)
-	}
-	if n := len(res.Suppressed); n > 0 {
-		fmt.Fprintf(os.Stderr, "dcodelint: %d finding(s) suppressed by lint directives (run -suppressions to list them)\n", n)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		emit := func(f lint.Finding, suppressed bool) {
+			if err := enc.Encode(jsonFinding{
+				File:       f.Pos.Filename,
+				Line:       f.Pos.Line,
+				Col:        f.Pos.Column,
+				Analyzer:   f.Analyzer,
+				Message:    f.Message,
+				Suppressed: suppressed,
+			}); err != nil {
+				fatal(err)
+			}
+		}
+		for _, f := range res.Findings {
+			emit(f, false)
+		}
+		for _, f := range res.Suppressed {
+			emit(f, true)
+		}
+	} else {
+		for _, f := range res.Findings {
+			fmt.Println(f)
+		}
+		if n := len(res.Suppressed); n > 0 {
+			fmt.Fprintf(os.Stderr, "dcodelint: %d finding(s) suppressed by lint directives (run -suppressions to list them)\n", n)
+		}
 	}
 	if len(res.Findings) > 0 {
 		fmt.Fprintf(os.Stderr, "dcodelint: %d finding(s)\n", len(res.Findings))

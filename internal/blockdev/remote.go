@@ -1,6 +1,7 @@
 package blockdev
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -28,7 +29,7 @@ type Remote struct {
 	addr string
 	size int64
 
-	dial     func() (net.Conn, error)
+	dial     func(ctx context.Context) (net.Conn, error)
 	timeout  time.Duration // per-request deadline
 	attempts int           // total tries per op (1 = no retry)
 	backoff  time.Duration // first retry delay, doubling per retry
@@ -97,8 +98,18 @@ func WithPool(n int) RemoteOption {
 }
 
 // WithDialer replaces the TCP dialer; tests use it to hand the Remote an
-// in-memory pipe.
+// in-memory pipe. The dialer runs under the operation's context, so a
+// callers-side deadline bounds connection establishment too.
 func WithDialer(dial func() (net.Conn, error)) RemoteOption {
+	return func(r *Remote) {
+		if dial != nil {
+			r.dial = func(context.Context) (net.Conn, error) { return dial() }
+		}
+	}
+}
+
+// WithContextDialer is WithDialer for context-aware dialers.
+func WithContextDialer(dial func(ctx context.Context) (net.Conn, error)) RemoteOption {
 	return func(r *Remote) {
 		if dial != nil {
 			r.dial = dial
@@ -117,8 +128,9 @@ func DialRemote(addr string, opts ...RemoteOption) (*Remote, error) {
 		backoff:  10 * time.Millisecond,
 		poolCap:  4,
 	}
-	r.dial = func() (net.Conn, error) {
-		return net.DialTimeout("tcp", r.addr, r.timeout)
+	r.dial = func(ctx context.Context) (net.Conn, error) {
+		d := net.Dialer{Timeout: r.timeout}
+		return d.DialContext(ctx, "tcp", r.addr)
 	}
 	for _, opt := range opts {
 		opt(r)
@@ -150,8 +162,8 @@ func (r *Remote) Retries() int64 { return r.retries.Load() }
 // Addr returns the remote endpoint address.
 func (r *Remote) Addr() string { return r.addr }
 
-// getConn pops an idle connection or dials a new one.
-func (r *Remote) getConn() (*rconn, error) {
+// getConn pops an idle connection or dials a new one under ctx.
+func (r *Remote) getConn(ctx context.Context) (*rconn, error) {
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
@@ -164,7 +176,7 @@ func (r *Remote) getConn() (*rconn, error) {
 		return rc, nil
 	}
 	r.mu.Unlock()
-	c, err := r.dial()
+	c, err := r.dial(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -203,16 +215,45 @@ func (e *remoteError) Unwrap() error {
 	return nil
 }
 
+// opCtx derives the whole-operation context: the per-attempt deadline times
+// the attempt budget, plus every backoff pause and injected latency. Every
+// request below this point carries a deadline — the serve boundary's
+// propagation contract — so a wedged remote can never hold an operation
+// (or a raid stripe write above it) forever.
+func (r *Remote) opCtx() (context.Context, context.CancelFunc) {
+	budget := time.Duration(r.attempts) * r.timeout
+	for i := 1; i < r.attempts; i++ {
+		budget += r.backoff << (i - 1)
+	}
+	budget += time.Duration(r.attempts) * time.Duration(r.latencyNs.Load())
+	if budget <= 0 {
+		return context.WithCancel(context.Background())
+	}
+	return context.WithTimeout(context.Background(), budget)
+}
+
 // do runs one request/response exchange with retry-with-backoff on transport
 // errors. Protocol errors (an ERR response) return immediately — the server
 // answered authoritatively, retrying cannot change the outcome — and the
 // connection stays pooled, since the exchange itself completed cleanly.
 func (r *Remote) do(req blockserve.Frame) (blockserve.Frame, error) {
+	ctx, cancel := r.opCtx()
+	defer cancel()
+	return r.doCtx(ctx, req)
+}
+
+// doCtx is do under a caller-supplied context.
+func (r *Remote) doCtx(ctx context.Context, req blockserve.Frame) (blockserve.Frame, error) {
 	var lastErr error
 	for attempt := 0; attempt < r.attempts; attempt++ {
 		if attempt > 0 {
 			r.retries.Add(1)
-			time.Sleep(r.backoff << (attempt - 1))
+			select {
+			case <-ctx.Done():
+				return blockserve.Frame{}, fmt.Errorf("%w: %s after %d attempts: %v (%v)",
+					ErrFailed, r.addr, attempt, lastErr, ctx.Err())
+			case <-time.After(r.backoff << (attempt - 1)):
+			}
 		}
 		if d := time.Duration(r.latencyNs.Load()); d > 0 {
 			time.Sleep(d)
@@ -223,7 +264,7 @@ func (r *Remote) do(req blockserve.Frame) (blockserve.Frame, error) {
 				continue
 			}
 		}
-		resp, err := r.attempt(req)
+		resp, err := r.attempt(ctx, req)
 		if err == nil {
 			return resp, nil
 		}
@@ -236,15 +277,22 @@ func (r *Remote) do(req blockserve.Frame) (blockserve.Frame, error) {
 	return blockserve.Frame{}, fmt.Errorf("%w: %s after %d attempts: %v", ErrFailed, r.addr, r.attempts, lastErr)
 }
 
-// attempt performs one exchange on one connection.
-func (r *Remote) attempt(req blockserve.Frame) (blockserve.Frame, error) {
-	rc, err := r.getConn()
+// attempt performs one exchange on one connection. The connection deadline
+// is the tighter of the per-attempt timeout and ctx's deadline.
+func (r *Remote) attempt(ctx context.Context, req blockserve.Frame) (blockserve.Frame, error) {
+	rc, err := r.getConn(ctx)
 	if err != nil {
 		return blockserve.Frame{}, err
 	}
 	req.ID = r.seq.Add(1)
 	if r.timeout > 0 {
-		_ = rc.c.SetDeadline(time.Now().Add(r.timeout))
+		deadline := time.Now().Add(r.timeout)
+		if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+			deadline = d
+		}
+		_ = rc.c.SetDeadline(deadline)
+	} else if d, ok := ctx.Deadline(); ok {
+		_ = rc.c.SetDeadline(d)
 	}
 	if rc.wbuf, err = blockserve.WriteFrame(rc.c, rc.wbuf, req); err != nil {
 		_ = rc.c.Close()

@@ -53,6 +53,11 @@ type Config struct {
 	// cannot acquire a slot stops being read until one frees, so pressure
 	// propagates to the client through TCP flow control. Default 128.
 	MaxInflight int
+	// RequestTimeout bounds each request's handling, measured from dispatch:
+	// a request whose deadline expires before it reaches the backend is
+	// answered with an ERR frame instead of touching the devices. Zero means
+	// no per-request deadline — requests are bounded only by server shutdown.
+	RequestTimeout time.Duration
 	// Tracer, when non-nil and enabled, records one client-tagged span per
 	// served request.
 	Tracer *trace.Tracer
@@ -155,7 +160,9 @@ func (s *Server) logf(format string, args ...any) {
 }
 
 // Serve accepts connections on ln until Shutdown (or a fatal listener error)
-// and blocks until every connection goroutine has exited.
+// and blocks until every connection goroutine has exited. The context it
+// roots here is the server's lifetime: every connection and request context
+// derives from it, so when Serve returns, everything below is cancelled.
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	if s.draining {
@@ -164,7 +171,9 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 	s.ln = ln
 	s.mu.Unlock()
+	ctx, cancel := context.WithCancel(context.Background())
 	defer s.wg.Wait()
+	defer cancel() // runs before the Wait: handlers see cancellation first
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -176,14 +185,14 @@ func (s *Server) Serve(ln net.Listener) error {
 			}
 			return err
 		}
-		s.admit(conn)
+		s.admit(ctx, conn)
 	}
 }
 
 // admit applies the client cap and hands an accepted connection to its
 // reader goroutine. Rejected connections get one best-effort ERR frame so
 // the client sees why, not just a reset.
-func (s *Server) admit(conn net.Conn) {
+func (s *Server) admit(ctx context.Context, conn net.Conn) {
 	s.mu.Lock()
 	reject := error(nil)
 	switch {
@@ -196,6 +205,7 @@ func (s *Server) admit(conn net.Conn) {
 		s.mu.Unlock()
 		s.rejected.Add(1)
 		_ = conn.SetWriteDeadline(time.Now().Add(time.Second))
+		//lint:ignore iocheck best-effort courtesy ERR to a connection we close on the next line
 		_, _ = WriteFrame(conn, nil, Frame{Type: RespErr, Data: []byte(reject.Error())})
 		_ = conn.Close()
 		return
@@ -211,14 +221,23 @@ func (s *Server) admit(conn net.Conn) {
 	s.accepted.Add(1)
 	s.logf("blockserve: client %d connected from %s", c.id, c.addr)
 	s.wg.Add(1)
-	go s.serveConn(c)
+	go s.serveConn(ctx, c)
+}
+
+// requestCtx derives one request's context from the connection's: bounded by
+// RequestTimeout when configured, otherwise cancellation-only.
+func (s *Server) requestCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if s.cfg.RequestTimeout > 0 {
+		return context.WithTimeout(ctx, s.cfg.RequestTimeout)
+	}
+	return context.WithCancel(ctx)
 }
 
 // serveConn is the per-client connection goroutine: it decodes request
 // frames and dispatches each to a handler goroutine once an inflight slot is
 // acquired — acquisition blocks further reads from this client, which is the
 // backpressure path.
-func (s *Server) serveConn(c *clientState) {
+func (s *Server) serveConn(ctx context.Context, c *clientState) {
 	defer s.wg.Done()
 	defer func() {
 		_ = c.conn.Close()
@@ -252,10 +271,12 @@ func (s *Server) serveConn(c *clientState) {
 		s.sem <- struct{}{} // inflight admission; blocks the reader when full
 		s.inflight.Add(1)
 		c.inflight.Add(1)
+		rctx, rcancel := s.requestCtx(ctx)
 		s.wg.Add(1)
 		go func(f Frame) {
 			defer s.wg.Done()
-			s.handle(c, f)
+			defer rcancel()
+			s.handle(rctx, c, f)
 			c.inflight.Add(-1)
 			s.inflight.Add(-1)
 			<-s.sem
@@ -267,8 +288,11 @@ func isEOF(err error) bool {
 	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
 }
 
-// handle executes one request and writes its response frame.
-func (s *Server) handle(c *clientState, f Frame) {
+// handle executes one request and writes its response frame. The context
+// carries the server lifetime and the optional per-request deadline; a
+// request that is already expired when it reaches the front of the inflight
+// queue is failed without touching the backend.
+func (s *Server) handle(ctx context.Context, c *clientState, f Frame) {
 	var (
 		resp Frame
 		op   trace.Op
@@ -291,8 +315,15 @@ func (s *Server) handle(c *clientState, f Frame) {
 	var bytes int64
 	var err error
 
-	switch f.Type {
-	case OpRead:
+	if cerr := ctx.Err(); cerr != nil {
+		// Expired while queued for an inflight slot (or the server is
+		// winding down): answer without touching the backend.
+		err = fmt.Errorf("request aborted before dispatch: %w", cerr)
+	}
+
+	switch {
+	case err != nil:
+	case f.Type == OpRead:
 		if f.Count > MaxPayload {
 			err = fmt.Errorf("read of %d bytes exceeds frame payload limit %d", f.Count, MaxPayload)
 			break
@@ -306,7 +337,7 @@ func (s *Server) handle(c *clientState, f Frame) {
 			c.reads.Add(1)
 			c.bytesOut.Add(bytes)
 		}
-	case OpWrite:
+	case f.Type == OpWrite:
 		var n int
 		n, err = s.backend.WriteAt(f.Data, f.Off)
 		if err == nil {
@@ -315,14 +346,14 @@ func (s *Server) handle(c *clientState, f Frame) {
 			c.writes.Add(1)
 			c.bytesIn.Add(bytes)
 		}
-	case OpFlush:
+	case f.Type == OpFlush:
 		if fl, ok := s.backend.(Flusher); ok {
 			err = fl.Flush()
 		}
 		if err == nil {
 			c.flushes.Add(1)
 		}
-	case OpStatus:
+	case f.Type == OpStatus:
 		resp.Off = s.backend.Size()
 		if st, ok := s.backend.(Statuser); ok {
 			resp.Data, err = st.StatusJSON()
@@ -332,7 +363,7 @@ func (s *Server) handle(c *clientState, f Frame) {
 		if err == nil {
 			c.admin.Add(1)
 		}
-	case OpRebuild:
+	case f.Type == OpRebuild:
 		if rb, ok := s.backend.(Rebuilder); ok {
 			err = rb.Rebuild(int(f.Off))
 		} else {

@@ -1,0 +1,343 @@
+package lint
+
+// Control-flow graphs over go/ast function bodies: the shared substrate the
+// dataflow analyzers (poolcheck, gocheck, ctxcheck) run on. The builder
+// lowers Go's structured control flow to basic blocks with explicit edges —
+// branch conditions keep their true/false successor order so analyzers can
+// narrow state along an edge (poolcheck's nil-check narrowing), and loop
+// back edges are tagged with their loop so per-iteration leaks can be
+// reported at the loop's closing brace. Function literals are not entered:
+// each literal body is its own analysis unit with its own CFG, matching the
+// walkers' attribution rules.
+//
+// Approximations, shared by every client: goto ends its path (no analyzer
+// invariant pairs resources across labels), and a select without a default
+// is given no fall-through edge from its head — a clause always runs.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// cfgBlock is one basic block: a maximal straight-line statement sequence.
+// Compound statements never appear in stmts; range statements do (as the
+// loop-head def of their key/value variables), and so do select comm
+// statements (at the head of their clause's block).
+type cfgBlock struct {
+	id    int
+	stmts []ast.Stmt
+	// cond, when set, means the block ends branching on it: succs[0] is the
+	// true edge, succs[1] the false edge.
+	cond  ast.Expr
+	succs []*cfgBlock
+	preds []*cfgBlock
+}
+
+// cfgLoop is one for/range statement; membership is positional (a statement
+// inside body's source range belongs to the loop).
+type cfgLoop struct {
+	body *ast.BlockStmt
+}
+
+func (l *cfgLoop) contains(pos token.Pos) bool {
+	return l.body.Pos() <= pos && pos <= l.body.End()
+}
+
+// cfgEdge is one back edge, tagged with the loop it re-enters.
+type cfgEdge struct {
+	from, to *cfgBlock
+	loop     *cfgLoop
+}
+
+// cfg is the control-flow graph of one function body. exit collects every
+// return and the fall-off-the-end path; fallsOff is the block whose last
+// statement precedes the closing brace (nil when the function cannot fall
+// off), where end-of-function obligations are reported.
+type cfg struct {
+	body      *ast.BlockStmt
+	blocks    []*cfgBlock
+	entry     *cfgBlock
+	exit      *cfgBlock
+	loops     []*cfgLoop
+	backEdges []cfgEdge
+	fallsOff  *cfgBlock
+}
+
+// backLoop returns the loop of the from→to back edge, nil for forward edges.
+func (g *cfg) backLoop(from, to *cfgBlock) *cfgLoop {
+	for _, e := range g.backEdges {
+		if e.from == from && e.to == to {
+			return e.loop
+		}
+	}
+	return nil
+}
+
+// loopFrame is one enclosing breakable statement during construction.
+type loopFrame struct {
+	label    string
+	brk      *cfgBlock
+	cont     *cfgBlock // nil for switch/select frames
+	contBack *cfgLoop  // when continue's edge is itself the back edge (range)
+	loop     *cfgLoop
+}
+
+type cfgBuilder struct {
+	info   *types.Info
+	g      *cfg
+	cur    *cfgBlock
+	frames []*loopFrame
+}
+
+// buildCFG lowers one function (or function literal) body.
+func buildCFG(info *types.Info, body *ast.BlockStmt) *cfg {
+	b := &cfgBuilder{info: info, g: &cfg{body: body}}
+	b.g.entry = b.newBlock()
+	b.g.exit = b.newBlock()
+	b.cur = b.g.entry
+	b.stmts(body.List)
+	if b.cur != nil {
+		b.g.fallsOff = b.cur
+		b.edge(b.cur, b.g.exit)
+	}
+	return b.g
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{id: len(b.g.blocks)}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *cfgBlock) {
+	from.succs = append(from.succs, to)
+	to.preds = append(to.preds, from)
+}
+
+func (b *cfgBuilder) backEdge(from, to *cfgBlock, loop *cfgLoop) {
+	b.edge(from, to)
+	b.g.backEdges = append(b.g.backEdges, cfgEdge{from: from, to: to, loop: loop})
+}
+
+// seal ends the current path: subsequent statements land in a fresh block
+// that, lacking the edge the caller chose not to add, is unreachable.
+func (b *cfgBuilder) seal() {
+	b.cur = b.newBlock()
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	// A label names the next breakable statement; anything else just unwraps.
+	label := ""
+	for {
+		ls, ok := s.(*ast.LabeledStmt)
+		if !ok {
+			break
+		}
+		label = ls.Label.Name
+		s = ls.Stmt
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s, label)
+	case *ast.RangeStmt:
+		b.rangeStmt(s, label)
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, nil, s.Body.List, label)
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, s.Assign, s.Body.List, label)
+	case *ast.SelectStmt:
+		b.switchStmt(nil, nil, s.Body.List, label)
+	case *ast.ReturnStmt:
+		b.cur.stmts = append(b.cur.stmts, s)
+		b.edge(b.cur, b.g.exit)
+		b.seal()
+	case *ast.BranchStmt:
+		b.branch(s)
+	case *ast.ExprStmt:
+		b.cur.stmts = append(b.cur.stmts, s)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && isTerminatingCall(b.info, call) {
+			b.seal()
+		}
+	default:
+		b.cur.stmts = append(b.cur.stmts, s)
+	}
+}
+
+func (b *cfgBuilder) push(f *loopFrame) { b.frames = append(b.frames, f) }
+func (b *cfgBuilder) pop()              { b.frames = b.frames[:len(b.frames)-1] }
+
+func (b *cfgBuilder) findFrame(label *ast.Ident, needCont bool) *loopFrame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if needCont && f.cont == nil {
+			continue
+		}
+		if label == nil || f.label == label.Name {
+			return f
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	switch s.Tok {
+	case token.BREAK:
+		if f := b.findFrame(s.Label, false); f != nil {
+			b.edge(b.cur, f.brk)
+		}
+	case token.CONTINUE:
+		if f := b.findFrame(s.Label, true); f != nil {
+			if f.contBack != nil {
+				b.backEdge(b.cur, f.cont, f.contBack)
+			} else {
+				b.edge(b.cur, f.cont)
+			}
+		}
+	case token.FALLTHROUGH:
+		// The edge to the next clause is added by switchStmt, which sees this
+		// as the clause body's last statement; the path stays live there.
+		return
+	case token.GOTO:
+		// Conservatively a path end; see the package comment.
+	}
+	b.seal()
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	condB := b.cur
+	condB.cond = s.Cond
+	thenB, elseB, afterB := b.newBlock(), b.newBlock(), b.newBlock()
+	b.edge(condB, thenB) // true
+	b.edge(condB, elseB) // false
+	b.cur = thenB
+	b.stmts(s.Body.List)
+	b.edge(b.cur, afterB)
+	b.cur = elseB
+	if s.Else != nil {
+		b.stmt(s.Else)
+	}
+	b.edge(b.cur, afterB)
+	b.cur = afterB
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	loop := &cfgLoop{body: s.Body}
+	b.g.loops = append(b.g.loops, loop)
+	head := b.newBlock()
+	b.edge(b.cur, head)
+	bodyB, postB, afterB := b.newBlock(), b.newBlock(), b.newBlock()
+	if s.Cond != nil {
+		head.cond = s.Cond
+		b.edge(head, bodyB)  // true
+		b.edge(head, afterB) // false
+	} else {
+		b.edge(head, bodyB) // `for {`: after is reachable only via break
+	}
+	b.push(&loopFrame{label: label, brk: afterB, cont: postB, loop: loop})
+	b.cur = bodyB
+	b.stmts(s.Body.List)
+	b.edge(b.cur, postB)
+	b.pop()
+	b.cur = postB
+	if s.Post != nil {
+		b.stmt(s.Post)
+	}
+	b.backEdge(b.cur, head, loop)
+	b.cur = afterB
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt, label string) {
+	loop := &cfgLoop{body: s.Body}
+	b.g.loops = append(b.g.loops, loop)
+	head := b.newBlock()
+	// The range statement itself sits in the head block: it (re)defines the
+	// key/value variables on every iteration.
+	head.stmts = append(head.stmts, s)
+	b.edge(b.cur, head)
+	bodyB, afterB := b.newBlock(), b.newBlock()
+	b.edge(head, bodyB)
+	b.edge(head, afterB) // the range may be empty or exhausted
+	b.push(&loopFrame{label: label, brk: afterB, cont: head, contBack: loop, loop: loop})
+	b.cur = bodyB
+	b.stmts(s.Body.List)
+	b.backEdge(b.cur, head, loop)
+	b.pop()
+	b.cur = afterB
+}
+
+// switchStmt lowers switch, type switch (assign != nil) and select
+// (clauses are CommClauses): one head fanning out to a block per clause.
+// Only a switch missing a default gets a head→after edge — a select blocks
+// until some clause runs.
+func (b *cfgBuilder) switchStmt(init, assign ast.Stmt, clauses []ast.Stmt, label string) {
+	if init != nil {
+		b.stmt(init)
+	}
+	if assign != nil {
+		b.cur.stmts = append(b.cur.stmts, assign)
+	}
+	head := b.cur
+	afterB := b.newBlock()
+	b.push(&loopFrame{label: label, brk: afterB})
+	blocks := make([]*cfgBlock, len(clauses))
+	hasDefault := false
+	isSelect := false
+	for i, c := range clauses {
+		blocks[i] = b.newBlock()
+		b.edge(head, blocks[i])
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				hasDefault = true
+			}
+		case *ast.CommClause:
+			isSelect = true
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+	}
+	for i, c := range clauses {
+		var body []ast.Stmt
+		b.cur = blocks[i]
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			body = cc.Body
+		case *ast.CommClause:
+			if cc.Comm != nil {
+				b.stmt(cc.Comm)
+			}
+			body = cc.Body
+		}
+		b.stmts(body)
+		if n := len(body); n > 0 && i+1 < len(clauses) {
+			if br, ok := body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				b.edge(b.cur, blocks[i+1])
+				b.seal()
+			}
+		}
+		b.edge(b.cur, afterB)
+	}
+	b.pop()
+	if !hasDefault && !isSelect {
+		b.edge(head, afterB)
+	}
+	b.cur = afterB
+}

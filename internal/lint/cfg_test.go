@@ -1,0 +1,195 @@
+package lint
+
+// Shape and solver tests for the dataflow engine itself, on synthetic
+// type-checked sources: branch edge ordering, loop back edges, terminating
+// calls sealing paths, select-without-default having no fallthrough edge,
+// and the reaching-definitions instance merging sites at joins.
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// buildTestCFG type-checks src and returns the CFG of the named function.
+func buildTestCFG(t *testing.T, src, name string) (*types.Info, *ast.FuncDecl, *cfg) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfgtest.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("cfgtest", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return info, fd, buildCFG(info, fd.Body)
+		}
+	}
+	t.Fatalf("no function %q in source", name)
+	return nil, nil, nil
+}
+
+func TestCFGBranchEdges(t *testing.T) {
+	src := `package cfgtest
+func f(b bool) int {
+	x := 1
+	if b {
+		x = 2
+	} else {
+		x = 3
+	}
+	return x
+}`
+	info, fd, g := buildTestCFG(t, src, "f")
+	var cond *cfgBlock
+	for _, b := range g.blocks {
+		if b.cond != nil {
+			if cond != nil {
+				t.Fatalf("more than one conditional block in a single if")
+			}
+			cond = b
+		}
+	}
+	if cond == nil {
+		t.Fatal("no conditional block built for the if")
+	}
+	// succs[0] is the true branch, succs[1] the false branch — the contract
+	// edge filters (poolcheck's nil-check narrowing) rely on.
+	if len(cond.succs) != 2 {
+		t.Fatalf("conditional block has %d successors, want 2", len(cond.succs))
+	}
+	if len(g.backEdges) != 0 {
+		t.Errorf("if/else produced %d back edges, want 0", len(g.backEdges))
+	}
+	// The body ends in a return: the syntactic fall-off block exists but is
+	// unreachable, which is what the analyzers' reached() guard tests.
+	res := reachingDefs(g, info, unitParams(info, fd.Type, fd.Recv))
+	if g.fallsOff != nil && res.reached(g.fallsOff) {
+		t.Errorf("function ending in return must not reach the fall-off block")
+	}
+	if !res.reached(g.exit) {
+		t.Errorf("exit should be reachable through the return")
+	}
+}
+
+func TestCFGLoopBackEdge(t *testing.T) {
+	src := `package cfgtest
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`
+	_, fd, g := buildTestCFG(t, src, "f")
+	if len(g.backEdges) != 1 {
+		t.Fatalf("for loop produced %d back edges, want 1", len(g.backEdges))
+	}
+	e := g.backEdges[0]
+	if e.loop == nil {
+		t.Fatal("back edge carries no loop")
+	}
+	// The loop body's statements are positionally inside the loop; the
+	// enclosing function's first statement is not.
+	var bodyPos, prePos token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if fs, ok := n.(*ast.ForStmt); ok {
+			bodyPos = fs.Body.List[0].Pos()
+		}
+		return true
+	})
+	prePos = fd.Body.List[0].Pos()
+	if !e.loop.contains(bodyPos) {
+		t.Errorf("loop should contain its body statement")
+	}
+	if e.loop.contains(prePos) {
+		t.Errorf("loop should not contain the statement before it")
+	}
+}
+
+func TestCFGTerminatingCallSealsPath(t *testing.T) {
+	src := `package cfgtest
+func f(x int) {
+	_ = x
+	panic("always")
+}`
+	info, fd, g := buildTestCFG(t, src, "f")
+	res := reachingDefs(g, info, unitParams(info, fd.Type, fd.Recv))
+	if g.fallsOff != nil && res.reached(g.fallsOff) {
+		t.Errorf("a body ending in panic must not reach the fall-off block")
+	}
+}
+
+func TestCFGSelectHasNoFallthroughEdge(t *testing.T) {
+	// A select without default always runs one clause: no head→after edge,
+	// unlike a switch without default. The reaching-definitions solve makes
+	// the difference observable: x=1 cannot reach the return directly.
+	src := `package cfgtest
+func f(a, b chan int) int {
+	x := 1
+	select {
+	case v := <-a:
+		x = v
+	case v := <-b:
+		x = v + 1
+	}
+	return x
+}`
+	info, fd, g := buildTestCFG(t, src, "f")
+	res := reachingDefs(g, info, unitParams(info, fd.Type, fd.Recv))
+	if !res.reached(g.exit) {
+		t.Fatal("exit unreachable")
+	}
+	x := findVar(t, info, "x")
+	sites := res.in[g.exit][x]
+	if len(sites) != 2 {
+		t.Errorf("defs of x reaching return = %d, want 2 (one per clause; the initial x=1 is overwritten on every path)", len(sites))
+	}
+}
+
+func TestReachingDefsMergeAtJoin(t *testing.T) {
+	src := `package cfgtest
+func f(b bool) int {
+	x := 1
+	if b {
+		x = 2
+	}
+	return x
+}`
+	info, fd, g := buildTestCFG(t, src, "f")
+	res := reachingDefs(g, info, unitParams(info, fd.Type, fd.Recv))
+	x := findVar(t, info, "x")
+	sites := res.in[g.exit][x]
+	if len(sites) != 2 {
+		t.Errorf("defs of x reaching return = %d, want 2 (x:=1 survives the else-less branch, x=2 joins it)", len(sites))
+	}
+	// The parameter is defined at entry: its site set is the entry marker.
+	bvar := findVar(t, info, "b")
+	if sites := res.in[g.exit][bvar]; len(sites) != 1 || !sites[nil] {
+		t.Errorf("param b should carry the entry definition marker, got %v", sites)
+	}
+}
+
+func findVar(t *testing.T, info *types.Info, name string) *types.Var {
+	t.Helper()
+	for _, obj := range info.Defs {
+		if v, ok := obj.(*types.Var); ok && v.Name() == name {
+			return v
+		}
+	}
+	t.Fatalf("no variable %q in source", name)
+	return nil
+}

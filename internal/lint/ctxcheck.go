@@ -1,0 +1,311 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ctxcheck enforces deadline propagation below the serve boundary: in
+// blockserve, blockdev and raid — the packages between a client's request
+// and the devices — a context.Context must actually carry the caller's
+// deadline and cancellation. Two rules:
+//
+//   - No bare contexts: a context.Background()/TODO() value may exist below
+//     the boundary only as the root of a context.With* derivation. The
+//     abstract lattice over the shared CFG tracks, per variable, the "bare"
+//     origins that may reach it (union join, kills on reassignment — the
+//     classic reaching-definitions shape folded onto a two-point value
+//     domain). A bare value passed to any call other than a context
+//     constructor, or returned, is a finding: that call chain can never time
+//     out, so a dead peer wedges it forever.
+//
+//   - No dropped contexts: a context.Context parameter that is never used —
+//     not passed on, not derived from, not queried (Done/Err/Deadline) —
+//     silently detaches everything below it from the caller's deadline. The
+//     blank name `_` is the explicit opt-out for interface-shaped callbacks.
+var ctxCheckAnalyzer = &Analyzer{
+	Name: "ctxcheck",
+	Doc:  "below the serve boundary, contexts must carry deadlines and must propagate",
+	Run:  runCtxCheck,
+}
+
+func ctxCheckScoped(importPath string) bool {
+	for _, suffix := range []string{"/blockserve", "/blockdev", "/raid"} {
+		if strings.HasSuffix(importPath, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+func runCtxCheck(ctx *Context) []Finding {
+	c := &ctxChecker{m: ctx.M}
+	for _, pkg := range ctx.M.Sorted {
+		if !ctxCheckScoped(pkg.ImportPath) {
+			continue
+		}
+		for _, fs := range functions(pkg) {
+			for _, unit := range funcUnits(fs) {
+				c.checkDroppedParams(pkg, unit)
+				c.checkBareFlow(pkg, unit)
+			}
+		}
+	}
+	return c.findings
+}
+
+type ctxChecker struct {
+	m        *Module
+	findings []Finding
+}
+
+func (c *ctxChecker) report(pos token.Pos, msg string) {
+	c.findings = append(c.findings, Finding{Pos: c.m.Position(pos), Analyzer: "ctxcheck", Message: msg})
+}
+
+func isContextType(t types.Type) bool {
+	return typeIs(t, "context", "Context")
+}
+
+// checkDroppedParams flags context parameters the unit never touches.
+func (c *ctxChecker) checkDroppedParams(pkg *Package, unit flowUnit) {
+	if unit.ftype.Params == nil {
+		return
+	}
+	for _, field := range unit.ftype.Params.List {
+		for _, id := range field.Names {
+			if id.Name == "_" {
+				continue
+			}
+			v, ok := pkg.Info.Defs[id].(*types.Var)
+			if !ok || !isContextType(v.Type()) {
+				continue
+			}
+			used := false
+			ast.Inspect(unit.body, func(n ast.Node) bool {
+				if used {
+					return false
+				}
+				if use, isIdent := n.(*ast.Ident); isIdent && pkg.Info.Uses[use] == v {
+					used = true
+				}
+				return true
+			})
+			if !used {
+				c.report(id.Pos(), fmt.Sprintf(
+					"context parameter %s is never used: the caller's deadline and cancellation stop propagating here (name it _ if the drop is intentional)", id.Name))
+			}
+		}
+	}
+}
+
+// bareOrigin is one context.Background()/TODO() creation site, canonical per
+// position so the solver's state comparisons stabilize.
+type bareOrigin struct {
+	pos  token.Pos
+	what string // "context.Background()" or "context.TODO()"
+}
+
+type bareState map[*types.Var]*bareOrigin
+
+func (s bareState) clone() bareState {
+	out := make(bareState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+func bareJoin(dst, src bareState) bareState {
+	for k, v := range src {
+		if old, ok := dst[k]; ok && old != v && old.pos <= v.pos {
+			continue
+		}
+		dst[k] = v
+	}
+	return dst
+}
+
+func bareEqual(a, b bareState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// ctxCallKind classifies a call against the context package.
+func ctxCallKind(info *types.Info, call *ast.CallExpr) string {
+	fn := staticCallee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	switch name := fn.Name(); name {
+	case "Background", "TODO":
+		return "bare"
+	case "WithCancel", "WithTimeout", "WithDeadline", "WithValue", "WithoutCancel", "WithCancelCause", "WithDeadlineCause", "WithTimeoutCause":
+		return "derive"
+	}
+	return ""
+}
+
+func (c *ctxChecker) checkBareFlow(pkg *Package, unit flowUnit) {
+	g := buildCFG(pkg.Info, unit.body)
+	originAt := make(map[token.Pos]*bareOrigin)
+	originOf := func(call *ast.CallExpr) *bareOrigin {
+		o := originAt[call.Pos()]
+		if o == nil {
+			o = &bareOrigin{pos: call.Pos(), what: "context." + staticCallee(pkg.Info, call).Name() + "()"}
+			originAt[call.Pos()] = o
+		}
+		return o
+	}
+	// classify resolves an assignment's RHS to the bare origin it carries.
+	classify := func(st bareState, rhs ast.Expr) *bareOrigin {
+		switch e := ast.Unparen(rhs).(type) {
+		case *ast.CallExpr:
+			if ctxCallKind(pkg.Info, e) == "bare" {
+				return originOf(e)
+			}
+		case *ast.Ident:
+			if v := identVar(pkg.Info, e); v != nil {
+				return st[v]
+			}
+		}
+		return nil
+	}
+	applyStmt := func(st bareState, stmt ast.Stmt, report bool) {
+		if report {
+			c.checkBareUses(pkg, st, stmt)
+		}
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			if len(s.Rhs) == 1 {
+				origin := classify(st, s.Rhs[0])
+				// A tuple-returning RHS (ctx, cancel := context.With...) only
+				// ever defines non-bare contexts; single-value RHS may alias.
+				for i, lhs := range s.Lhs {
+					v := lhsVar(pkg.Info, lhs)
+					if v == nil || !isContextType(v.Type()) {
+						continue
+					}
+					if i == 0 && len(s.Lhs) == 1 && origin != nil {
+						st[v] = origin
+					} else {
+						delete(st, v)
+					}
+				}
+				return
+			}
+			for i, lhs := range s.Lhs {
+				v := lhsVar(pkg.Info, lhs)
+				if v == nil || !isContextType(v.Type()) {
+					continue
+				}
+				if origin := classify(st, s.Rhs[i]); origin != nil {
+					st[v] = origin
+				} else {
+					delete(st, v)
+				}
+			}
+		case *ast.DeclStmt:
+			gd, ok := s.Decl.(*ast.GenDecl)
+			if !ok {
+				return
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != len(vs.Names) {
+					continue
+				}
+				for i, id := range vs.Names {
+					v, _ := pkg.Info.Defs[id].(*types.Var)
+					if v == nil || !isContextType(v.Type()) {
+						continue
+					}
+					if origin := classify(st, vs.Values[i]); origin != nil {
+						st[v] = origin
+					} else {
+						delete(st, v)
+					}
+				}
+			}
+		}
+	}
+	res := solveFlow(g, flowSpec[bareState]{
+		entry: make(bareState),
+		clone: bareState.clone,
+		join:  bareJoin,
+		equal: bareEqual,
+		transfer: func(b *cfgBlock, st bareState) bareState {
+			for _, s := range b.stmts {
+				applyStmt(st, s, false)
+			}
+			return st
+		},
+	})
+	for _, b := range g.blocks {
+		if !res.reached(b) {
+			continue
+		}
+		st := res.in[b].clone()
+		for _, s := range b.stmts {
+			applyStmt(st, s, true)
+		}
+	}
+}
+
+// checkBareUses flags every consumption of a bare context in one statement:
+// an argument to any call that is not a context constructor, or a return.
+// The first argument of context.With* is the sanctioned wrapping slot.
+func (c *ctxChecker) checkBareUses(pkg *Package, st bareState, stmt ast.Stmt) {
+	flagExpr := func(e ast.Expr, consumer string) {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.CallExpr:
+			if ctxCallKind(pkg.Info, e) == "bare" {
+				c.report(e.Pos(), fmt.Sprintf(
+					"context.%s() %s below the serve boundary: derive a deadline-bearing context (context.WithTimeout/WithDeadline) instead",
+					staticCallee(pkg.Info, e).Name(), consumer))
+			}
+		case *ast.Ident:
+			if v := identVar(pkg.Info, e); v != nil {
+				if origin, bare := st[v]; bare {
+					c.report(e.Pos(), fmt.Sprintf(
+						"%s (created at line %d) %s still bare: no deadline or cancellation will ever fire below here",
+						origin.what, c.m.Position(origin.pos).Line, consumer))
+				}
+			}
+		}
+	}
+	inspectShallow(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			derive := ctxCallKind(pkg.Info, n) == "derive"
+			for i, arg := range n.Args {
+				if derive && i == 0 {
+					continue // the wrapping slot
+				}
+				flagExpr(arg, "is passed to "+calleeLabel(pkg.Info, n))
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				flagExpr(r, "is returned to the caller")
+			}
+		}
+		return true
+	})
+}
+
+func calleeLabel(info *types.Info, call *ast.CallExpr) string {
+	if fn := staticCallee(info, call); fn != nil {
+		return funcDisplayName(fn)
+	}
+	return "a call"
+}

@@ -134,6 +134,18 @@ func TestGeomCheckGolden(t *testing.T) {
 	runGolden(t, "geomcheck", "geomcheck", "dcode/ztest/geom/core")
 }
 
+func TestGoCheckGolden(t *testing.T) {
+	runGolden(t, "gocheck", "gocheck", "dcode/ztest/gocheck/blockserve")
+}
+
+func TestCtxCheckGolden(t *testing.T) {
+	runGolden(t, "ctxcheck", "ctxcheck", "dcode/ztest/ctxcheck/blockserve")
+}
+
+func TestAtomicCheckGolden(t *testing.T) {
+	runGolden(t, "atomiccheck", "atomiccheck", "dcode/ztest/atomiccheck")
+}
+
 // TestRepoIsClean pins the acceptance bar the CI lint job enforces: the
 // full registry over the real module yields zero unsuppressed findings, and
 // every active suppression carries a justification.
@@ -214,8 +226,8 @@ func TestFindingFormat(t *testing.T) {
 	if ByName("nope") != nil {
 		t.Errorf("ByName(nope) should be nil")
 	}
-	if len(Registry()) != 5 {
-		t.Errorf("registry = %d analyzers, want 5", len(Registry()))
+	if len(Registry()) != 8 {
+		t.Errorf("registry = %d analyzers, want 8", len(Registry()))
 	}
 	_ = fmt.Sprintf
 }

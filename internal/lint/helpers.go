@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -199,6 +200,65 @@ func buildCallGraph(m *Module) *callGraph {
 		})
 	}
 	return g
+}
+
+// flowUnit is one dataflow analysis unit: a declared function body or a
+// function literal body, with the parameter lists that seed its entry state.
+type flowUnit struct {
+	body  *ast.BlockStmt
+	ftype *ast.FuncType
+	recv  *ast.FieldList // nil for literals and plain functions
+}
+
+// funcUnits yields the declaration's body plus every function literal inside
+// it, each as its own unit. The CFG builder never descends into literals, so
+// a unit's graph covers exactly its own nesting level.
+func funcUnits(fs funcScope) []flowUnit {
+	units := []flowUnit{{body: fs.decl.Body, ftype: fs.decl.Type, recv: fs.decl.Recv}}
+	ast.Inspect(fs.decl.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			units = append(units, flowUnit{body: lit.Body, ftype: lit.Type})
+		}
+		return true
+	})
+	return units
+}
+
+// inspectShallow walks n without descending into function literals: the
+// per-statement scans of a unit must not see a nested unit's statements.
+func inspectShallow(n ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return f(n)
+	})
+}
+
+// refVar resolves a variable-shaped expression — an identifier, a field
+// selector chain (s.wg, c.srv.sem), a pointer deref, or an address-of — to
+// the variable or field object that identifies it across the function.
+// Dynamic shapes (map/slice elements, call results) resolve to nil.
+func refVar(info *types.Info, e ast.Expr) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return identVar(info, e)
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			v, _ := sel.Obj().(*types.Var)
+			return v
+		}
+		// Package-qualified variable: the selector has no Selection.
+		v, _ := info.Uses[e.Sel].(*types.Var)
+		return v
+	case *ast.StarExpr:
+		return refVar(info, e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return refVar(info, e.X)
+		}
+	}
+	return nil
 }
 
 // funcDisplayName renders raid.(*Array).WriteAt style names for messages.

@@ -95,6 +95,13 @@ func ioCheckTarget(m *Module, info *types.Info, call *ast.CallExpr, writable map
 	if fn, _, ok := deviceCall(m, info, call); ok {
 		return fmt.Sprintf("device I/O error from %s", funcDisplayName(fn)), true
 	}
+	// The blockserve wire surface: a discarded frame read/write error
+	// desynchronizes the protocol stream — every frame after it is garbage.
+	if fn := staticCallee(info, call); fn != nil && fn.Pkg() != nil &&
+		strings.HasSuffix(fn.Pkg().Path(), "/blockserve") &&
+		(fn.Name() == "WriteFrame" || fn.Name() == "ReadFrame") {
+		return fmt.Sprintf("wire frame error from %s", funcDisplayName(fn)), true
+	}
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
 		return "", false
@@ -105,6 +112,12 @@ func ioCheckTarget(m *Module, info *types.Info, call *ast.CallExpr, writable map
 	}
 	recv := selection.Recv()
 	switch sel.Sel.Name {
+	case "Write":
+		// A discarded net.Conn write error leaves the peer waiting on bytes
+		// that never arrived, with no failure recorded on this side.
+		if typeIs(recv, "net", "Conn") {
+			return "connection write error", true
+		}
 	case "Wait":
 		if isAsyncCompletion(recv) {
 			return fmt.Sprintf("async completion error from %s", funcDisplayName(selection.Obj().(*types.Func))), true

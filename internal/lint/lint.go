@@ -56,6 +56,9 @@ func Registry() []*Analyzer {
 		lockCheckAnalyzer,
 		cacheCheckAnalyzer,
 		geomCheckAnalyzer,
+		goCheckAnalyzer,
+		ctxCheckAnalyzer,
+		atomicCheckAnalyzer,
 	}
 }
 
@@ -111,6 +114,14 @@ func Run(m *Module, analyzers []*Analyzer, scope []*Package, opts Options) Resul
 					Pos:      d.Pos,
 					Analyzer: "suppress",
 					Message:  fmt.Sprintf("lint:%s directive has no justification text", d.Kind),
+				})
+				continue
+			}
+			if d.Kind == "ignore" && d.Analyzer != "suppress" && ByName(d.Analyzer) == nil {
+				res.Findings = append(res.Findings, Finding{
+					Pos:      d.Pos,
+					Analyzer: "suppress",
+					Message:  fmt.Sprintf("lint:ignore names unknown analyzer %q — the directive can never match a finding", d.Analyzer),
 				})
 				continue
 			}

@@ -19,19 +19,25 @@ import (
 // handed to another goroutine while a later Get reuses it — a data race no
 // test reliably catches.
 //
-// The analysis is a structured, path-sensitive walk over each function body
-// (branches fork the held set, merges keep the union, defers release for the
-// whole function). Intentional hand-offs — returning the value from a
-// get-named wrapper is recognized automatically — are annotated with
-// `//lint:escape <justification>` on the acquisition, store, or return line.
+// The analysis is a forward dataflow over the shared CFG (cfg.go): the
+// state is the set of live acquisitions (union join at merges, defers
+// release for the whole function), narrowed along branch edges for the
+// `if v := pool.Get(); v != nil` miss-then-allocate pattern, and filtered
+// at loop back edges — an acquisition born inside a loop body that is still
+// live when the iteration ends leaks once per iteration. Because breaks are
+// real edges here, a hold escaping a loop through `break` is tracked to the
+// function exit, which the old structured walk could not see. Intentional
+// hand-offs — returning the value from a get-named wrapper is recognized
+// automatically — are annotated with `//lint:escape <justification>` on the
+// acquisition, store, or return line.
 //
-// Known approximations, chosen to keep the walk simple and the findings
-// high-confidence: a put is matched by callee name and argument, not by
-// proving it returns to the same pool instance; values passed to ordinary
-// calls are treated as borrows (the callee returns before the caller's next
-// statement — true for this codebase's synchronous helpers, including
-// fanOut, which blocks on its workers); only direct `go` statements count as
-// goroutine capture.
+// Known approximations, chosen to keep the transfer functions simple and
+// the findings high-confidence: a put is matched by callee name and
+// argument, not by proving it returns to the same pool instance; values
+// passed to ordinary calls are treated as borrows (the callee returns
+// before the caller's next statement — true for this codebase's synchronous
+// helpers, including fanOut, which blocks on its workers); only direct `go`
+// statements count as goroutine capture.
 //
 // The async submission engine adds one exception to the borrow rule, and the
 // analyzer enforces it (asyncSubmitScan): a buffer passed to Submit*Vec is
@@ -48,14 +54,8 @@ func runPoolCheck(ctx *Context) []Finding {
 	var out []Finding
 	for _, pkg := range ctx.M.Sorted {
 		for _, fs := range functions(pkg) {
-			w := &poolWalker{
-				m:        ctx.M,
-				pkg:      pkg,
-				dirs:     ctx.Dirs,
-				getterOK: isGetterName(fs.decl.Name.Name),
-				reported: make(map[reportKey]bool),
-			}
-			w.walkBody(fs.decl.Body)
+			w := newPoolWalker(ctx, pkg, isGetterName(fs.decl.Name.Name))
+			w.checkBody(fs.decl.Body)
 			out = append(out, w.findings...)
 			out = append(out, asyncSubmitScan(ctx.M, pkg, ctx.Dirs, fs.decl.Body)...)
 			// Each function literal is its own analysis unit: it has its own
@@ -65,8 +65,8 @@ func runPoolCheck(ctx *Context) []Finding {
 				if !ok {
 					return true
 				}
-				lw := &poolWalker{m: ctx.M, pkg: pkg, dirs: ctx.Dirs, reported: make(map[reportKey]bool)}
-				lw.walkBody(lit.Body)
+				lw := newPoolWalker(ctx, pkg, false)
+				lw.checkBody(lit.Body)
 				out = append(out, lw.findings...)
 				out = append(out, asyncSubmitScan(ctx.M, pkg, ctx.Dirs, lit.Body)...)
 				return true
@@ -80,7 +80,8 @@ func isGetterName(name string) bool {
 	return strings.HasPrefix(name, "get") || strings.HasPrefix(name, "Get")
 }
 
-// poolHold is one live acquisition.
+// poolHold is one live acquisition, canonicalized by acquisition site so the
+// solver's repeated transfers reuse the same object (see flowSpec.transfer).
 type poolHold struct {
 	primary *types.Var
 	pos     token.Pos
@@ -117,6 +118,30 @@ func (h poolHolds) live() []*poolHold {
 	return out
 }
 
+// joinHolds is the union; on an alias conflict the earlier acquisition wins,
+// keeping the join deterministic across solver visit orders.
+func joinHolds(dst, src poolHolds) poolHolds {
+	for k, v := range src {
+		if old, ok := dst[k]; ok && old != v && old.pos <= v.pos {
+			continue
+		}
+		dst[k] = v
+	}
+	return dst
+}
+
+func holdsEqual(a, b poolHolds) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
 type reportKey struct {
 	at   token.Pos
 	hold *poolHold
@@ -127,20 +152,110 @@ type poolWalker struct {
 	pkg      *Package
 	dirs     *Directives
 	getterOK bool
+	silent   bool // true while the solver iterates; reporting is replay-only
 	findings []Finding
 	reported map[reportKey]bool
+	holdAt   map[token.Pos]*poolHold
 }
 
-func (w *poolWalker) walkBody(body *ast.BlockStmt) {
-	held, terminated := w.walkStmts(body.List, make(poolHolds))
-	if !terminated {
-		w.reportLeaks(body.Rbrace, held)
+func newPoolWalker(ctx *Context, pkg *Package, getterOK bool) *poolWalker {
+	return &poolWalker{
+		m:        ctx.M,
+		pkg:      pkg,
+		dirs:     ctx.Dirs,
+		getterOK: getterOK,
+		reported: make(map[reportKey]bool),
+		holdAt:   make(map[token.Pos]*poolHold),
 	}
+}
+
+// checkBody runs the dataflow over one unit: solve to the fixed point
+// silently, then replay every reached block once over its converged entry
+// state with reporting on, and close with the loop and fall-off obligations.
+func (w *poolWalker) checkBody(body *ast.BlockStmt) {
+	g := buildCFG(w.pkg.Info, body)
+	w.silent = true
+	res := solveFlow(g, flowSpec[poolHolds]{
+		entry:    make(poolHolds),
+		clone:    poolHolds.clone,
+		join:     joinHolds,
+		equal:    holdsEqual,
+		transfer: w.transferBlock,
+		edge:     w.edgeFilter,
+	})
+	w.silent = false
+	for _, b := range g.blocks {
+		if res.reached(b) {
+			w.transferBlock(b, res.in[b].clone())
+		}
+	}
+	for _, e := range g.backEdges {
+		if !res.reached(e.from) {
+			continue
+		}
+		for _, hold := range res.out[e.from].live() {
+			if e.loop.contains(hold.pos) {
+				w.report(e.loop.body.Rbrace, hold, fmt.Sprintf(
+					"pooled value %s (acquired at line %d) is acquired inside a loop and not released each iteration",
+					hold.primary.Name(), w.m.Position(hold.pos).Line))
+			}
+		}
+	}
+	if g.fallsOff != nil && res.reached(g.fallsOff) {
+		w.reportLeaks(body.Rbrace, res.out[g.fallsOff])
+	}
+}
+
+// transferBlock applies one basic block's statements to the held set.
+func (w *poolWalker) transferBlock(b *cfgBlock, held poolHolds) poolHolds {
+	for _, stmt := range b.stmts {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			w.handleAssign(s, held)
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+				w.handleCall(call, held)
+			}
+		case *ast.DeferStmt:
+			w.handleDefer(s.Call, held)
+		case *ast.GoStmt:
+			w.handleGo(s, held)
+		case *ast.ReturnStmt:
+			w.handleReturn(s, held)
+		}
+	}
+	return held
+}
+
+// edgeFilter narrows state along branch edges (nil-checked acquisitions hold
+// nothing on their nil branch) and retires loop-born holds at back edges —
+// those are per-iteration obligations, reported against the loop itself.
+func (w *poolWalker) edgeFilter(from, to *cfgBlock, branch int, back *cfgLoop, st poolHolds) poolHolds {
+	if branch >= 0 {
+		// `if v := pool.Get(); v != nil { ... }` holds nothing on the nil
+		// branch — the classic miss-then-allocate pattern.
+		if v, nonNilOnTrue, ok := nilCheckedVar(w.pkg.Info, from.cond); ok {
+			if hold, isHeld := st[v]; isHeld && nonNilOnTrue == (branch == 1) {
+				st.dropHold(hold)
+			}
+		}
+	}
+	if back != nil {
+		for _, hold := range st.live() {
+			if back.contains(hold.pos) {
+				st.dropHold(hold)
+			}
+		}
+	}
+	return st
 }
 
 // report emits one finding unless an escape directive covers the finding
 // line or the acquisition line.
 func (w *poolWalker) report(at token.Pos, hold *poolHold, msg string) {
+	if w.silent {
+		return
+	}
 	key := reportKey{at: at, hold: hold}
 	if w.reported[key] {
 		return
@@ -164,163 +279,14 @@ func (w *poolWalker) reportLeaks(at token.Pos, held poolHolds) {
 	}
 }
 
-// walkStmts executes the list over the held set; it reports leaks at return
-// statements and returns the fall-through state.
-func (w *poolWalker) walkStmts(stmts []ast.Stmt, held poolHolds) (poolHolds, bool) {
-	for _, stmt := range stmts {
-		var terminated bool
-		held, terminated = w.walkStmt(stmt, held)
-		if terminated {
-			return held, true
-		}
+// holdOf returns the canonical hold for an acquisition site.
+func (w *poolWalker) holdOf(v *types.Var, pos token.Pos) *poolHold {
+	if h, ok := w.holdAt[pos]; ok {
+		return h
 	}
-	return held, false
-}
-
-func (w *poolWalker) walkStmt(stmt ast.Stmt, held poolHolds) (poolHolds, bool) {
-	switch s := stmt.(type) {
-	case *ast.AssignStmt:
-		w.handleAssign(s, held)
-	case *ast.ExprStmt:
-		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
-			w.handleCall(call, held)
-			if isTerminatingCall(w.pkg.Info, call) {
-				return held, true
-			}
-		}
-	case *ast.DeferStmt:
-		w.handleDefer(s.Call, held)
-	case *ast.GoStmt:
-		w.handleGo(s, held)
-	case *ast.ReturnStmt:
-		w.handleReturn(s, held)
-		return held, true
-	case *ast.BranchStmt:
-		// break/continue/goto leave this statement list; pairing across
-		// labels is out of scope for the walk.
-		return held, true
-	case *ast.BlockStmt:
-		return w.walkStmts(s.List, held)
-	case *ast.LabeledStmt:
-		return w.walkStmt(s.Stmt, held)
-	case *ast.IfStmt:
-		if s.Init != nil {
-			held, _ = w.walkStmt(s.Init, held)
-		}
-		bodyStart, elseStart := held.clone(), held.clone()
-		// Nil-check narrowing: `if v := pool.Get(); v != nil { ... }` holds
-		// nothing on the nil branch — the classic miss-then-allocate pattern.
-		if v, nonNilInBody, isNilCheck := nilCheckedVar(w.pkg.Info, s.Cond); isNilCheck {
-			if hold, isHeld := held[v]; isHeld {
-				if nonNilInBody {
-					elseStart.dropHold(hold)
-				} else {
-					bodyStart.dropHold(hold)
-				}
-			}
-		}
-		bodyHeld, bodyTerm := w.walkStmts(s.Body.List, bodyStart)
-		elseHeld, elseTerm := elseStart, false
-		if s.Else != nil {
-			elseHeld, elseTerm = w.walkStmt(s.Else, elseStart)
-		}
-		switch {
-		case bodyTerm && elseTerm:
-			return held, true
-		case bodyTerm:
-			return elseHeld, false
-		case elseTerm:
-			return bodyHeld, false
-		default:
-			return mergeHolds(bodyHeld, elseHeld), false
-		}
-	case *ast.ForStmt:
-		if s.Init != nil {
-			held, _ = w.walkStmt(s.Init, held)
-		}
-		inner, _ := w.walkStmts(s.Body.List, held.clone())
-		w.flagLoopAcquisitions(s.Body.Rbrace, held, inner)
-		return held, false
-	case *ast.RangeStmt:
-		inner, _ := w.walkStmts(s.Body.List, held.clone())
-		w.flagLoopAcquisitions(s.Body.Rbrace, held, inner)
-		return held, false
-	case *ast.SwitchStmt:
-		return w.walkClauses(s.Init, s.Body.List, held)
-	case *ast.TypeSwitchStmt:
-		return w.walkClauses(s.Init, s.Body.List, held)
-	case *ast.SelectStmt:
-		return w.walkClauses(nil, s.Body.List, held)
-	}
-	return held, false
-}
-
-// walkClauses handles switch/select bodies: each clause forks the held set;
-// the result is the union of the fall-through clauses. Termination is only
-// claimed when every clause terminates and a default exists.
-func (w *poolWalker) walkClauses(init ast.Stmt, clauses []ast.Stmt, held poolHolds) (poolHolds, bool) {
-	if init != nil {
-		held, _ = w.walkStmt(init, held)
-	}
-	merged := poolHolds(nil)
-	allTerminated := true
-	hasDefault := false
-	for _, c := range clauses {
-		var body []ast.Stmt
-		switch cc := c.(type) {
-		case *ast.CaseClause:
-			body = cc.Body
-			if cc.List == nil {
-				hasDefault = true
-			}
-		case *ast.CommClause:
-			body = cc.Body
-			if cc.Comm == nil {
-				hasDefault = true
-			}
-		}
-		clauseHeld, term := w.walkStmts(body, held.clone())
-		if !term {
-			allTerminated = false
-			if merged == nil {
-				merged = clauseHeld
-			} else {
-				merged = mergeHolds(merged, clauseHeld)
-			}
-		}
-	}
-	if allTerminated && hasDefault && len(clauses) > 0 {
-		return held, true
-	}
-	if merged == nil {
-		merged = held
-	} else {
-		merged = mergeHolds(merged, held)
-	}
-	return merged, false
-}
-
-// flagLoopAcquisitions reports holds created inside a loop body that are
-// still live when an iteration falls through — each iteration leaks one.
-func (w *poolWalker) flagLoopAcquisitions(at token.Pos, outer, inner poolHolds) {
-	outerLive := make(map[*poolHold]bool)
-	for _, h := range outer.live() {
-		outerLive[h] = true
-	}
-	for _, h := range inner.live() {
-		if !outerLive[h] {
-			w.report(at, h, fmt.Sprintf(
-				"pooled value %s (acquired at line %d) is acquired inside a loop and not released each iteration",
-				h.primary.Name(), w.m.Position(h.pos).Line))
-		}
-	}
-}
-
-func mergeHolds(a, b poolHolds) poolHolds {
-	for k, v := range b {
-		a[k] = v
-	}
-	return a
+	h := &poolHold{primary: v, pos: pos}
+	w.holdAt[pos] = h
+	return h
 }
 
 // handleAssign processes acquisitions (v := pool.Get()), aliases
@@ -369,11 +335,11 @@ func (w *poolWalker) handleAssign(s *ast.AssignStmt, held poolHolds) {
 	}
 	lv := lhsVar(w.pkg.Info, s.Lhs[0])
 	if lv == nil {
-		hold := &poolHold{pos: call.Pos()}
-		w.report(call.Pos(), hold, "pooled value is acquired and immediately discarded")
+		w.report(call.Pos(), w.holdOf(nil, call.Pos()),
+			"pooled value is acquired and immediately discarded")
 		return
 	}
-	held[lv] = &poolHold{primary: lv, pos: call.Pos()}
+	held[lv] = w.holdOf(lv, call.Pos())
 }
 
 // handleCall processes a statement-level call: releases drop their holds.
@@ -507,7 +473,7 @@ func isAsyncSubmitCall(fn *types.Func) bool {
 }
 
 // nilCheckedVar matches a `v != nil` / `v == nil` condition, returning the
-// variable and whether the non-nil case is the if-body.
+// variable and whether the non-nil case is the true branch.
 func nilCheckedVar(info *types.Info, cond ast.Expr) (*types.Var, bool, bool) {
 	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
 	if !ok || (bin.Op != token.NEQ && bin.Op != token.EQL) {
@@ -631,8 +597,13 @@ func isReleaseCall(info *types.Info, call *ast.CallExpr) bool {
 func isTerminatingCall(info *types.Info, call *ast.CallExpr) bool {
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:
-		if fun.Name == "panic" && info.Uses[fun] == nil {
-			return true
+		// The builtin resolves to *types.Builtin (or is absent from Uses);
+		// a shadowing local func named panic resolves to *types.Func.
+		if fun.Name == "panic" {
+			switch info.Uses[fun].(type) {
+			case nil, *types.Builtin:
+				return true
+			}
 		}
 	}
 	fn := staticCallee(info, call)

@@ -1,0 +1,88 @@
+package lint
+
+// Edge cases of the suppression machinery, beyond TestSuppressionHandling's
+// happy paths: continuation comments after a directive, directives parked on
+// the wrong statement, and directives naming analyzers that do not exist.
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func loadSuppressEdge(t *testing.T) Result {
+	t.Helper()
+	m := testModule(t)
+	pkg, err := m.LoadDir(filepath.Join("testdata", "suppressedge"), "dcode/ztest/suppressedge")
+	if err != nil {
+		t.Fatalf("loading testdata/suppressedge: %v", err)
+	}
+	return Run(m, Registry(), []*Package{pkg}, Options{CheckDirectives: true})
+}
+
+func TestSuppressEdgeCases(t *testing.T) {
+	res := loadSuppressEdge(t)
+
+	// multiLine: the trailing directive suppresses its Flush even though the
+	// justification prose continues on the next comment line.
+	if len(res.Suppressed) != 1 {
+		t.Errorf("suppressed = %d findings, want 1 (multiLine's Flush)", len(res.Suppressed))
+	}
+	for _, f := range res.Suppressed {
+		if f.Analyzer != "iocheck" {
+			t.Errorf("suppressed finding from %s, want iocheck", f.Analyzer)
+		}
+	}
+
+	var iocheckSurvived, unused, unknown int
+	for _, f := range res.Findings {
+		switch {
+		case f.Analyzer == "iocheck":
+			iocheckSurvived++
+		case f.Analyzer == "suppress" && strings.Contains(f.Message, "unused"):
+			unused++
+		case f.Analyzer == "suppress" && strings.Contains(f.Message, "unknown analyzer"):
+			unknown++
+		default:
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	// wrongStatement's Flush and unknownAnalyzer's Flush both survive: the
+	// first directive covers the wrong line, the second names no analyzer
+	// that exists.
+	if iocheckSurvived != 2 {
+		t.Errorf("surviving iocheck findings = %d, want 2", iocheckSurvived)
+	}
+	if unused != 1 {
+		t.Errorf("unused-directive findings = %d, want 1 (wrongStatement)", unused)
+	}
+	if unknown != 1 {
+		t.Errorf("unknown-analyzer findings = %d, want 1 (iochek typo)", unknown)
+	}
+}
+
+func TestSuppressEdgeDirectiveParsing(t *testing.T) {
+	res := loadSuppressEdge(t)
+	if len(res.Directives) != 3 {
+		t.Fatalf("directives = %d, want 3", len(res.Directives))
+	}
+	multi, wrong, typo := res.Directives[0], res.Directives[1], res.Directives[2]
+
+	// Only the directive's own line contributes justification text; the
+	// continuation comment under multiLine is not part of it.
+	if got, want := multi.Justification, "advisory table, elaborated below"; got != want {
+		t.Errorf("multiLine justification = %q, want %q", got, want)
+	}
+	if !multi.Used() {
+		t.Errorf("multiLine directive should be used (it suppressed the Flush)")
+	}
+	if wrong.Used() {
+		t.Errorf("wrongStatement directive should be unused (it covers a no-op line)")
+	}
+	if typo.Used() {
+		t.Errorf("typo directive should be unused (iochek matches nothing)")
+	}
+	if typo.Analyzer != "iochek" {
+		t.Errorf("typo directive analyzer = %q, want the literal misspelling", typo.Analyzer)
+	}
+}

@@ -1,0 +1,52 @@
+// Package atomictest is a golden fixture for the atomiccheck analyzer,
+// which is module-wide: any field touched through sync/atomic anywhere may
+// never be accessed plainly. Both cell kinds are exercised — direct fields
+// (&c.n handed to atomic.Add) and pointer fields (c.tail, a *uint32 into a
+// shared ring, passed by value to atomic.Load/Store).
+package atomictest
+
+import "sync/atomic"
+
+type counter struct {
+	n     uint64
+	tail  *uint32
+	plain int
+}
+
+func (c *counter) inc() { atomic.AddUint64(&c.n, 1) }
+
+func (c *counter) bump() {
+	atomic.StoreUint32(c.tail, atomic.LoadUint32(c.tail)+1)
+}
+
+// read mixes a plain load into an atomically-updated field.
+func (c *counter) read() uint64 {
+	return c.n // want `field n is updated through sync/atomic \(e\.g\. a\.go:\d+\) but read or written plainly here`
+}
+
+// reset mixes a plain store in.
+func (c *counter) reset() {
+	c.n = 0 // want `field n is updated through sync/atomic \(e\.g\. a\.go:\d+\) but read or written plainly here`
+}
+
+// peek dereferences the doorbell pointer without atomic.Load.
+func (c *counter) peek() uint32 {
+	return *c.tail // want `pointer field tail is accessed through sync/atomic \(e\.g\. a\.go:\d+\) but dereferenced plainly here`
+}
+
+// okPlain: a field never touched by atomics is free to be plain.
+func (c *counter) okPlain() int {
+	c.plain++
+	return c.plain
+}
+
+// okPointer: handling the pointer itself (not what it points at) is fine.
+func (c *counter) okPointer(p *uint32) {
+	c.tail = p
+}
+
+// snapshot is a justified exception — single-threaded setup code.
+func (c *counter) snapshot() uint64 {
+	//lint:ignore atomiccheck constructor-time read before any goroutine exists
+	return c.n
+}

@@ -3,10 +3,12 @@ package iotest
 
 import (
 	"bufio"
+	"net"
 	"os"
 	"text/tabwriter"
 
 	"dcode/internal/blockdev"
+	"dcode/internal/blockserve"
 )
 
 func discards(dev blockdev.Device, buf []byte) {
@@ -43,6 +45,22 @@ func flushes(w *tabwriter.Writer, b *bufio.Writer) error {
 	w.Flush()     // want `buffered-output Flush error from .*Flush is discarded`
 	_ = b.Flush() // want `buffered-output Flush error from .*Flush is assigned to the blank identifier`
 	return b.Flush()
+}
+
+func wireDiscards(conn net.Conn, buf []byte) {
+	blockserve.WriteFrame(conn, buf, blockserve.Frame{})        // want `wire frame error from blockserve\.WriteFrame is discarded`
+	_, _ = blockserve.WriteFrame(conn, buf, blockserve.Frame{}) // want `wire frame error from blockserve\.WriteFrame is assigned to the blank identifier`
+	_, _, _ = blockserve.ReadFrame(conn, buf)                   // want `wire frame error from blockserve\.ReadFrame is assigned to the blank identifier`
+	conn.Write(buf)                                             // want `connection write error is discarded`
+	_, _ = conn.Write(buf)                                      // want `connection write error is assigned to the blank identifier`
+}
+
+func wireConsumes(conn net.Conn, buf []byte) error {
+	if _, err := conn.Write(buf); err != nil {
+		return err
+	}
+	_, err := blockserve.WriteFrame(conn, buf, blockserve.Frame{})
+	return err
 }
 
 func closes(path string) error {

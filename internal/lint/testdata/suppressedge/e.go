@@ -1,0 +1,35 @@
+// Package suppressedge exercises the suppression machinery's edge cases:
+// justification text that continues onto following comment lines (only the
+// directive's own line parses; the continuation is commentary), a directive
+// parked on a statement that produces no finding (unused, and the real
+// finding it was aimed at survives), and a directive naming an analyzer
+// that does not exist.
+package suppressedge
+
+import "text/tabwriter"
+
+// multiLine: the justification's first line rides the directive; the
+// comment below elaborates but is not part of the directive. The Flush is
+// suppressed and the directive counts as used and justified.
+func multiLine(w *tabwriter.Writer) {
+	w.Flush() //lint:ignore iocheck advisory table, elaborated below
+	// Losing this table cannot corrupt any on-disk state; it is purely
+	// cosmetic output for the operator.
+}
+
+// wrongStatement parks the directive one statement too early: the no-op
+// line under it produces no finding, so the directive is unused and the
+// Flush two lines down is still reported.
+func wrongStatement(w *tabwriter.Writer) {
+	//lint:ignore iocheck misplaced: the directive covers the line below only
+	_ = w
+	w.Flush()
+}
+
+// unknownAnalyzer names a check that is not registered: the directive can
+// never match a finding, which is itself a finding — and the Flush it
+// hoped to silence is still reported.
+func unknownAnalyzer(w *tabwriter.Writer) {
+	//lint:ignore iochek typo in the analyzer name, can never fire
+	w.Flush()
+}
