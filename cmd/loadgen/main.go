@@ -16,7 +16,15 @@
 //
 //	loadgen -addr HOST:PORT [-clients 8] [-duration 5s] [-profile mixed]
 //	        [-seed 1] [-ops 0] [-out LOADGEN.json] [-md SUMMARY.md]
-//	        [-max-errors 0]
+//	        [-max-errors 0] [-trace-out TRACE.json] [-slowest 5]
+//
+// With -trace-out every op runs under a client-side span whose trace context
+// travels to the server on the wire (when it advertises the capability), and
+// the run's spans are written as a trace.NodeDump JSON file — feed it to
+// `raidctl trace -merge` together with the servers' /trace dumps to see each
+// slow client op nested over the server work it caused. The markdown summary
+// then also lists the trace IDs of the N slowest ops, ready to grep in the
+// merged trace or in `raidctl events` output.
 //
 // Exit status: 0 on success, 1 when errors exceed -max-errors or nothing
 // executed, 2 on usage/setup failures.
@@ -36,6 +44,7 @@ import (
 	"dcode/internal/benchfmt"
 	"dcode/internal/blockdev"
 	"dcode/internal/obs"
+	"dcode/internal/trace"
 	"dcode/internal/workload"
 )
 
@@ -62,6 +71,8 @@ func main() {
 	md := flag.String("md", "", "append a markdown latency table to this file (e.g. $GITHUB_STEP_SUMMARY)")
 	rev := flag.String("rev", defaultRev(), "revision label embedded in the artifact")
 	maxErrors := flag.Int64("max-errors", 0, "tolerated op/data errors before exiting nonzero")
+	traceOut := flag.String("trace-out", "", "write this run's client spans as a trace.NodeDump JSON file")
+	slowestN := flag.Int("slowest", 5, "slowest ops to list with trace IDs in the report")
 	flag.Parse()
 
 	if *addr == "" {
@@ -117,6 +128,17 @@ func main() {
 	shared := &runState{
 		readLat:  &obs.Histogram{},
 		writeLat: &obs.Histogram{},
+		slowCap:  *slowestN,
+	}
+	if *traceOut != "" {
+		// Size the ring to hold the whole run when op-bound; the default
+		// capacity otherwise (an open-ended soak only keeps the tail).
+		capacity := trace.DefaultCapacity
+		if *opsFlag > 0 {
+			capacity = *opsFlag * *clients * 2
+		}
+		shared.tr = trace.New(capacity, trace.DefaultSlowCapacity)
+		shared.tr.Enable()
 	}
 	deadline := time.Now().Add(*duration)
 	var wg sync.WaitGroup
@@ -125,6 +147,7 @@ func main() {
 		go func(id int) {
 			defer wg.Done()
 			c := clientCfg{
+				id:      id,
 				addr:    *addr,
 				timeout: *timeout,
 				retries: *retries,
@@ -167,10 +190,20 @@ func main() {
 	}
 
 	report(os.Stdout, res, rs, ws)
+	slowest := shared.slowestOps()
+	for _, so := range slowest {
+		fmt.Printf("  slow: %-5s %9s off=%-10d trace=%016x\n", so.kind, ms(so.durNs), so.off, so.trace)
+	}
 	if *md != "" {
-		if err := appendMarkdown(*md, res, rs, ws); err != nil {
+		if err := appendMarkdown(*md, res, rs, ws, slowest); err != nil {
 			fatal(err)
 		}
+	}
+	if *traceOut != "" {
+		if err := writeTraceDump(*traceOut, shared.tr); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: wrote %s\n", *traceOut)
 	}
 	if *out != "" {
 		file := benchfmt.File{
@@ -210,9 +243,70 @@ type runState struct {
 	errs     atomic.Int64
 	readLat  *obs.Histogram
 	writeLat *obs.Histogram
+
+	// tr, when non-nil, traces every op; the op's trace context rides the
+	// wire so server spans join the same trace.
+	tr *trace.Tracer
+
+	// slowest is the top-slowCap ops by duration, kept so the report can
+	// name the trace IDs worth chasing through the merged trace.
+	mu      sync.Mutex
+	slowest []slowOp
+	slowCap int
+}
+
+// slowOp identifies one slow operation in the report.
+type slowOp struct {
+	durNs int64
+	trace uint64
+	off   int64
+	kind  string
+}
+
+// noteOp offers one completed op to the slowest list.
+func (rs *runState) noteOp(durNs int64, traceID uint64, off int64, kind string) {
+	if rs.slowCap <= 0 {
+		return
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if len(rs.slowest) == rs.slowCap && durNs <= rs.slowest[len(rs.slowest)-1].durNs {
+		return
+	}
+	i := len(rs.slowest)
+	for i > 0 && rs.slowest[i-1].durNs < durNs {
+		i--
+	}
+	rs.slowest = append(rs.slowest, slowOp{})
+	copy(rs.slowest[i+1:], rs.slowest[i:])
+	rs.slowest[i] = slowOp{durNs: durNs, trace: traceID, off: off, kind: kind}
+	if len(rs.slowest) > rs.slowCap {
+		rs.slowest = rs.slowest[:rs.slowCap]
+	}
+}
+
+// slowestOps returns the recorded slowest ops, slowest first.
+func (rs *runState) slowestOps() []slowOp {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return append([]slowOp(nil), rs.slowest...)
+}
+
+// writeTraceDump writes the tracer's retained spans as a trace.NodeDump,
+// the same JSON document raidserve serves at /trace, so raidctl trace
+// -merge treats a loadgen dump file and a live server alike.
+func writeTraceDump(path string, tr *trace.Tracer) error {
+	tr.Disable()
+	nd := trace.NodeDump{Node: "loadgen", TimeNs: time.Now().UnixNano(), Spans: tr.Spans()}
+	b, err := json.MarshalIndent(nd, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 type clientCfg struct {
+	id      int
 	addr    string
 	timeout time.Duration
 	retries int
@@ -292,9 +386,24 @@ func runClient(c clientCfg, deadline time.Time, shared *runState) error {
 		for t := 0; t < op.T && more(); t++ {
 			attempted++
 			var opErr error
+			var tc trace.Ctx
+			kind := "read"
+			if op.Kind == workload.Write {
+				kind = "write"
+			}
+			// Each op gets its own root span; its link rides the request so
+			// the server's serve span — and the remote columns under it —
+			// join the same trace.
+			if shared.tr != nil {
+				tcOp := trace.OpRead
+				if op.Kind == workload.Write {
+					tcOp = trace.OpWrite
+				}
+				tc = shared.tr.BeginClient(tcOp, int32(c.id+1), trace.Link{})
+			}
 			start := time.Now()
 			if op.Kind == workload.Read {
-				_, opErr = dev.ReadAt(opBuf[:n], off)
+				_, opErr = dev.ReadAtLink(opBuf[:n], off, tc.Link())
 				shared.readLat.Observe(time.Since(start))
 				if opErr == nil {
 					pattern(want[:n], off, c.seed)
@@ -306,8 +415,12 @@ func runClient(c clientCfg, deadline time.Time, shared *runState) error {
 				// Writes rewrite the same pattern, so the region stays
 				// verifiable no matter how reads and writes interleave.
 				pattern(opBuf[:n], off, c.seed)
-				_, opErr = dev.WriteAt(opBuf[:n], off)
+				_, opErr = dev.WriteAtLink(opBuf[:n], off, tc.Link())
 				shared.writeLat.Observe(time.Since(start))
+			}
+			if shared.tr != nil {
+				shared.tr.End(tc, n, opErr != nil)
+				shared.noteOp(int64(time.Since(start)), tc.Link().Trace, off, kind)
 			}
 			if opErr != nil {
 				shared.errs.Add(1)
@@ -368,8 +481,11 @@ func report(w *os.File, res benchfmt.Result, rs, ws obs.HistogramSnapshot) {
 		ws.Count, ms(ws.P50Nanos), ms(ws.P95Nanos), ms(ws.P99Nanos), ms(ws.P999Nanos), ms(ws.MaxNanos))
 }
 
-// appendMarkdown appends the latency table CI shows in the job summary.
-func appendMarkdown(path string, res benchfmt.Result, rs, ws obs.HistogramSnapshot) (err error) {
+// appendMarkdown appends the latency table CI shows in the job summary,
+// followed by the slowest ops with their trace IDs when the run was traced —
+// each ID greps straight into the merged Chrome trace and the flight
+// recorder's event dump.
+func appendMarkdown(path string, res benchfmt.Result, rs, ws obs.HistogramSnapshot, slowest []slowOp) (err error) {
 	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
@@ -393,6 +509,18 @@ func appendMarkdown(path string, res benchfmt.Result, rs, ws obs.HistogramSnapsh
 		rs.Count, ms(rs.P50Nanos), ms(rs.P95Nanos), ms(rs.P99Nanos), ms(rs.P999Nanos), ms(rs.MaxNanos),
 		ws.Count, ms(ws.P50Nanos), ms(ws.P95Nanos), ms(ws.P99Nanos), ms(ws.P999Nanos), ms(ws.MaxNanos),
 		res.Executions, res.MBPerSec, res.OpsPerSec, res.Errors)
+	if err != nil || len(slowest) == 0 {
+		return err
+	}
+	if _, err = fmt.Fprintf(f, "Slowest ops:\n\n| op | latency | offset | trace |\n|---|---:|---:|---|\n"); err != nil {
+		return err
+	}
+	for _, so := range slowest {
+		if _, err = fmt.Fprintf(f, "| %s | %s | %d | `%016x` |\n", so.kind, ms(so.durNs), so.off, so.trace); err != nil {
+			return err
+		}
+	}
+	_, err = fmt.Fprintln(f)
 	return err
 }
 

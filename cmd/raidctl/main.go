@@ -10,6 +10,9 @@
 //	raidctl scrub  -dir /tmp/a
 //	raidctl stats  -dir /tmp/a [-reset] [-serve :8080] [-watch 1s]
 //	raidctl trace  -dir /tmp/a -o trace.json [-ops 64] [-profile mixed] [-slow 1ms]
+//	raidctl trace  -addr host:9641 -o trace.json
+//	raidctl trace  -merge host1:9641,host2:9641,dump.json -o merged.json [-require-linked 3]
+//	raidctl events -addr host:9641 [-assert-kind disk_failed [-assert-trace]]
 //	raidctl top    -dir /tmp/a [-drive] [-interval 1s] [-count 10]
 //
 // Every operation that touches the volume merges the run's observability
@@ -23,8 +26,13 @@
 //
 // `raidctl trace` drives a synthetic workload with per-op tracing enabled and
 // dumps the spans as a Chrome trace-event file (load it at chrome://tracing
-// or https://ui.perfetto.dev). `raidctl top` is a live terminal view of the
-// per-disk load window — with -drive it generates its own workload, without
+// or https://ui.perfetto.dev). With -addr it instead scrapes a running
+// raidserve's /trace endpoint, and with -merge it fetches several nodes'
+// dumps (or reads dump files), estimates each node's clock offset from
+// request round-trip midpoints, and emits one Chrome trace with a track per
+// node — client spans and the server spans they caused nest on one
+// timeline. `raidctl events` prints a node's flight-recorder dump.
+// `raidctl top` is a live terminal view of the per-disk load window — with -drive it generates its own workload, without
 // it it watches stats.json as other raidctl processes update it.
 package main
 
@@ -37,6 +45,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"dcode/internal/blockdev"
@@ -82,8 +91,15 @@ func main() {
 	interval := fs.Duration("interval", time.Second, "refresh interval (top)")
 	count := fs.Int("count", 0, "number of refreshes, 0 = until interrupted (top)")
 	drive := fs.Bool("drive", false, "generate workload in-process while displaying (top)")
+	addr := fs.String("addr", "", "metrics address of a running raidserve (trace/events)")
+	merge := fs.String("merge", "", "comma-separated metrics addresses or dump files to merge (trace)")
+	requireLinked := fs.Int("require-linked", 0, "fail unless one trace links this many nodes (trace -merge)")
+	assertKind := fs.String("assert-kind", "", "fail unless an event of this kind was retained (events)")
+	assertTrace := fs.Bool("assert-trace", false, "with -assert-kind: the event must carry a trace ID (events)")
 	fs.Parse(os.Args[2:])
-	if *dir == "" {
+	// The network verbs talk to running servers, not an array directory.
+	networkVerb := cmd == "events" || (cmd == "trace" && (*addr != "" || *merge != ""))
+	if *dir == "" && !networkVerb {
 		fatal(fmt.Errorf("-dir is required"))
 	}
 
@@ -105,7 +121,16 @@ func main() {
 	case "stats":
 		stats(*dir, *reset, *serve, *watch)
 	case "trace":
-		doTrace(*dir, *traceOut, *wlOps, *profile, *slow, *seed)
+		switch {
+		case *merge != "":
+			traceRemote(strings.Split(*merge, ","), *traceOut, *requireLinked)
+		case *addr != "":
+			traceRemote([]string{*addr}, *traceOut, *requireLinked)
+		default:
+			doTrace(*dir, *traceOut, *wlOps, *profile, *slow, *seed)
+		}
+	case "events":
+		eventsCmd(*addr, *assertKind, *assertTrace)
 	case "top":
 		top(*dir, *interval, *count, *drive, *wlOps, *profile, *seed, os.Stdout)
 	default:
@@ -114,7 +139,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: raidctl create|info|write|read|fail|rebuild|scrub|stats|trace|top -dir DIR [flags]")
+	fmt.Fprintln(os.Stderr, "usage: raidctl create|info|write|read|fail|rebuild|scrub|stats|trace|events|top -dir DIR [flags]")
 	os.Exit(2)
 }
 

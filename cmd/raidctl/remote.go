@@ -1,0 +1,179 @@
+package main
+
+// Network-facing raidctl verbs: scraping /trace and /events from running
+// raidserve processes, and merging several nodes' span dumps into one
+// Chrome trace with per-node clock-offset correction. These verbs need no
+// -dir — they talk to live servers (or read dump files a tool like
+// cmd/loadgen wrote).
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"dcode/internal/obs"
+	"dcode/internal/trace"
+)
+
+// clockProbes is how many /trace fetches traceFetch makes per node: the
+// probe with the smallest round trip gives the tightest clock-offset bound,
+// so a few tries filter out scheduling noise.
+const clockProbes = 3
+
+// httpGetJSON fetches url and decodes the JSON body into out.
+func httpGetJSON(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: %s: %s", url, resp.Status, strings.TrimSpace(string(b)))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// traceFetch obtains one node's span dump. A target that exists as a local
+// file is read as a previously written NodeDump (offset 0 — it was stamped
+// by this machine's clock); anything else is treated as a raidserve metrics
+// address and probed over HTTP.
+//
+// For HTTP targets the node's clock offset is estimated NTP-style: the
+// server stamps TimeNs while serving the request, so on the minimum-RTT
+// probe that stamp is compared against the local midpoint (t0+t1)/2 — the
+// error is bounded by half that probe's RTT. The chosen offset is recorded
+// in the dump so the merge (and the reader of the file) can see what
+// correction was applied.
+func traceFetch(target string) (trace.NodeDump, error) {
+	if _, err := os.Stat(target); err == nil {
+		b, err := os.ReadFile(target)
+		if err != nil {
+			return trace.NodeDump{}, err
+		}
+		var nd trace.NodeDump
+		if err := json.Unmarshal(b, &nd); err != nil {
+			return trace.NodeDump{}, fmt.Errorf("%s: %w", target, err)
+		}
+		if nd.Node == "" {
+			nd.Node = target
+		}
+		return nd, nil
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	var (
+		best    trace.NodeDump
+		bestRTT int64 = -1
+	)
+	for i := 0; i < clockProbes; i++ {
+		var nd trace.NodeDump
+		t0 := time.Now().UnixNano()
+		if err := httpGetJSON(client, "http://"+target+"/trace", &nd); err != nil {
+			return trace.NodeDump{}, err
+		}
+		t1 := time.Now().UnixNano()
+		if rtt := t1 - t0; bestRTT < 0 || rtt < bestRTT {
+			bestRTT = rtt
+			nd.OffsetNs = nd.TimeNs - (t0+t1)/2
+			best = nd
+		}
+	}
+	if best.Node == "" {
+		best.Node = target
+	}
+	return best, nil
+}
+
+// traceRemote implements `raidctl trace -addr HOST:PORT` and
+// `raidctl trace -merge a,b,c`: fetch one or many nodes' span dumps, align
+// them on the local clock, and write a single Chrome trace-event file. With
+// requireLinked > 0 the merged trace must contain at least one trace whose
+// spans link that many distinct nodes (client span on one node, its server
+// child on another), or the command exits nonzero — the CI integration job
+// gates on it.
+func traceRemote(targets []string, out string, requireLinked int) {
+	nodes := make([]trace.NodeDump, 0, len(targets))
+	total := 0
+	for _, t := range targets {
+		nd, err := traceFetch(t)
+		if err != nil {
+			fatal(err)
+		}
+		total += len(nd.Spans)
+		fmt.Printf("%s: %d spans (clock offset %s)\n",
+			nd.Node, len(nd.Spans), time.Duration(nd.OffsetNs))
+		nodes = append(nodes, nd)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := trace.WriteChromeNodes(f, nodes); err != nil {
+		fatal(errors.Join(err, f.Close()))
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	maxNodes, links := trace.MaxLinkedNodes(nodes)
+	fmt.Printf("wrote %d spans from %d node(s) to %s (%d cross-node links, widest trace spans %d nodes)\n",
+		total, len(nodes), out, links, maxNodes)
+	if requireLinked > 0 && maxNodes < requireLinked {
+		fatal(fmt.Errorf("no trace links %d nodes (widest spans %d): is -trace enabled on every node?",
+			requireLinked, maxNodes))
+	}
+}
+
+// eventsCmd implements `raidctl events -addr HOST:PORT`: fetch and print a
+// node's flight-recorder dump. assertKind, when non-empty, requires at least
+// one retained event of that kind (with a nonzero trace ID if assertTrace is
+// set) — the CI integration job uses it to prove the mid-run column kill
+// left a structured record tied to an affected operation.
+func eventsCmd(addr, assertKind string, assertTrace bool) {
+	if addr == "" {
+		fatal(fmt.Errorf("events requires -addr HOST:PORT"))
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	var dump obs.EventsDump
+	if err := httpGetJSON(client, "http://"+addr+"/events", &dump); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d events recorded, %d retained\n", dump.Node, dump.Recorded, len(dump.Events))
+	for _, ev := range dump.Events {
+		ts := time.Unix(0, ev.TimeNs).Format("15:04:05.000000")
+		fmt.Printf("  %s  %-14s", ts, ev.Kind)
+		if ev.Disk >= 0 {
+			fmt.Printf(" disk %-2d", ev.Disk)
+		}
+		if ev.Stripe >= 0 {
+			fmt.Printf(" stripe %-5d", ev.Stripe)
+		}
+		if ev.Trace != 0 {
+			fmt.Printf(" trace %016x", ev.Trace)
+		}
+		if ev.Aux != 0 {
+			fmt.Printf(" aux %d", ev.Aux)
+		}
+		fmt.Println()
+	}
+	if assertKind == "" {
+		return
+	}
+	for _, ev := range dump.Events {
+		if ev.Kind.String() != assertKind {
+			continue
+		}
+		if !assertTrace || ev.Trace != 0 {
+			return
+		}
+	}
+	want := assertKind
+	if assertTrace {
+		want += " with a trace ID"
+	}
+	fatal(fmt.Errorf("no %s event retained on %s", want, addr))
+}

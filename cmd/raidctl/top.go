@@ -215,6 +215,7 @@ func renderTop(s *raid.Snapshot) string {
 		}
 		b.WriteString("\n")
 	}
+	b.WriteString(renderPhases(s))
 	if s.Trace != nil && len(s.Trace.SlowSpans) > 0 {
 		spans := append([]trace.Span(nil), s.Trace.SlowSpans...)
 		sort.Slice(spans, func(i, j int) bool { return spans[i].Dur > spans[j].Dur })
@@ -276,10 +277,40 @@ func renderStats(s *raid.Snapshot) string {
 		fmt.Fprintf(&b, "\nasync: %s engine qd=%d  %d submitted  %d in flight  %.1f ops/batch\n",
 			as.Engine, as.Depth, as.Submitted, as.Inflight, as.MeanBatch())
 	}
+	b.WriteString(renderPhases(s))
 	fmt.Fprintf(&b, "\nload: LF %s  CV %.3f  per-disk %v\n", fmtLF(s.Load.LF), s.Load.CV, s.Load.PerDisk)
 	if s.Window != nil {
 		fmt.Fprintf(&b, "window: LF %s  %.1f reads/s  %.1f writes/s\n",
 			fmtLF(s.Window.Load.LF), s.Window.ReadsPerSec, s.Window.WritesPerSec)
+	}
+	return b.String()
+}
+
+// renderPhases formats the per-phase latency decomposition: where request
+// time goes — admission queue, parity compute, device I/O, network — each
+// phase measured by its own histogram. Empty when the snapshot carries none.
+func renderPhases(s *raid.Snapshot) string {
+	p := s.Phases
+	if p == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "\nphases            %10s %10s %10s %12s\n", "p50", "p99", "max", "total")
+	for _, row := range []struct {
+		name string
+		h    obs.HistogramSnapshot
+	}{
+		{"queue wait", p.Queue},
+		{"parity compute", p.Parity},
+		{"device i/o", p.Device},
+		{"network rtt", p.Network},
+	} {
+		if row.h.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-15s %10s %10s %10s %12s\n", row.name,
+			time.Duration(row.h.P50Nanos), time.Duration(row.h.P99Nanos),
+			time.Duration(row.h.MaxNanos), time.Duration(row.h.SumNanos))
 	}
 	return b.String()
 }

@@ -73,6 +73,9 @@ func main() {
 	conc := flag.Int("conc", 0, "array concurrency: goroutine fan-out bound (0 = GOMAXPROCS)")
 	cacheBytes := flag.Int64("cache", 0, "element-cache budget in bytes (0 = off)")
 	traceOn := flag.Bool("trace", false, "enable per-op tracing (request spans carry client tags)")
+	traceCap := flag.Int("trace-cap", trace.DefaultCapacity, "trace ring capacity in spans")
+	eventsCap := flag.Int("events-cap", obs.DefaultEventCapacity, "flight-recorder ring capacity in events")
+	node := flag.String("node", "", "node name in /trace and /events dumps (default: the -addr value)")
 	remoteTimeout := flag.Duration("remote-timeout", 2*time.Second, "per-request deadline for remote columns")
 	remoteRetries := flag.Int("remote-retries", 3, "attempts per remote-column operation")
 	column := flag.Bool("column", false, "column mode: serve a single file-backed device instead of an array")
@@ -84,15 +87,23 @@ func main() {
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
 	log.SetPrefix("raidserve: ")
 
+	nodeName := *node
+	if nodeName == "" {
+		nodeName = *addr
+	}
+
 	var (
 		backend blockserve.Backend
 		arr     *raid.Array
 		tr      *trace.Tracer
 	)
 	if *traceOn {
-		tr = trace.New(trace.DefaultCapacity, trace.DefaultSlowCapacity)
+		tr = trace.New(*traceCap, trace.DefaultSlowCapacity)
 		tr.SetSlowThreshold(10 * time.Millisecond)
 	}
+	// The flight recorder is always on: it retains only rare events, costs a
+	// few atomics when one fires, and is the postmortem of record on panic.
+	rec := obs.NewRecorder(*eventsCap)
 
 	if *column {
 		if *file == "" || *size <= 0 {
@@ -114,7 +125,7 @@ func main() {
 			log.Fatal(err)
 		}
 		arr, err = openArray(*dir, *codeID, *p, *elem, *stripes, remoteCols,
-			*conc, *cacheBytes, tr, *remoteTimeout, *remoteRetries)
+			*conc, *cacheBytes, tr, rec, *remoteTimeout, *remoteRetries)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -130,6 +141,7 @@ func main() {
 		MaxClients:  *maxClients,
 		MaxInflight: *maxInflight,
 		Tracer:      tr,
+		Events:      rec,
 		Logf:        log.Printf,
 	})
 	if arr != nil {
@@ -150,6 +162,37 @@ func main() {
 			}
 		}
 		mux := obs.NewMux(snapshot, collect)
+		// /trace dumps the span rings as one trace.NodeDump; raidctl trace
+		// fetches several nodes' dumps and merges them on a common timeline.
+		// TimeNs is sampled per request — the merge tool pairs it with the
+		// request's RTT midpoint to estimate this node's clock offset.
+		mux.Handle("/trace", obs.Handler(func() any {
+			nd := trace.NodeDump{Node: nodeName, TimeNs: time.Now().UnixNano()}
+			if tr != nil {
+				nd.Spans = tr.Spans()
+				// Slow spans may outlive the main ring; add the ones the
+				// ring no longer holds.
+				seen := make(map[uint64]bool, len(nd.Spans))
+				for _, sp := range nd.Spans {
+					seen[sp.ID] = true
+				}
+				for _, sp := range tr.SlowSpans() {
+					if !seen[sp.ID] {
+						nd.Spans = append(nd.Spans, sp)
+					}
+				}
+			}
+			return nd
+		}))
+		// /events dumps the flight recorder; raidctl events renders it.
+		mux.Handle("/events", obs.Handler(func() any {
+			return obs.EventsDump{
+				Node:     nodeName,
+				TimeNs:   time.Now().UnixNano(),
+				Recorded: rec.Recorded(),
+				Events:   rec.Events(),
+			}
+		}))
 		go func() {
 			log.Printf("metrics on http://%s/metrics", *metricsAddr)
 			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
@@ -220,7 +263,7 @@ func parseRemotes(s string) (map[int]string, error) {
 // openArray creates or reopens the file-backed array in dir, substituting
 // Remote devices for the columns in remoteCols.
 func openArray(dir, codeID string, p, elem int, stripes int64, remoteCols map[int]string,
-	conc int, cacheBytes int64, tr *trace.Tracer, rtimeout time.Duration, rretries int) (*raid.Array, error) {
+	conc int, cacheBytes int64, tr *trace.Tracer, rec *obs.Recorder, rtimeout time.Duration, rretries int) (*raid.Array, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -262,7 +305,8 @@ func openArray(dir, codeID string, p, elem int, stripes int64, remoteCols map[in
 			if r.Size() < devSize {
 				return nil, fmt.Errorf("column %d: remote holds %d bytes, need %d", i, r.Size(), devSize)
 			}
-			log.Printf("column %d served by remote %s", i, addr)
+			r.SetEvents(rec, int32(i))
+			log.Printf("column %d served by remote %s (caps 0x%x)", i, addr, r.Caps())
 			devs[i] = r
 			continue
 		}
@@ -272,7 +316,7 @@ func openArray(dir, codeID string, p, elem int, stripes int64, remoteCols map[in
 		}
 		devs[i] = d
 	}
-	opts := []raid.Option{raid.WithConcurrency(conc), raid.WithCache(cacheBytes)}
+	opts := []raid.Option{raid.WithConcurrency(conc), raid.WithCache(cacheBytes), raid.WithEvents(rec)}
 	if tr != nil {
 		opts = append(opts, raid.WithTracer(tr))
 	}
@@ -297,6 +341,18 @@ type arrayBackend struct {
 func (b *arrayBackend) ReadAt(p []byte, off int64) (int, error)  { return b.a.ReadAt(p, off) }
 func (b *arrayBackend) WriteAt(p []byte, off int64) (int, error) { return b.a.WriteAt(p, off) }
 func (b *arrayBackend) Size() int64                              { return b.a.Size() }
+
+// ReadAtLink / WriteAtLink implement blockserve.LinkedBackend: the server's
+// serve span becomes the parent of the array's op span, so a request that
+// recurses into a remote column carries one unbroken trace across all three
+// processes.
+func (b *arrayBackend) ReadAtLink(p []byte, off int64, parent trace.Link) (int, error) {
+	return b.a.ReadAtLink(p, off, parent)
+}
+
+func (b *arrayBackend) WriteAtLink(p []byte, off int64, parent trace.Link) (int, error) {
+	return b.a.WriteAtLink(p, off, parent)
+}
 
 // Flush is a no-op: the array writes through to its devices synchronously.
 func (b *arrayBackend) Flush() error { return nil }

@@ -4,16 +4,29 @@ import (
 	"time"
 
 	"dcode/internal/obs"
+	"dcode/internal/trace"
 )
+
+// LinkedDevice is implemented by devices that can carry a trace link with
+// each operation — today only Remote, which stamps the link onto the wire so
+// the serving node's spans join the caller's trace. Local devices have
+// nothing to propagate to.
+type LinkedDevice interface {
+	ReadAtLink(p []byte, off int64, l trace.Link) (int, error)
+	WriteAtLink(p []byte, off int64, l trace.Link) (int, error)
+	ReadVecAtLink(bufs [][]byte, off int64, l trace.Link) (int, error)
+	WriteVecAtLink(bufs [][]byte, off int64, l trace.Link) (int, error)
+}
 
 // Instrumented wraps a Device and records every operation into an
 // obs.IOMetrics: op and byte counts, error counts, and per-op latency
 // histograms. Errors are passed through unwrapped, so errors.Is checks on
 // ErrFailed / ErrBadSector keep working through the wrapper.
 type Instrumented struct {
-	dev  Device
-	m    obs.IOMetrics
-	hook OpHook
+	dev    Device
+	linked LinkedDevice // dev's link-threading view, nil if unsupported
+	m      obs.IOMetrics
+	hook   OpHook
 }
 
 // OpHook observes every completed device operation: write selects the write
@@ -26,7 +39,8 @@ type OpHook func(write bool, ops, bytes int64)
 // Instrument wraps dev. The wrapper adds two atomic ops and one clock read
 // per call — negligible next to any real device access.
 func Instrument(dev Device) *Instrumented {
-	return &Instrumented{dev: dev}
+	lb, _ := dev.(LinkedDevice)
+	return &Instrumented{dev: dev, linked: lb}
 }
 
 // Metrics returns the wrapper's metric set; callers snapshot or reset it.
@@ -135,6 +149,65 @@ func (d *Instrumented) WriteVecAtN(bufs [][]byte, off int64, ops int64) (int, er
 func (d *Instrumented) WriteAtN(p []byte, off int64, ops int64) (int, error) {
 	start := time.Now()
 	n, err := d.dev.WriteAt(p, off)
+	d.AccountWrite(start, n, err, ops)
+	return n, err
+}
+
+// Link-carrying variants: identical accounting to their plain counterparts,
+// but when the wrapped device is a LinkedDevice (a Remote) the caller's span
+// link travels with the operation. On local devices — or with a dead link —
+// they compile down to the plain call, so the non-traced path pays nothing.
+
+// ReadAtLink is ReadAt carrying the caller's span link.
+func (d *Instrumented) ReadAtLink(p []byte, off int64, l trace.Link) (int, error) {
+	return d.ReadAtNLink(p, off, 1, l)
+}
+
+// ReadAtNLink is ReadAtN carrying the caller's span link.
+func (d *Instrumented) ReadAtNLink(p []byte, off int64, ops int64, l trace.Link) (int, error) {
+	if d.linked == nil || l.Trace == 0 {
+		return d.ReadAtN(p, off, ops)
+	}
+	start := time.Now()
+	n, err := d.linked.ReadAtLink(p, off, l)
+	d.AccountRead(start, n, err, ops)
+	return n, err
+}
+
+// WriteAtLink is WriteAt carrying the caller's span link.
+func (d *Instrumented) WriteAtLink(p []byte, off int64, l trace.Link) (int, error) {
+	return d.WriteAtNLink(p, off, 1, l)
+}
+
+// WriteAtNLink is WriteAtN carrying the caller's span link.
+func (d *Instrumented) WriteAtNLink(p []byte, off int64, ops int64, l trace.Link) (int, error) {
+	if d.linked == nil || l.Trace == 0 {
+		return d.WriteAtN(p, off, ops)
+	}
+	start := time.Now()
+	n, err := d.linked.WriteAtLink(p, off, l)
+	d.AccountWrite(start, n, err, ops)
+	return n, err
+}
+
+// ReadVecAtNLink is ReadVecAtN carrying the caller's span link.
+func (d *Instrumented) ReadVecAtNLink(bufs [][]byte, off int64, ops int64, l trace.Link) (int, error) {
+	if d.linked == nil || l.Trace == 0 {
+		return d.ReadVecAtN(bufs, off, ops)
+	}
+	start := time.Now()
+	n, err := d.linked.ReadVecAtLink(bufs, off, l)
+	d.AccountRead(start, n, err, ops)
+	return n, err
+}
+
+// WriteVecAtNLink is WriteVecAtN carrying the caller's span link.
+func (d *Instrumented) WriteVecAtNLink(bufs [][]byte, off int64, ops int64, l trace.Link) (int, error) {
+	if d.linked == nil || l.Trace == 0 {
+		return d.WriteVecAtN(bufs, off, ops)
+	}
+	start := time.Now()
+	n, err := d.linked.WriteVecAtLink(bufs, off, l)
 	d.AccountWrite(start, n, err, ops)
 	return n, err
 }

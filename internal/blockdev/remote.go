@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"dcode/internal/blockserve"
+	"dcode/internal/obs"
+	"dcode/internal/trace"
 )
 
 // Remote is a Device served by a remote blockserve endpoint over TCP, so an
@@ -28,6 +30,7 @@ import (
 type Remote struct {
 	addr string
 	size int64
+	caps uint32 // server capability bits from the DialRemote STATUS probe
 
 	dial     func(ctx context.Context) (net.Conn, error)
 	timeout  time.Duration // per-request deadline
@@ -45,7 +48,13 @@ type Remote struct {
 	inject    atomic.Pointer[InjectFunc]
 	latencyNs atomic.Int64
 
-	retries atomic.Int64 // transport-level retries performed (observability)
+	retries atomic.Int64  // transport-level retries performed (observability)
+	rtt     obs.Histogram // per-exchange round-trip latency (the network phase)
+
+	// events/evDisk: optional flight recorder fed on transport retries, with
+	// the column index this device backs. Set before serving traffic.
+	events *obs.Recorder
+	evDisk int32
 }
 
 // rconn is one pooled protocol connection with its reusable frame buffers.
@@ -140,7 +149,39 @@ func DialRemote(addr string, opts ...RemoteOption) (*Remote, error) {
 		return nil, fmt.Errorf("blockdev: remote %s: %w", addr, err)
 	}
 	r.size = f.Off
+	// The STATUS response's Count is the server's capability bitmask (zero
+	// from servers that predate negotiation); trace extensions are only
+	// stamped onto requests when the server advertised CapTrace.
+	r.caps = f.Count
 	return r, nil
+}
+
+// Caps returns the capability bits the server advertised at dial time.
+func (r *Remote) Caps() uint32 { return r.caps }
+
+// SetEvents attaches a flight recorder (nil detaches) fed on transport
+// retries, tagged with disk — the array column this device backs. Set it
+// before the device serves traffic; the fields are read unsynchronized on
+// the request path.
+func (r *Remote) SetEvents(rec *obs.Recorder, disk int32) {
+	r.events = rec
+	r.evDisk = disk
+}
+
+// RTTSnapshot returns the distribution of request/response round trips —
+// the network term of the per-phase latency decomposition. Only completed
+// exchanges are observed; attempts that died in transit are excluded (their
+// cost shows up in the retry counter and the op's own latency instead).
+func (r *Remote) RTTSnapshot() obs.HistogramSnapshot { return r.rtt.Snapshot() }
+
+// stamp attaches l as a trace extension to req when the link is live and the
+// server advertised trace support.
+func (r *Remote) stamp(req *blockserve.Frame, l trace.Link) {
+	if l.Trace == 0 || r.caps&blockserve.CapTrace == 0 {
+		return
+	}
+	req.Flags |= blockserve.FlagTrace
+	req.Trace, req.Span = l.Trace, l.Span
 }
 
 // SetInjector installs fn (nil clears it); see InjectFunc.
@@ -248,6 +289,10 @@ func (r *Remote) doCtx(ctx context.Context, req blockserve.Frame) (blockserve.Fr
 	for attempt := 0; attempt < r.attempts; attempt++ {
 		if attempt > 0 {
 			r.retries.Add(1)
+			// The retry event carries the stamped trace ID (0 when the op was
+			// unlinked), so a postmortem ties the transport trouble back to
+			// the exact op span that suffered it.
+			r.events.Record(obs.EvRemoteRetry, r.evDisk, -1, req.Trace, int64(attempt))
 			select {
 			case <-ctx.Done():
 				return blockserve.Frame{}, fmt.Errorf("%w: %s after %d attempts: %v (%v)",
@@ -294,6 +339,7 @@ func (r *Remote) attempt(ctx context.Context, req blockserve.Frame) (blockserve.
 	} else if d, ok := ctx.Deadline(); ok {
 		_ = rc.c.SetDeadline(d)
 	}
+	exchangeStart := time.Now()
 	if rc.wbuf, err = blockserve.WriteFrame(rc.c, rc.wbuf, req); err != nil {
 		_ = rc.c.Close()
 		return blockserve.Frame{}, err
@@ -304,6 +350,7 @@ func (r *Remote) attempt(ctx context.Context, req blockserve.Frame) (blockserve.
 		_ = rc.c.Close()
 		return blockserve.Frame{}, err
 	}
+	r.rtt.Observe(time.Since(exchangeStart))
 	if resp.Type == blockserve.RespErr && resp.ID == 0 && req.ID != 0 {
 		// A connection-level rejection (client cap, draining): the server sent
 		// it before reading our request, so it carries no request id. The
@@ -333,10 +380,19 @@ func (r *Remote) attempt(ctx context.Context, req blockserve.Frame) (blockserve.
 
 // ReadAt implements Device.
 func (r *Remote) ReadAt(p []byte, off int64) (int, error) {
+	return r.ReadAtLink(p, off, trace.Link{})
+}
+
+// ReadAtLink is ReadAt stamped with the caller's span link: the request
+// carries a trace extension (capability permitting), so the serving node's
+// spans join the caller's trace. The zero Link sends a plain request.
+func (r *Remote) ReadAtLink(p []byte, off int64, l trace.Link) (int, error) {
 	if len(p) > blockserve.MaxPayload {
 		return 0, fmt.Errorf("blockdev: remote read of %d bytes exceeds frame limit %d", len(p), blockserve.MaxPayload)
 	}
-	f, err := r.do(blockserve.Frame{Type: blockserve.OpRead, Off: off, Count: uint32(len(p))})
+	req := blockserve.Frame{Type: blockserve.OpRead, Off: off, Count: uint32(len(p))}
+	r.stamp(&req, l)
+	f, err := r.do(req)
 	if err != nil {
 		return 0, err
 	}
@@ -348,10 +404,17 @@ func (r *Remote) ReadAt(p []byte, off int64) (int, error) {
 
 // WriteAt implements Device.
 func (r *Remote) WriteAt(p []byte, off int64) (int, error) {
+	return r.WriteAtLink(p, off, trace.Link{})
+}
+
+// WriteAtLink is WriteAt stamped with the caller's span link; see ReadAtLink.
+func (r *Remote) WriteAtLink(p []byte, off int64, l trace.Link) (int, error) {
 	if len(p) > blockserve.MaxPayload {
 		return 0, fmt.Errorf("blockdev: remote write of %d bytes exceeds frame limit %d", len(p), blockserve.MaxPayload)
 	}
-	f, err := r.do(blockserve.Frame{Type: blockserve.OpWrite, Off: off, Data: p})
+	req := blockserve.Frame{Type: blockserve.OpWrite, Off: off, Data: p}
+	r.stamp(&req, l)
+	f, err := r.do(req)
 	if err != nil {
 		return 0, err
 	}
@@ -363,11 +426,19 @@ func (r *Remote) WriteAt(p []byte, off int64) (int, error) {
 // length scattered into bufs on receipt — still one remote round trip per
 // coalesced run; the scatter copy is the unavoidable deserialization cost.
 func (r *Remote) ReadVecAt(bufs [][]byte, off int64) (int, error) {
+	return r.ReadVecAtLink(bufs, off, trace.Link{})
+}
+
+// ReadVecAtLink is ReadVecAt stamped with the caller's span link; see
+// ReadAtLink.
+func (r *Remote) ReadVecAtLink(bufs [][]byte, off int64, l trace.Link) (int, error) {
 	total := VecLen(bufs)
 	if total > blockserve.MaxPayload {
 		return 0, fmt.Errorf("blockdev: remote vectored read of %d bytes exceeds frame limit %d", total, blockserve.MaxPayload)
 	}
-	f, err := r.do(blockserve.Frame{Type: blockserve.OpRead, Off: off, Count: uint32(total)})
+	req := blockserve.Frame{Type: blockserve.OpRead, Off: off, Count: uint32(total)}
+	r.stamp(&req, l)
+	f, err := r.do(req)
 	if err != nil {
 		return 0, err
 	}
@@ -384,6 +455,12 @@ func (r *Remote) ReadVecAt(bufs [][]byte, off int64) (int, error) {
 // WriteVecAt implements Device, gathering bufs into one frame payload — a
 // single remote round trip per coalesced run.
 func (r *Remote) WriteVecAt(bufs [][]byte, off int64) (int, error) {
+	return r.WriteVecAtLink(bufs, off, trace.Link{})
+}
+
+// WriteVecAtLink is WriteVecAt stamped with the caller's span link; see
+// ReadAtLink.
+func (r *Remote) WriteVecAtLink(bufs [][]byte, off int64, l trace.Link) (int, error) {
 	total := VecLen(bufs)
 	if total > blockserve.MaxPayload {
 		return 0, fmt.Errorf("blockdev: remote vectored write of %d bytes exceeds frame limit %d", total, blockserve.MaxPayload)
@@ -392,7 +469,9 @@ func (r *Remote) WriteVecAt(bufs [][]byte, off int64) (int, error) {
 	for _, b := range bufs {
 		p = append(p, b...)
 	}
-	f, err := r.do(blockserve.Frame{Type: blockserve.OpWrite, Off: off, Data: p})
+	req := blockserve.Frame{Type: blockserve.OpWrite, Off: off, Data: p}
+	r.stamp(&req, l)
+	f, err := r.do(req)
 	if err != nil {
 		return 0, err
 	}

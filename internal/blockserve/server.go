@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -43,6 +44,17 @@ type Rebuilder interface {
 	Rebuild(disk int) error
 }
 
+// LinkedBackend is implemented by backends that can thread an incoming trace
+// link into their own operation spans (raid.Array via ReadAtLink/WriteAtLink).
+// When a request carries a trace extension and the backend supports it, the
+// serve span's link is passed down so the backend's op span — and everything
+// under it, including requests to further remote columns — joins the request's
+// end-to-end trace.
+type LinkedBackend interface {
+	ReadAtLink(p []byte, off int64, parent trace.Link) (int, error)
+	WriteAtLink(p []byte, off int64, parent trace.Link) (int, error)
+}
+
 // Config tunes a Server. The zero value is usable: defaults below apply.
 type Config struct {
 	// MaxClients caps concurrently connected clients; further connections
@@ -61,6 +73,9 @@ type Config struct {
 	// Tracer, when non-nil and enabled, records one client-tagged span per
 	// served request.
 	Tracer *trace.Tracer
+	// Events, when non-nil, receives flight-recorder events: admission
+	// saturation, and a dump of the ring if a request handler panics.
+	Events *obs.Recorder
 	// Logf, when non-nil, receives connection lifecycle and protocol-error
 	// lines.
 	Logf func(format string, args ...any)
@@ -116,9 +131,16 @@ func (c *clientState) snapshot(active bool) obs.ClientSnapshot {
 // Server serves one Backend to many concurrent clients.
 type Server struct {
 	backend Backend
+	linked  LinkedBackend // backend's trace-threading view, nil if unsupported
 	cfg     Config
 
 	sem chan struct{} // inflight-request semaphore
+
+	// queueWait is the admission-queue wait distribution; semSaturated counts
+	// requests that found the semaphore full. The fast path (slot free)
+	// observes a zero without reading the clock.
+	queueWait    obs.Histogram
+	semSaturated atomic.Int64
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -145,8 +167,10 @@ func New(backend Backend, cfg Config) *Server {
 	if cfg.Tracer == nil {
 		cfg.Tracer = trace.Nop
 	}
+	lb, _ := backend.(LinkedBackend)
 	return &Server{
 		backend: backend,
+		linked:  lb,
 		cfg:     cfg,
 		sem:     make(chan struct{}, cfg.MaxInflight),
 		conns:   make(map[*clientState]struct{}),
@@ -268,7 +292,21 @@ func (s *Server) serveConn(ctx context.Context, c *clientState) {
 		if f.Type == OpWrite && len(f.Data) > 0 {
 			f.Data = append([]byte(nil), f.Data...)
 		}
-		s.sem <- struct{}{} // inflight admission; blocks the reader when full
+		// Inflight admission; a full semaphore blocks the reader, which is the
+		// backpressure path. The free-slot fast path records a zero wait
+		// without reading the clock; only a saturated arrival pays for
+		// timestamps — and leaves a flight-recorder event, since saturation is
+		// exactly the "where did my p99 go" moment.
+		select {
+		case s.sem <- struct{}{}:
+			s.queueWait.ObserveNanos(0)
+		default:
+			s.semSaturated.Add(1)
+			s.cfg.Events.Record(obs.EvSemSaturated, -1, -1, 0, s.inflight.Load())
+			waitStart := time.Now()
+			s.sem <- struct{}{}
+			s.queueWait.Observe(time.Since(waitStart))
+		}
 		s.inflight.Add(1)
 		c.inflight.Add(1)
 		rctx, rcancel := s.requestCtx(ctx)
@@ -293,6 +331,20 @@ func isEOF(err error) bool {
 // request that is already expired when it reaches the front of the inflight
 // queue is failed without touching the backend.
 func (s *Server) handle(ctx context.Context, c *clientState, f Frame) {
+	if s.cfg.Events != nil {
+		// Flight-recorder last words: a panicking handler takes the process
+		// down (Go has no global panic hook), so dump the event ring on the
+		// way out, then let the panic proceed. Costs one defer per request —
+		// only when a recorder is attached.
+		defer func() {
+			if p := recover(); p != nil {
+				s.cfg.Events.Record(obs.EvPanic, -1, -1, f.Trace, 0)
+				fmt.Fprintf(os.Stderr, "blockserve: panic serving client %d: %v\nflight recorder:\n", c.id, p)
+				s.cfg.Events.Dump(os.Stderr)
+				panic(p)
+			}
+		}()
+	}
 	var (
 		resp Frame
 		op   trace.Op
@@ -311,7 +363,10 @@ func (s *Server) handle(ctx context.Context, c *clientState, f Frame) {
 	case OpRebuild:
 		op = trace.OpServeRebuild
 	}
-	tc := s.cfg.Tracer.BeginClient(op, int32(c.id), 0)
+	// The serve span roots under the request's wire trace context when one
+	// was stamped (Trace/Span zero otherwise): the span adopts the caller's
+	// trace ID and records the caller's span as its remote parent.
+	tc := s.cfg.Tracer.BeginClient(op, int32(c.id), trace.Link{Trace: f.Trace, Span: f.Span})
 	var bytes int64
 	var err error
 
@@ -330,7 +385,11 @@ func (s *Server) handle(ctx context.Context, c *clientState, f Frame) {
 		}
 		buf := make([]byte, f.Count)
 		var n int
-		n, err = s.backend.ReadAt(buf, f.Off)
+		if s.linked != nil && tc.Active() {
+			n, err = s.linked.ReadAtLink(buf, f.Off, tc.Link())
+		} else {
+			n, err = s.backend.ReadAt(buf, f.Off)
+		}
 		if err == nil {
 			resp.Data = buf[:n]
 			bytes = int64(n)
@@ -339,7 +398,11 @@ func (s *Server) handle(ctx context.Context, c *clientState, f Frame) {
 		}
 	case f.Type == OpWrite:
 		var n int
-		n, err = s.backend.WriteAt(f.Data, f.Off)
+		if s.linked != nil && tc.Active() {
+			n, err = s.linked.WriteAtLink(f.Data, f.Off, tc.Link())
+		} else {
+			n, err = s.backend.WriteAt(f.Data, f.Off)
+		}
 		if err == nil {
 			resp.Count = uint32(n)
 			bytes = int64(n)
@@ -355,6 +418,9 @@ func (s *Server) handle(ctx context.Context, c *clientState, f Frame) {
 		}
 	case f.Type == OpStatus:
 		resp.Off = s.backend.Size()
+		// A STATUS response's Count carries the server's capability bitmask;
+		// clients gate frame extensions on it (old servers leave it zero).
+		resp.Count = Caps
 		if st, ok := s.backend.(Statuser); ok {
 			resp.Data, err = st.StatusJSON()
 		} else {
@@ -437,15 +503,18 @@ func (s *Server) Shutdown(ctx context.Context) error {
 func (s *Server) Snapshot() obs.ServerSnapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	qw := s.queueWait.Snapshot()
 	snap := obs.ServerSnapshot{
-		Accepted:    s.accepted.Load(),
-		Rejected:    s.rejected.Load(),
-		Active:      int64(len(s.conns)),
-		Inflight:    s.inflight.Load(),
-		MaxClients:  s.cfg.MaxClients,
-		MaxInflight: s.cfg.MaxInflight,
-		Draining:    s.draining,
-		Totals:      s.closed,
+		Accepted:     s.accepted.Load(),
+		Rejected:     s.rejected.Load(),
+		Active:       int64(len(s.conns)),
+		Inflight:     s.inflight.Load(),
+		MaxClients:   s.cfg.MaxClients,
+		MaxInflight:  s.cfg.MaxInflight,
+		Draining:     s.draining,
+		Totals:       s.closed,
+		QueueWait:    &qw,
+		SemSaturated: s.semSaturated.Load(),
 	}
 	if s.ln != nil {
 		snap.Addr = s.ln.Addr().String()

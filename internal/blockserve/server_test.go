@@ -13,6 +13,7 @@ import (
 
 	"dcode/internal/blockdev"
 	"dcode/internal/blockserve"
+	"dcode/internal/trace"
 )
 
 // startServer runs a Server on loopback and tears it down with the test.
@@ -456,5 +457,137 @@ func TestRequestTimeoutGenerousServes(t *testing.T) {
 	}
 	if !bytes.Equal(got, want) {
 		t.Fatal("round trip corrupted data under RequestTimeout")
+	}
+}
+
+// linkedMem is a MemDevice that records the trace links the server threads
+// into it, proving the LinkedBackend path is taken when a request carries a
+// trace extension.
+type linkedMem struct {
+	*blockdev.MemDevice
+	mu    sync.Mutex
+	links []trace.Link
+}
+
+func (b *linkedMem) noteLink(l trace.Link) {
+	b.mu.Lock()
+	b.links = append(b.links, l)
+	b.mu.Unlock()
+}
+
+func (b *linkedMem) ReadAtLink(p []byte, off int64, parent trace.Link) (int, error) {
+	b.noteLink(parent)
+	return b.ReadAt(p, off)
+}
+
+func (b *linkedMem) WriteAtLink(p []byte, off int64, parent trace.Link) (int, error) {
+	b.noteLink(parent)
+	return b.WriteAt(p, off)
+}
+
+// TestTracePropagationEndToEnd drives the full cross-process chain in one
+// process: a client-side span stamps the request via ReadAtLink/WriteAtLink,
+// the server negotiates CapTrace on STATUS, roots its serve span under the
+// wire parent (Trace adopted, Remote = client span ID, local Parent 0), and
+// threads the serve span's link into the LinkedBackend.
+func TestTracePropagationEndToEnd(t *testing.T) {
+	backend := &linkedMem{MemDevice: blockdev.NewMem(1 << 16)}
+	srvTr := trace.New(64, 8)
+	srvTr.Enable()
+	addr, _ := startServer(t, backend, blockserve.Config{Tracer: srvTr})
+	dev, err := blockdev.DialRemote(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	if dev.Caps()&blockserve.CapTrace == 0 {
+		t.Fatalf("caps = %#x, server did not advertise CapTrace", dev.Caps())
+	}
+
+	clientLink := trace.Link{Trace: 0xC0FFEE, Span: 42}
+	buf := make([]byte, 512)
+	if _, err := dev.WriteAtLink(buf, 0, clientLink); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.ReadAtLink(buf, 0, clientLink); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.ReadAt(buf, 0); err != nil { // unstamped: no extension
+		t.Fatal(err)
+	}
+	srvTr.Disable()
+
+	backend.mu.Lock()
+	links := append([]trace.Link(nil), backend.links...)
+	backend.mu.Unlock()
+	// All three ops thread a link while the server's tracer is active: the
+	// stamped ones carry the client's trace, the unstamped one the fresh
+	// trace its serve span rooted.
+	if len(links) != 3 {
+		t.Fatalf("LinkedBackend saw %d linked ops, want 3", len(links))
+	}
+	var adopted, fresh int
+	for _, l := range links {
+		if l.Span == 0 || l.Span == clientLink.Span {
+			t.Errorf("backend link span = %d, want the serve span's own ID", l.Span)
+		}
+		switch {
+		case l.Trace == clientLink.Trace:
+			adopted++
+		case l.Trace != 0:
+			fresh++
+		}
+	}
+	if adopted != 2 || fresh != 1 {
+		t.Errorf("backend links: %d adopted / %d fresh, want 2 / 1", adopted, fresh)
+	}
+
+	var stamped, unstamped int
+	for _, sp := range srvTr.Spans() {
+		switch {
+		case sp.Trace == clientLink.Trace:
+			stamped++
+			if sp.Remote != clientLink.Span {
+				t.Errorf("serve span Remote = %d, want %d", sp.Remote, clientLink.Span)
+			}
+			if sp.Parent != 0 {
+				t.Errorf("serve span Parent = %d, want 0 (parent lives in another process)", sp.Parent)
+			}
+		case sp.Trace != 0:
+			unstamped++
+			if sp.Remote != 0 {
+				t.Errorf("unstamped serve span has Remote = %d", sp.Remote)
+			}
+		}
+	}
+	if stamped != 2 {
+		t.Errorf("%d serve spans adopted the wire trace, want 2", stamped)
+	}
+	if unstamped < 1 {
+		t.Error("unstamped request did not root its own trace")
+	}
+}
+
+// TestServerQueueWaitSnapshot checks the queue-wait phase histogram: every
+// admitted request contributes a sample (zero on the uncontended fast path).
+func TestServerQueueWaitSnapshot(t *testing.T) {
+	addr, srv := startServer(t, blockdev.NewMem(4096), blockserve.Config{})
+	dev, err := blockdev.DialRemote(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	buf := make([]byte, 128)
+	for i := 0; i < 4; i++ {
+		if _, err := dev.ReadAt(buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := srv.Snapshot()
+	if snap.QueueWait == nil {
+		t.Fatal("snapshot carries no queue-wait histogram")
+	}
+	if snap.QueueWait.Count < 4 {
+		t.Fatalf("queue-wait count = %d, want >= 4 (every admitted request samples)", snap.QueueWait.Count)
 	}
 }

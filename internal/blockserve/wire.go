@@ -9,14 +9,30 @@
 // one frame:
 //
 //	uint32  length of the rest of the frame (big endian)
-//	uint8   type (request op or response status)
+//	uint8   type (request op or response status; bit 0x40 = FlagExt marks an
+//	        extension block after the fixed header)
 //	uint64  request id (echoed verbatim in the response; clients may pipeline
 //	        multiple outstanding ids on one connection)
 //	int64   off — byte offset for READ/WRITE, the disk index for REBUILD,
 //	        and the volume size in a STATUS response
-//	uint32  count — requested byte count for READ; len(data) elsewhere
+//	uint32  count — requested byte count for READ; len(data) elsewhere, and
+//	        the capability bitmask (CapTrace, ...) in a STATUS response
+//	[ext]   optional extension block, present iff the type byte carries
+//	        FlagExt: one flags byte, then one field per set flag bit in bit
+//	        order. FlagTrace adds 16 bytes: uint64 trace ID + uint64 parent
+//	        span ID (big endian). A zero flags byte or an unknown flag bit is
+//	        malformed — the format stays closed under re-encoding, which is
+//	        what lets FuzzWireFrame pin exact round-trips.
 //	[]byte  data — WRITE payload, READ response payload, STATUS response
 //	        JSON, or the error message of an ERR response
+//
+// Compatibility: a peer that predates the extension treats FlagExt as an
+// unknown type and drops the connection, so extensions are only sent to peers
+// that advertised the matching capability — the server announces CapTrace in
+// every STATUS response's Count field (old servers leave it zero, old clients
+// never read it), and blockdev.Remote stamps trace extensions only after its
+// DialRemote STATUS probe saw the bit. The server never sends extension
+// frames in responses, so old clients are safe against new servers too.
 //
 // The fixed header makes truncated, oversized and garbage frames cheap to
 // reject: length is bounded by MaxFrame before any allocation, and a frame
@@ -45,14 +61,41 @@ const (
 	RespErr uint8 = 0x81 // failure; Data carries the error message
 )
 
+// FlagExt is the type-byte bit marking an extension block between the fixed
+// header and the data. It is outside every defined type value, so a peer
+// without extension support rejects the frame as an unknown type instead of
+// misparsing the payload.
+const FlagExt uint8 = 0x40
+
+// Extension flag bits (the first byte of an extension block).
+const (
+	// FlagTrace marks a 16-byte trace context: trace ID + parent span ID.
+	FlagTrace uint8 = 0x01
+)
+
+// Capability bits a server advertises in the Count field of its STATUS
+// responses. A client must not send a frame extension the server did not
+// advertise the capability for.
+const (
+	// CapTrace: the server understands FlagTrace extensions on requests.
+	CapTrace uint32 = 1 << 0
+)
+
+// Caps is the capability set this implementation's server advertises.
+const Caps = CapTrace
+
 // Frame size limits. MaxFrame bounds a frame's variable part so a malicious
 // or corrupt length prefix cannot force a huge allocation; it also caps the
 // payload of one READ/WRITE, which keeps per-request buffers bounded.
 const (
 	headerLen = 1 + 8 + 8 + 4 // type + id + off + count
-	MaxFrame  = 8<<20 + headerLen
+	maxExtLen = 1 + 16        // flags byte + trace context
 	// MaxPayload is the largest READ/WRITE payload a single frame carries.
-	MaxPayload = MaxFrame - headerLen
+	// It is a fixed constant (not derived from MaxFrame) so that a maximal
+	// non-extended frame is exactly the old protocol's frame bound — peers
+	// that predate the extension still accept everything we send them.
+	MaxPayload = 8 << 20
+	MaxFrame   = headerLen + maxExtLen + MaxPayload
 )
 
 // Wire-format errors.
@@ -62,12 +105,18 @@ var (
 )
 
 // Frame is one decoded protocol message; see the package comment for the
-// field meanings per type.
+// field meanings per type. Flags is the extension flags byte (0 = no
+// extension block on the wire); Trace and Span are the trace context carried
+// by a FlagTrace extension. Type never carries FlagExt — the codec folds it
+// in on encode and strips it on decode.
 type Frame struct {
 	Type  uint8
+	Flags uint8
 	ID    uint64
 	Off   int64
 	Count uint32
+	Trace uint64
+	Span  uint64
 	Data  []byte
 }
 
@@ -76,19 +125,46 @@ func validType(t uint8) bool {
 	return (t >= OpRead && t <= OpRebuild) || t == RespOK || t == RespErr
 }
 
+// extLen returns the encoded size of the extension block flags describes.
+func extLen(flags uint8) int {
+	if flags == 0 {
+		return 0
+	}
+	n := 1
+	if flags&FlagTrace != 0 {
+		n += 16
+	}
+	return n
+}
+
 // AppendFrame appends the encoded frame to dst and returns the result. It is
 // the encoding primitive both sides share; callers keep dst pooled so a
-// steady request stream does not allocate.
+// steady request stream does not allocate. Flag bits outside the defined set
+// are rejected — an encoder must not emit what no decoder accepts.
 func AppendFrame(dst []byte, f Frame) ([]byte, error) {
 	if len(f.Data) > MaxPayload {
 		return dst, ErrFrameTooLarge
 	}
-	n := headerLen + len(f.Data)
+	if f.Flags&^FlagTrace != 0 {
+		return dst, fmt.Errorf("%w: unknown extension flags 0x%02x", ErrMalformed, f.Flags)
+	}
+	n := headerLen + extLen(f.Flags) + len(f.Data)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(n))
-	dst = append(dst, f.Type)
+	t := f.Type
+	if f.Flags != 0 {
+		t |= FlagExt
+	}
+	dst = append(dst, t)
 	dst = binary.BigEndian.AppendUint64(dst, f.ID)
 	dst = binary.BigEndian.AppendUint64(dst, uint64(f.Off))
 	dst = binary.BigEndian.AppendUint32(dst, f.Count)
+	if f.Flags != 0 {
+		dst = append(dst, f.Flags)
+		if f.Flags&FlagTrace != 0 {
+			dst = binary.BigEndian.AppendUint64(dst, f.Trace)
+			dst = binary.BigEndian.AppendUint64(dst, f.Span)
+		}
+	}
 	dst = append(dst, f.Data...)
 	return dst, nil
 }
@@ -132,16 +208,37 @@ func ReadFrame(r io.Reader, buf []byte) (Frame, []byte, error) {
 		return Frame{}, buf, err
 	}
 	f := Frame{
-		Type:  buf[0],
+		Type:  buf[0] &^ FlagExt,
 		ID:    binary.BigEndian.Uint64(buf[1:9]),
 		Off:   int64(binary.BigEndian.Uint64(buf[9:17])),
 		Count: binary.BigEndian.Uint32(buf[17:21]),
 	}
 	if !validType(f.Type) {
-		return Frame{}, buf, fmt.Errorf("%w: unknown type 0x%02x", ErrMalformed, f.Type)
+		return Frame{}, buf, fmt.Errorf("%w: unknown type 0x%02x", ErrMalformed, buf[0])
 	}
-	if n > headerLen {
-		f.Data = buf[headerLen:n]
+	body := headerLen
+	if buf[0]&FlagExt != 0 {
+		if n < uint32(headerLen+1) {
+			return Frame{}, buf, fmt.Errorf("%w: extension bit without flags byte", ErrMalformed)
+		}
+		f.Flags = buf[headerLen]
+		// A zero flags byte under FlagExt would decode to a frame that
+		// re-encodes without the extension; reject non-canonical encodings so
+		// decode∘encode is the identity on the wire (FuzzWireFrame pins it).
+		if f.Flags == 0 || f.Flags&^FlagTrace != 0 {
+			return Frame{}, buf, fmt.Errorf("%w: extension flags 0x%02x", ErrMalformed, f.Flags)
+		}
+		body += extLen(f.Flags)
+		if n < uint32(body) {
+			return Frame{}, buf, fmt.Errorf("%w: length %d below extension", ErrMalformed, n)
+		}
+		if f.Flags&FlagTrace != 0 {
+			f.Trace = binary.BigEndian.Uint64(buf[headerLen+1 : headerLen+9])
+			f.Span = binary.BigEndian.Uint64(buf[headerLen+9 : headerLen+17])
+		}
+	}
+	if int(n) > body {
+		f.Data = buf[body:n]
 	}
 	return f, buf, nil
 }

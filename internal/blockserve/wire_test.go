@@ -86,6 +86,93 @@ func TestReadFrameRejectsBadInput(t *testing.T) {
 	}
 }
 
+// TestFrameTraceExtension pins the wire extension: a frame carrying a trace
+// context round-trips it, and its encoding is exactly the v1 encoding plus
+// the 17-byte extension block — so a peer that predates the extension sees
+// only an unknown type bit, never a shifted payload.
+func TestFrameTraceExtension(t *testing.T) {
+	want := Frame{
+		Type: OpWrite, Flags: FlagTrace, ID: 7, Off: 4096,
+		Trace: 0xDEADBEEFCAFEF00D, Span: 0x0123456789ABCDEF,
+		Data: []byte("payload"),
+	}
+	b, err := AppendFrame(nil, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := want
+	plain.Flags, plain.Trace, plain.Span = 0, 0, 0
+	pb, err := AppendFrame(nil, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != len(pb)+1+16 {
+		t.Fatalf("extension adds %d bytes, want 17", len(b)-len(pb))
+	}
+	if b[4]&FlagExt == 0 {
+		t.Fatalf("type byte 0x%02x missing FlagExt", b[4])
+	}
+	got, _, err := ReadFrame(bytes.NewReader(b), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != want.Type || got.Flags != want.Flags || got.Trace != want.Trace ||
+		got.Span != want.Span || !bytes.Equal(got.Data, want.Data) {
+		t.Fatalf("round trip: got %+v want %+v", got, want)
+	}
+	if got.Type&FlagExt != 0 {
+		t.Fatalf("decoded Type 0x%02x still carries FlagExt", got.Type)
+	}
+}
+
+// TestFrameExtensionCompat exercises both compatibility directions: a v1
+// frame decodes with zero Flags, and a frame whose extension a decoder does
+// not recognize fails loudly instead of misparsing the payload.
+func TestFrameExtensionCompat(t *testing.T) {
+	// Old writer → new reader: no ext bit, zero flags.
+	b, err := AppendFrame(nil, Frame{Type: OpRead, ID: 3, Off: 8, Count: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ReadFrame(bytes.NewReader(b), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Flags != 0 || got.Trace != 0 || got.Span != 0 {
+		t.Fatalf("v1 frame decoded with extension state: %+v", got)
+	}
+
+	ext, err := AppendFrame(nil, Frame{Type: OpRead, Flags: FlagTrace, Trace: 1, Span: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(name string, mutate func([]byte) []byte) {
+		in := mutate(append([]byte(nil), ext...))
+		if _, _, err := ReadFrame(bytes.NewReader(in), nil); !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: err = %v, want ErrMalformed", name, err)
+		}
+	}
+	corrupt("unknown flag bit", func(b []byte) []byte {
+		b[4+headerLen] |= 0x80
+		return b
+	})
+	corrupt("zero flags byte", func(b []byte) []byte {
+		b[4+headerLen] = 0
+		return b
+	})
+	corrupt("ext bit without flags byte", func(b []byte) []byte {
+		binary.BigEndian.PutUint32(b, headerLen)
+		return b[:4+headerLen]
+	})
+	corrupt("truncated trace context", func(b []byte) []byte {
+		binary.BigEndian.PutUint32(b, headerLen+1+8)
+		return b[:4+headerLen+1+8]
+	})
+	if _, err := AppendFrame(nil, Frame{Type: OpRead, Flags: 0x82}); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("AppendFrame with unknown flags: err = %v, want ErrMalformed", err)
+	}
+}
+
 func TestAppendFrameRejectsOversizedPayload(t *testing.T) {
 	_, err := AppendFrame(nil, Frame{Type: OpWrite, Data: make([]byte, MaxPayload+1)})
 	if !errors.Is(err, ErrFrameTooLarge) {
@@ -112,6 +199,13 @@ func FuzzWireFrame(f *testing.F) {
 	f.Add(binary.BigEndian.AppendUint32(nil, 5))    // below header
 	f.Add(append(seed(Frame{Type: OpFlush}), 0xAA)) // trailing garbage
 	f.Add(seed(Frame{Type: OpStatus})[:7])          // truncated header
+	f.Add(seed(Frame{Type: OpRead, Flags: FlagTrace, ID: 4, Trace: 0xFEED, Span: 0xBEEF}))
+	f.Add(seed(Frame{Type: OpWrite, Flags: FlagTrace, Trace: 1, Span: 2, Data: []byte("tx")}))
+	f.Add(func() []byte { // ext bit set but flags byte truncated away
+		b := seed(Frame{Type: OpRead, Flags: FlagTrace, Trace: 9, Span: 9})
+		binary.BigEndian.PutUint32(b, headerLen)
+		return b[:4+headerLen]
+	}())
 
 	f.Fuzz(func(t *testing.T, in []byte) {
 		fr, _, err := ReadFrame(bytes.NewReader(in), nil)

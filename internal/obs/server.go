@@ -65,6 +65,14 @@ type ServerSnapshot struct {
 	Totals ClientSnapshot `json:"totals"`
 	// Clients is the per-connection detail of the currently open clients.
 	Clients []ClientSnapshot `json:"clients,omitempty"`
+
+	// QueueWait is the admission-queue wait distribution: how long requests
+	// sat waiting for an inflight slot (0 for requests admitted immediately).
+	// It is the "queue" term of the per-phase latency decomposition.
+	QueueWait *HistogramSnapshot `json:"queue_wait,omitempty"`
+	// SemSaturated counts requests that found the inflight semaphore full on
+	// arrival and had to wait.
+	SemSaturated int64 `json:"sem_saturated,omitempty"`
 }
 
 // Merge accumulates another server snapshot into s. Gauges (Active, Inflight,
@@ -83,4 +91,11 @@ func (s *ServerSnapshot) Merge(o ServerSnapshot) {
 	s.Draining = o.Draining
 	s.Totals.Merge(o.Totals)
 	s.Clients = o.Clients
+	s.SemSaturated += o.SemSaturated
+	if o.QueueWait != nil {
+		if s.QueueWait == nil {
+			s.QueueWait = &HistogramSnapshot{}
+		}
+		s.QueueWait.Merge(*o.QueueWait)
+	}
 }

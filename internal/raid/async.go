@@ -90,7 +90,7 @@ func (a *Array) readRunsAsync(si int64, runs []cellRun, s *stripe.Stripe, sc *op
 	sc.abufs = abufs
 	comps := sc.comps[:0]
 	ctcs := sc.ctcs[:0]
-	parent := sc.tc.ID()
+	parent := sc.tc.Link()
 	for i, r := range runs {
 		ctcs = append(ctcs, a.tr.Begin(trace.OpDevRead, int32(r.col), si, parent))
 		if a.isFailed(r.col) {
@@ -156,7 +156,7 @@ func (a *Array) writeRunsBestEffortAsync(si int64, runs []cellRun, s *stripe.Str
 	sc.abufs = abufs
 	comps := sc.comps[:0]
 	ctcs := sc.ctcs[:0]
-	parent := sc.tc.ID()
+	parent := sc.tc.Link()
 	for i, r := range runs {
 		ctcs = append(ctcs, a.tr.Begin(trace.OpDevWrite, int32(r.col), si, parent))
 		if a.isFailed(r.col) {
@@ -199,7 +199,7 @@ func (a *Array) writeRunsBestEffortAsync(si int64, runs []cellRun, s *stripe.Str
 func (a *Array) readVecRunsAsync(si int64, vruns []vecRun, sc *opScratch) bool {
 	comps := sc.comps[:0]
 	ctcs := sc.ctcs[:0]
-	parent := sc.tc.ID()
+	parent := sc.tc.Link()
 	for _, r := range vruns {
 		ctcs = append(ctcs, a.tr.Begin(trace.OpDevRead, int32(r.col), si, parent))
 		comps = append(comps, a.aio.SubmitReadVec(r.col, sc.vecbufs[r.lo:r.hi], a.deviceOffset(si, r.row), int64(r.n)))
@@ -228,7 +228,7 @@ func (a *Array) writeVecColumnsAsync(si int64, sc *opScratch) {
 	cols := a.code.Cols()
 	comps := sc.comps[:0]
 	ctcs := sc.ctcs[:0]
-	parent := sc.tc.ID()
+	parent := sc.tc.Link()
 	for c := 0; c < cols; c++ {
 		if a.isFailed(c) {
 			comps = append(comps, nil)

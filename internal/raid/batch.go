@@ -34,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"dcode/internal/obs"
 	"dcode/internal/trace"
 )
 
@@ -138,7 +139,7 @@ func (a *Array) stripeDataBytes() int64 {
 // writeAtBatched is WriteAt's front end when batching is on. Writes confined
 // to one stripe's data region park in the window; anything else flushes what
 // it overlaps and takes the regular path.
-func (a *Array) writeAtBatched(p []byte, off int64) (int, error) {
+func (a *Array) writeAtBatched(p []byte, off int64, parent trace.Link) (int, error) {
 	if off < 0 || off+int64(len(p)) > a.Size() {
 		return 0, outOfRangeErr(a, off, len(p))
 	}
@@ -155,18 +156,18 @@ func (a *Array) writeAtBatched(p []byte, off int64) (int, error) {
 		if err := a.flushStripes(si, last); err != nil {
 			return 0, err
 		}
-		return a.writeAtDirect(p, off)
+		return a.writeAtDirect(p, off, parent)
 	}
-	return a.enqueueWrite(p, off, si)
+	return a.enqueueWrite(p, off, si, parent)
 }
 
 // enqueueWrite parks one stripe-local write in the window, merging it with
 // an adjacent pending range when possible, and triggers an inline flush when
 // the window is full. The write is acknowledged (counted and traced like any
 // WriteAt) as soon as it is parked.
-func (a *Array) enqueueWrite(p []byte, off int64, si int64) (int, error) {
+func (a *Array) enqueueWrite(p []byte, off int64, si int64, parent trace.Link) (int, error) {
 	b := a.batch
-	tc := a.tr.Begin(trace.OpWrite, -1, si, 0)
+	tc := a.tr.Begin(trace.OpWrite, -1, si, parent)
 	start := time.Now()
 	b.mu.Lock()
 	if err := b.takeErr(); err != nil {
@@ -271,6 +272,7 @@ func (a *Array) flushPendingLocked(si int64) error {
 	delete(b.pend, si)
 	b.bytes -= len(ps.buf)
 	a.m.batchFlushes.Inc()
+	a.ev.Record(obs.EvBatchFlush, -1, si, 0, int64(len(ps.buf)))
 
 	a.opMu.RLock()
 	defer a.opMu.RUnlock()
@@ -291,7 +293,7 @@ func (a *Array) flushPendingLocked(si int64) error {
 		}
 	}
 	ob.ranges = ranges
-	err = a.writeStripeRun(stripeRun{si: si, lo: 0, hi: len(ranges)}, ranges, ps.buf, 0)
+	err = a.writeStripeRun(stripeRun{si: si, lo: 0, hi: len(ranges)}, ranges, ps.buf, trace.Link{})
 	b.free = append(b.free, ps)
 	return err
 }

@@ -160,7 +160,7 @@ func (a *Array) readCells(si int64, cells []erasure.Coord, s *stripe.Stripe, sc 
 	// goroutine path, so constructing it would heap-allocate on every call.
 	if a.conc <= 1 || len(runs) <= 1 {
 		for _, r := range runs {
-			if err := a.readRun(si, r, s, sc.tc.ID()); err != nil {
+			if err := a.readRun(si, r, s, sc.tc.Link()); err != nil {
 				return hits, err
 			}
 		}
@@ -168,7 +168,7 @@ func (a *Array) readCells(si int64, cells []erasure.Coord, s *stripe.Stripe, sc 
 		return hits, nil
 	}
 	if err := a.fanOut(len(runs), func(i int) error {
-		return a.readRun(si, runs[i], s, sc.tc.ID())
+		return a.readRun(si, runs[i], s, sc.tc.Link())
 	}); err != nil {
 		return hits, err
 	}
@@ -195,29 +195,29 @@ func (a *Array) cacheFill(si int64, cells []erasure.Coord, s *stripe.Stripe) {
 // the run, or the device dying — it falls back to element-at-a-time
 // readElem, which repairs bad sectors in place and marks the disk failed on
 // real errors, exactly like the uncoalesced path.
-func (a *Array) readRun(si int64, run cellRun, s *stripe.Stripe, parent uint64) error {
+func (a *Array) readRun(si int64, run cellRun, s *stripe.Stripe, parent trace.Link) error {
 	tc := a.tr.Begin(trace.OpDevRead, int32(run.col), si, parent)
-	err := a.readRunDev(si, run, s)
+	err := a.readRunDev(si, run, s, tc.Link())
 	a.tr.End(tc, int64(run.n*a.elemSize), err != nil)
 	return err
 }
 
-func (a *Array) readRunDev(si int64, run cellRun, s *stripe.Stripe) error {
+func (a *Array) readRunDev(si int64, run cellRun, s *stripe.Stripe, l trace.Link) error {
 	if run.n == 1 {
 		co := erasure.Coord{Row: run.row, Col: run.col}
-		return a.readElem(si, co, s.Elem(run.row, run.col))
+		return a.readElemL(si, co, s.Elem(run.row, run.col), l)
 	}
 	if a.isFailed(run.col) {
 		return blockdev.ErrFailed
 	}
 	dst := s.ColRange(run.col, run.row, run.n)
-	_, err := a.iodevs[run.col].ReadAtN(dst, a.deviceOffset(si, run.row), int64(run.n))
+	_, err := a.iodevs[run.col].ReadAtNLink(dst, a.deviceOffset(si, run.row), int64(run.n), l)
 	if err == nil {
 		return nil
 	}
 	for k := 0; k < run.n; k++ {
 		co := erasure.Coord{Row: run.row + k, Col: run.col}
-		if err := a.readElem(si, co, s.Elem(co.Row, co.Col)); err != nil {
+		if err := a.readElemL(si, co, s.Elem(co.Row, co.Col), l); err != nil {
 			return err
 		}
 	}
@@ -236,26 +236,26 @@ func (a *Array) writeCellsBestEffort(si int64, cells []erasure.Coord, s *stripe.
 	}
 	if a.conc <= 1 || len(runs) <= 1 { // see readCells: avoid the escaping closure
 		for _, r := range runs {
-			a.writeRunBestEffort(si, r, s, sc.tc.ID())
+			a.writeRunBestEffort(si, r, s, sc.tc.Link())
 		}
 		return
 	}
 	_ = a.fanOut(len(runs), func(i int) error {
-		a.writeRunBestEffort(si, runs[i], s, sc.tc.ID())
+		a.writeRunBestEffort(si, runs[i], s, sc.tc.Link())
 		return nil
 	})
 }
 
-func (a *Array) writeRunBestEffort(si int64, run cellRun, s *stripe.Stripe, parent uint64) {
+func (a *Array) writeRunBestEffort(si int64, run cellRun, s *stripe.Stripe, parent trace.Link) {
 	tc := a.tr.Begin(trace.OpDevWrite, int32(run.col), si, parent)
-	a.writeRunDev(si, run, s)
+	a.writeRunDev(si, run, s, tc.Link())
 	a.tr.End(tc, int64(run.n*a.elemSize), false)
 }
 
-func (a *Array) writeRunDev(si int64, run cellRun, s *stripe.Stripe) {
+func (a *Array) writeRunDev(si int64, run cellRun, s *stripe.Stripe, l trace.Link) {
 	if run.n == 1 {
 		co := erasure.Coord{Row: run.row, Col: run.col}
-		_ = a.writeElem(si, co, s.Elem(run.row, run.col))
+		_ = a.writeElemL(si, co, s.Elem(run.row, run.col), l)
 		return
 	}
 	if a.isFailed(run.col) {
@@ -264,12 +264,12 @@ func (a *Array) writeRunDev(si int64, run cellRun, s *stripe.Stripe) {
 	// The run is one contiguous ColRange of stripe memory: write it out
 	// directly, no staging copy.
 	src := s.ColRange(run.col, run.row, run.n)
-	if _, err := a.iodevs[run.col].WriteAtN(src, a.deviceOffset(si, run.row), int64(run.n)); err != nil {
+	if _, err := a.iodevs[run.col].WriteAtNLink(src, a.deviceOffset(si, run.row), int64(run.n), l); err != nil {
 		// Retry element-at-a-time so a partially failing device still gets
-		// the cells it can take; writeElem marks the disk failed on error.
+		// the cells it can take; writeElemL marks the disk failed on error.
 		for k := 0; k < run.n; k++ {
 			co := erasure.Coord{Row: run.row + k, Col: run.col}
-			_ = a.writeElem(si, co, s.Elem(co.Row, co.Col))
+			_ = a.writeElemL(si, co, s.Elem(co.Row, co.Col), l)
 		}
 	}
 }
@@ -279,10 +279,10 @@ func (a *Array) writeRunDev(si int64, run cellRun, s *stripe.Stripe) {
 // Rebuild uses it to fill the replaced device, which is still marked failed.
 // Unlike the best-effort data-path writes, a rebuild must land every byte,
 // so errors propagate.
-func (a *Array) writeColumn(si int64, col int, s *stripe.Stripe, parent uint64) error {
+func (a *Array) writeColumn(si int64, col int, s *stripe.Stripe, parent trace.Link) error {
 	tc := a.tr.Begin(trace.OpDevWrite, int32(col), si, parent)
 	rows := a.code.Rows()
-	_, err := a.iodevs[col].WriteAtN(s.ColRange(col, 0, rows), a.deviceOffset(si, 0), int64(rows))
+	_, err := a.iodevs[col].WriteAtNLink(s.ColRange(col, 0, rows), a.deviceOffset(si, 0), int64(rows), tc.Link())
 	a.tr.End(tc, int64(rows*a.elemSize), err != nil)
 	return err
 }

@@ -19,6 +19,7 @@ package raid
 
 import (
 	"slices"
+	"time"
 
 	"dcode/internal/erasure"
 	"dcode/internal/trace"
@@ -112,8 +113,8 @@ func (a *Array) readStripeDirect(si int64, ers []elemRange, p []byte, sc *opScra
 // readVecRun issues one coalesced scatter read of the direct read path; the
 // iovec list lives in sc.vecbufs at the run's [lo, hi).
 func (a *Array) readVecRun(si int64, r vecRun, sc *opScratch) error {
-	tc := a.tr.Begin(trace.OpDevRead, int32(r.col), si, sc.tc.ID())
-	_, err := a.iodevs[r.col].ReadVecAtN(sc.vecbufs[r.lo:r.hi], a.deviceOffset(si, r.row), int64(r.n))
+	tc := a.tr.Begin(trace.OpDevRead, int32(r.col), si, sc.tc.Link())
+	_, err := a.iodevs[r.col].ReadVecAtNLink(sc.vecbufs[r.lo:r.hi], a.deviceOffset(si, r.row), int64(r.n), tc.Link())
 	a.tr.End(tc, int64(r.n*a.elemSize), err != nil)
 	return err
 }
@@ -137,7 +138,9 @@ func (a *Array) writeStripeDirect(si int64, ers []elemRange, p []byte, sc *opScr
 	for _, er := range ers {
 		data[a.code.DataIndex(er.coord.Row, er.coord.Col)] = p[er.bufOff : er.bufOff+er.length]
 	}
+	ps := time.Now()
 	a.code.EncodeFrom(sc.s, data)
+	a.m.parityLatency.Observe(time.Since(ps))
 	rows := a.code.Rows()
 	cols := a.code.Cols()
 	bufs := sc.vecbufs[:0]
@@ -180,12 +183,12 @@ func (a *Array) writeVecColumn(si int64, c int, sc *opScratch) {
 	}
 	rows := a.code.Rows()
 	col := sc.vecbufs[c*rows : (c+1)*rows]
-	tc := a.tr.Begin(trace.OpDevWrite, int32(c), si, sc.tc.ID())
-	_, err := a.iodevs[c].WriteVecAtN(col, a.deviceOffset(si, 0), int64(rows))
+	tc := a.tr.Begin(trace.OpDevWrite, int32(c), si, sc.tc.Link())
+	_, err := a.iodevs[c].WriteVecAtNLink(col, a.deviceOffset(si, 0), int64(rows), tc.Link())
 	a.tr.End(tc, int64(rows*a.elemSize), err != nil)
 	if err != nil {
 		for r := 0; r < rows; r++ {
-			_ = a.writeElem(si, erasure.Coord{Row: r, Col: c}, col[r])
+			_ = a.writeElemL(si, erasure.Coord{Row: r, Col: c}, col[r], tc.Link())
 		}
 	}
 }

@@ -1,0 +1,208 @@
+package raid
+
+import (
+	"encoding/json"
+	"testing"
+
+	"dcode/internal/obs"
+	"dcode/internal/trace"
+)
+
+// snapshotJSONRoundTrip marshals and unmarshals a snapshot — the same trip
+// /stats takes to raidctl.
+func snapshotJSONRoundTrip(t *testing.T, s Snapshot) Snapshot {
+	t.Helper()
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Snapshot
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// eventKinds collects the kinds present in a recorder drain.
+func eventKinds(rec *obs.Recorder) map[obs.EventKind][]obs.Event {
+	m := make(map[obs.EventKind][]obs.Event)
+	for _, ev := range rec.Events() {
+		m[ev.Kind] = append(m[ev.Kind], ev)
+	}
+	return m
+}
+
+// TestArrayRecordsLifecycleEvents drives the failure lifecycle end to end
+// and checks the flight recorder saw each milestone exactly where the design
+// says: one disk_failed per column (deduplicated across the I/O paths that
+// notice), degraded reads tagged with their trace ID, rebuild and scrub
+// bracketed by start/end pairs.
+func TestArrayRecordsLifecycleEvents(t *testing.T) {
+	rec := obs.NewRecorder(256)
+	tr := trace.New(trace.DefaultCapacity, trace.DefaultSlowCapacity)
+	a, mems := newArrayConc(t, "dcode", 5, 4, WithConcurrency(1), WithEvents(rec), WithTracer(tr))
+	tr.Enable()
+	data := pattern(int(a.Size()), 3)
+	if _, err := a.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	mems[1].Fail()
+	if err := a.FailDisk(1); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, a.Size())
+	for i := 0; i < 3; i++ { // repeat: disk_failed must still record once
+		if _, err := a.ReadAt(buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mems[1].Replace()
+	if err := a.Rebuild(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Scrub(); err != nil {
+		t.Fatal(err)
+	}
+	tr.Disable()
+
+	kinds := eventKinds(rec)
+	if got := kinds[obs.EvDiskFailed]; len(got) != 1 {
+		t.Errorf("disk_failed recorded %d times, want 1: %+v", len(got), got)
+	} else if got[0].Disk != 1 {
+		t.Errorf("disk_failed on disk %d, want 1", got[0].Disk)
+	}
+	if got := kinds[obs.EvDegradedRead]; len(got) == 0 {
+		t.Error("no degraded_read event recorded")
+	} else {
+		if got[0].Disk != 1 {
+			t.Errorf("degraded_read disk = %d, want 1", got[0].Disk)
+		}
+		if got[0].Trace == 0 {
+			t.Errorf("degraded_read carries no trace ID: %+v", got[0])
+		}
+	}
+	for _, k := range []obs.EventKind{obs.EvRebuildStart, obs.EvScrubStart} {
+		if len(kinds[k]) != 1 {
+			t.Errorf("%v recorded %d times, want 1", k, len(kinds[k]))
+		}
+	}
+	for _, k := range []obs.EventKind{obs.EvRebuildEnd, obs.EvScrubEnd} {
+		got := kinds[k]
+		if len(got) != 1 {
+			t.Errorf("%v recorded %d times, want 1", k, len(got))
+			continue
+		}
+		if got[0].Aux <= 0 {
+			t.Errorf("%v duration aux = %d, want > 0", k, got[0].Aux)
+		}
+	}
+	if len(kinds[obs.EvRebuildStart]) == 1 && kinds[obs.EvRebuildStart][0].Trace == 0 {
+		t.Error("rebuild_start carries no trace ID")
+	}
+}
+
+// TestArrayWithoutRecorderStaysQuiet pins the nil path: an array built
+// without WithEvents drives the same lifecycle without recording (and
+// without crashing on the nil recorder).
+func TestArrayWithoutRecorderStaysQuiet(t *testing.T) {
+	a, mems := newArray(t, "dcode", 5, 4)
+	data := pattern(int(a.Size()), 3)
+	if _, err := a.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	mems[2].Fail()
+	if err := a.FailDisk(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.ReadAt(make([]byte, a.Size()), 0); err != nil {
+		t.Fatal(err)
+	}
+	mems[2].Replace()
+	if err := a.Rebuild(2); err != nil {
+		t.Fatal(err)
+	}
+	if a.Events() != nil {
+		t.Fatal("array without WithEvents has a recorder")
+	}
+}
+
+// TestSnapshotPhases checks the per-phase latency decomposition: parity and
+// device phases populate from ordinary traffic, the decomposition merges
+// across snapshots, and it survives a JSON round trip (the /stats wire).
+func TestSnapshotPhases(t *testing.T) {
+	a, _ := newArray(t, "dcode", 5, 4)
+	data := pattern(int(a.Size()), 9)
+	if _, err := a.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.ReadAt(make([]byte, 256), 0); err != nil {
+		t.Fatal(err)
+	}
+	s := a.Snapshot()
+	if s.Phases == nil {
+		t.Fatal("snapshot carries no phase decomposition")
+	}
+	if s.Phases.Parity.Count == 0 {
+		t.Error("parity phase empty after full-stripe writes")
+	}
+	if s.Phases.Device.Count == 0 {
+		t.Error("device phase empty after I/O")
+	}
+	// Local mem devices: no network phase, no queue phase.
+	if s.Phases.Network.Count != 0 || s.Phases.Queue.Count != 0 {
+		t.Errorf("unexpected network/queue phases on a local array: %+v", s.Phases)
+	}
+
+	var other Snapshot
+	other.Merge(s)
+	other.Merge(s)
+	if other.Phases == nil || other.Phases.Parity.Count != 2*s.Phases.Parity.Count {
+		t.Errorf("merged parity count = %+v, want doubled", other.Phases)
+	}
+
+	roundTripped := snapshotJSONRoundTrip(t, s)
+	if roundTripped.Phases == nil || roundTripped.Phases.Parity.Count != s.Phases.Parity.Count {
+		t.Errorf("phases lost in JSON round trip: %+v", roundTripped.Phases)
+	}
+
+	a.ResetMetrics()
+	if ph := a.Snapshot().Phases; ph != nil && ph.Parity.Count != 0 {
+		t.Errorf("parity phase survives ResetMetrics: %+v", ph)
+	}
+}
+
+// TestSteadyStateAllocsWithRecorder is the disabled-recorder acceptance
+// criterion: a wired flight recorder must not add allocations to the
+// steady-state data path (no lifecycle events fire during healthy I/O).
+func TestSteadyStateAllocsWithRecorder(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; counts are meaningless under -race")
+	}
+	rec := obs.NewRecorder(64)
+	a, _ := newArrayConc(t, "dcode", 7, 4, WithConcurrency(1), WithEvents(rec))
+	data := pattern(int(a.Size()), 2)
+	buf := make([]byte, a.Size())
+	for i := 0; i < 3; i++ {
+		if _, err := a.WriteAt(data, 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.ReadAt(buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if avg := testing.AllocsPerRun(50, func() {
+		if _, err := a.ReadAt(buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}); avg >= 1 {
+		t.Errorf("ReadAt with recorder allocates %.1f/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(50, func() {
+		if _, err := a.WriteAt(data, 0); err != nil {
+			t.Fatal(err)
+		}
+	}); avg >= 1 {
+		t.Errorf("WriteAt with recorder allocates %.1f/op, want 0", avg)
+	}
+}

@@ -26,6 +26,12 @@ type arrayMetrics struct {
 	rebuildLatency      obs.Histogram // per stripe rebuilt
 	scrubLatency        obs.Histogram // per stripe scrubbed
 
+	// parityLatency is the "parity compute" term of the per-phase latency
+	// decomposition: time spent in erasure-code Encode/Reconstruct calls and
+	// the raid layer's own group-XOR reconstruction loops. Always on — one
+	// clock pair around a multi-kilobyte XOR pass is noise.
+	parityLatency obs.Histogram
+
 	// decodeXOROps/Bytes tally the group-XOR reconstruction work the raid
 	// layer performs itself (degraded-read plan steps, read-repair, planned
 	// rebuild); whole-stripe reconstructions run inside the erasure engine
@@ -108,6 +114,44 @@ type Snapshot struct {
 	// depth, in-flight, batch sizes, queue-time latency); nil (omitted) when
 	// the array was built without WithAsyncIO.
 	Async *obs.AsyncSnapshot `json:"async,omitempty"`
+
+	// Phases is the per-phase latency decomposition: where a request's time
+	// went, split into admission-queue wait, parity compute, device I/O, and
+	// network round trips. Nil (omitted) when nothing was measured.
+	Phases *PhaseSnapshot `json:"phases,omitempty"`
+}
+
+// PhaseSnapshot decomposes operation latency by phase. The terms are
+// measured independently (each phase's own histogram), not by subdividing
+// individual requests, so they answer "which phase dominates" rather than
+// summing to any one request's latency.
+type PhaseSnapshot struct {
+	// Queue is the block service's admission-queue wait (0 for requests
+	// admitted immediately); zero-valued for in-process arrays.
+	Queue obs.HistogramSnapshot `json:"queue"`
+	// Parity is erasure-code compute: Encode/Reconstruct calls plus the raid
+	// layer's group-XOR reconstruction loops.
+	Parity obs.HistogramSnapshot `json:"parity"`
+	// Device is physical device time, merged across every column's read and
+	// write latency histograms (remote columns count here too — their device
+	// time includes the network, which Network isolates).
+	Device obs.HistogramSnapshot `json:"device"`
+	// Network is the client-observed request/response round-trip time of
+	// remote columns; zero-valued for all-local arrays.
+	Network obs.HistogramSnapshot `json:"network"`
+}
+
+// Zero reports whether nothing was observed in any phase.
+func (p *PhaseSnapshot) Zero() bool {
+	return p.Queue.Count == 0 && p.Parity.Count == 0 && p.Device.Count == 0 && p.Network.Count == 0
+}
+
+// Merge accumulates another decomposition into p.
+func (p *PhaseSnapshot) Merge(o PhaseSnapshot) {
+	p.Queue.Merge(o.Queue)
+	p.Parity.Merge(o.Parity)
+	p.Device.Merge(o.Device)
+	p.Network.Merge(o.Network)
 }
 
 // XORSnapshot aliases the erasure engine's counter snapshot so Snapshot
@@ -213,6 +257,28 @@ func (a *Array) Snapshot() Snapshot {
 		as.Depth = a.aio.Depth()
 		s.Async = &as
 	}
+
+	// Phase decomposition, derived at snapshot time so the hot path pays
+	// nothing beyond the parity histogram it already feeds: Device merges the
+	// per-column device histograms captured above, Network the RTT view of
+	// any remote column, Queue the block service's admission wait.
+	var ph PhaseSnapshot
+	ph.Parity = a.m.parityLatency.Snapshot()
+	for i := range s.Devices {
+		ph.Device.Merge(s.Devices[i].ReadLatency)
+		ph.Device.Merge(s.Devices[i].WriteLatency)
+	}
+	for _, d := range a.iodevs {
+		if rd, ok := d.Underlying().(interface{ RTTSnapshot() obs.HistogramSnapshot }); ok {
+			ph.Network.Merge(rd.RTTSnapshot())
+		}
+	}
+	if s.Server != nil && s.Server.QueueWait != nil {
+		ph.Queue = *s.Server.QueueWait
+	}
+	if !ph.Zero() {
+		s.Phases = &ph
+	}
 	return s
 }
 
@@ -222,6 +288,19 @@ func (a *Array) Snapshot() Snapshot {
 // during process startup, before the array serves traffic; the field is read
 // without synchronization afterwards.
 func (a *Array) SetServerStats(fn func() obs.ServerSnapshot) { a.serverStats = fn }
+
+// WithEvents wires a flight recorder into the array: disk failures, rebuild
+// and scrub lifecycle, degraded-read entry, and batch flushes are recorded
+// with the trace ID of the operation that hit them. A nil recorder (the
+// default) disables recording at the cost of one nil check per event site.
+func WithEvents(rec *obs.Recorder) Option {
+	return func(a *Array) {
+		a.ev = rec
+	}
+}
+
+// Events returns the array's flight recorder; nil when none was configured.
+func (a *Array) Events() *obs.Recorder { return a.ev }
 
 // Merge accumulates another snapshot into s; raidctl uses it to aggregate
 // statistics across process lifetimes. Code identity fields are taken from o
@@ -294,6 +373,12 @@ func (s *Snapshot) Merge(o Snapshot) {
 		}
 		s.Async.Merge(*o.Async)
 	}
+	if o.Phases != nil {
+		if s.Phases == nil {
+			s.Phases = &PhaseSnapshot{}
+		}
+		s.Phases.Merge(*o.Phases)
+	}
 	if o.Trace != nil {
 		if s.Trace == nil {
 			s.Trace = &TraceSnapshot{}
@@ -328,6 +413,7 @@ func (a *Array) ResetMetrics() {
 	a.m.degradedReadLatency.Reset()
 	a.m.rebuildLatency.Reset()
 	a.m.scrubLatency.Reset()
+	a.m.parityLatency.Reset()
 	a.m.decodeXOROps.Reset()
 	a.m.decodeXORBytes.Reset()
 	a.m.rmwPreReadsAbsorbed.Reset()

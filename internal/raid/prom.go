@@ -164,6 +164,13 @@ func (s *Snapshot) WriteProm(pw *obs.PromWriter) {
 		pw.WriteHistogramSummary("dcode_async_op_latency_seconds", "Submit-to-completion latency, queueing included.", []obs.Label{engine}, as.OpLatency)
 	}
 
+	if p := s.Phases; p != nil {
+		pw.WriteHistogramSummary("dcode_phase_queue_wait_seconds", "Admission-queue wait of the block service (phase decomposition).", nil, p.Queue)
+		pw.WriteHistogramSummary("dcode_phase_parity_seconds", "Erasure-code compute time (phase decomposition).", nil, p.Parity)
+		pw.WriteHistogramSummary("dcode_phase_device_seconds", "Physical device time, all columns merged (phase decomposition).", nil, p.Device)
+		pw.WriteHistogramSummary("dcode_phase_network_seconds", "Remote-column request round-trip time (phase decomposition).", nil, p.Network)
+	}
+
 	if t := s.Trace; t != nil {
 		pw.Family("dcode_trace_spans_total", "Spans recorded into the trace ring.", "counter")
 		pw.SampleInt("dcode_trace_spans_total", nil, t.Recorded)

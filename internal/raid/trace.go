@@ -80,9 +80,9 @@ type TraceSnapshot struct {
 // writeElemTraced is writeElem wrapped in a device-write span; the RMW
 // commit path uses it for its element-grained parity patches, which don't
 // go through the coalesced run writers.
-func (a *Array) writeElemTraced(si int64, co erasure.Coord, src []byte, parent uint64) error {
+func (a *Array) writeElemTraced(si int64, co erasure.Coord, src []byte, parent trace.Link) error {
 	tc := a.tr.Begin(trace.OpDevWrite, int32(co.Col), si, parent)
-	err := a.writeElem(si, co, src)
+	err := a.writeElemL(si, co, src, tc.Link())
 	a.tr.End(tc, int64(len(src)), err != nil)
 	return err
 }

@@ -89,22 +89,6 @@ func WriteChrome(w io.Writer, spans []Span) error {
 		}
 	}
 	for _, sp := range spans {
-		args := map[string]any{"id": sp.ID, "bytes": sp.Bytes}
-		if sp.Parent != 0 {
-			args["parent"] = sp.Parent
-		}
-		if sp.Stripe >= 0 {
-			args["stripe"] = sp.Stripe
-		}
-		if sp.Disk >= 0 {
-			args["disk"] = sp.Disk
-		}
-		if sp.Client > 0 {
-			args["client"] = sp.Client
-		}
-		if sp.Err {
-			args["err"] = true
-		}
 		events = append(events, chromeEvent{
 			Name: sp.Op.String(),
 			Cat:  "raid",
@@ -113,7 +97,7 @@ func WriteChrome(w io.Writer, spans []Span) error {
 			Dur:  float64(sp.Dur) / 1e3,
 			Pid:  1,
 			Tid:  chromeTid(sp),
-			Args: args,
+			Args: chromeArgs(sp),
 		})
 	}
 	// Stable order keeps the output deterministic for tests and diffs.
@@ -126,6 +110,39 @@ func WriteChrome(w io.Writer, spans []Span) error {
 		}
 		return events[i].Tid < events[j].Tid
 	})
+	return writeChromeEvents(w, events)
+}
+
+// chromeArgs builds one span's args map, shared by the single-node and
+// multi-node exporters. Trace and remote IDs render as hex so they can be
+// eyeballed against raidctl events output.
+func chromeArgs(sp Span) map[string]any {
+	args := map[string]any{"id": sp.ID, "bytes": sp.Bytes}
+	if sp.Parent != 0 {
+		args["parent"] = sp.Parent
+	}
+	if sp.Trace != 0 {
+		args["trace"] = fmt.Sprintf("%016x", sp.Trace)
+	}
+	if sp.Remote != 0 {
+		args["remote"] = sp.Remote
+	}
+	if sp.Stripe >= 0 {
+		args["stripe"] = sp.Stripe
+	}
+	if sp.Disk >= 0 {
+		args["disk"] = sp.Disk
+	}
+	if sp.Client > 0 {
+		args["client"] = sp.Client
+	}
+	if sp.Err {
+		args["err"] = true
+	}
+	return args
+}
+
+func writeChromeEvents(w io.Writer, events []chromeEvent) error {
 	enc := json.NewEncoder(w)
 	return enc.Encode(events)
 }

@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Multi-node trace merging. Each node of a distributed array — the loadgen
+// client, the array-facing raidserve, and every column-serving raidserve —
+// drains its own span ring; a NodeDump is one such ring plus the node's wall
+// clock at dump time. raidctl fetches dumps from every node's /trace
+// endpoint, estimates per-node clock offsets from request RTT midpoints, and
+// merges them into a single Chrome trace with one process track per node.
+// Spans from different nodes are linked by (Trace, Remote): a serve span's
+// Remote field names the client-side span ID that stamped the request.
+
+// NodeDump is one node's span dump, as served by raidserve's /trace endpoint
+// and written by loadgen's -trace-out.
+type NodeDump struct {
+	// Node names the dump's origin (host:port or a caller-chosen label).
+	Node string `json:"node"`
+	// TimeNs is the node's wall clock when the dump was taken; the merger
+	// compares it against the fetch-time midpoint to estimate clock offset.
+	TimeNs int64 `json:"time_ns"`
+	// OffsetNs is the merger's estimate of this node's clock minus the
+	// observer's clock; every span start is shifted by -OffsetNs when
+	// merging. Zero for dumps taken on the observer itself.
+	OffsetNs int64  `json:"offset_ns,omitempty"`
+	Spans    []Span `json:"spans"`
+}
+
+// WriteChromeNodes writes dumps from several nodes as one Chrome trace-event
+// JSON array: one process (pid) per node, named after it, with the same
+// per-node track layout WriteChrome uses. Span starts are corrected by each
+// dump's OffsetNs, then all timestamps are rebased to the earliest corrected
+// span so the viewer opens at t≈0.
+func WriteChromeNodes(w io.Writer, nodes []NodeDump) error {
+	events := make([]chromeEvent, 0, 64)
+	var base int64
+	haveBase := false
+	for _, nd := range nodes {
+		for _, sp := range nd.Spans {
+			if s := sp.Start - nd.OffsetNs; !haveBase || s < base {
+				base, haveBase = s, true
+			}
+		}
+	}
+	for ni, nd := range nodes {
+		pid := ni + 1
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": nd.Node},
+		})
+		maxDisk := int32(-1)
+		hasServe := false
+		for _, sp := range nd.Spans {
+			if (sp.Op == OpDevRead || sp.Op == OpDevWrite) && sp.Disk > maxDisk {
+				maxDisk = sp.Disk
+			}
+			if chromeTid(sp) == chromeTidServe {
+				hasServe = true
+			}
+		}
+		nameTrack := func(tid int, name string) {
+			events = append(events, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+				Args: map[string]any{"name": name},
+			})
+		}
+		nameTrack(chromeTidOps, "array ops")
+		nameTrack(chromeTidStripes, "stripe ops")
+		if hasServe {
+			nameTrack(chromeTidServe, "served requests")
+		}
+		for d := int32(0); d <= maxDisk; d++ {
+			nameTrack(chromeTidDisks+int(d), fmt.Sprintf("disk %d", d))
+		}
+		for _, sp := range nd.Spans {
+			events = append(events, chromeEvent{
+				Name: sp.Op.String(),
+				Cat:  "raid",
+				Ph:   "X",
+				Ts:   float64(sp.Start-nd.OffsetNs-base) / 1e3,
+				Dur:  float64(sp.Dur) / 1e3,
+				Pid:  pid,
+				Tid:  chromeTid(sp),
+				Args: chromeArgs(sp),
+			})
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Ph != events[j].Ph {
+			return events[i].Ph == "M"
+		}
+		if events[i].Pid != events[j].Pid {
+			return events[i].Pid < events[j].Pid
+		}
+		if events[i].Ts != events[j].Ts {
+			return events[i].Ts < events[j].Ts
+		}
+		return events[i].Tid < events[j].Tid
+	})
+	return writeChromeEvents(w, events)
+}
+
+// MaxLinkedNodes inspects the cross-node links in a set of dumps: a span on
+// one node whose Remote names a span ID that exists, under the same trace ID,
+// on a different node is one link. It returns the largest number of distinct
+// nodes any single trace connects through such links (a client op whose
+// request recursed array server → column server yields 3) and the total link
+// count. CI uses it to assert the merged trace really chains across the wire.
+func MaxLinkedNodes(nodes []NodeDump) (maxNodes, links int) {
+	// ids[node][trace] = set of span IDs that trace has on that node.
+	ids := make([]map[uint64]map[uint64]bool, len(nodes))
+	for i, nd := range nodes {
+		ids[i] = make(map[uint64]map[uint64]bool)
+		for _, sp := range nd.Spans {
+			if sp.Trace == 0 {
+				continue
+			}
+			set := ids[i][sp.Trace]
+			if set == nil {
+				set = make(map[uint64]bool)
+				ids[i][sp.Trace] = set
+			}
+			set[sp.ID] = true
+		}
+	}
+	linked := make(map[uint64]map[int]bool) // trace -> nodes it links
+	for j, nd := range nodes {
+		for _, sp := range nd.Spans {
+			if sp.Trace == 0 || sp.Remote == 0 {
+				continue
+			}
+			for i := range nodes {
+				if i == j || !ids[i][sp.Trace][sp.Remote] {
+					continue
+				}
+				links++
+				set := linked[sp.Trace]
+				if set == nil {
+					set = make(map[int]bool)
+					linked[sp.Trace] = set
+				}
+				set[i] = true
+				set[j] = true
+			}
+		}
+	}
+	for _, set := range linked {
+		if len(set) > maxNodes {
+			maxNodes = len(set)
+		}
+	}
+	return maxNodes, links
+}

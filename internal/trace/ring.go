@@ -28,7 +28,10 @@ type slot struct {
 	seq    atomic.Uint64 // 0 empty; odd: writing; even: (ticket+1)<<1
 	id     atomic.Uint64
 	parent atomic.Uint64
+	trace  atomic.Uint64
+	remote atomic.Uint64
 	meta   atomic.Uint64
+	client atomic.Uint32
 	stripe atomic.Int64
 	bytes  atomic.Int64
 	start  atomic.Int64
@@ -61,7 +64,10 @@ func (r *ring) put(sp Span) {
 	s.seq.Store(ticket<<1 | 1)
 	s.id.Store(sp.ID)
 	s.parent.Store(sp.Parent)
+	s.trace.Store(sp.Trace)
+	s.remote.Store(sp.Remote)
 	s.meta.Store(packMeta(sp.Op, sp.Disk, sp.Err))
+	s.client.Store(uint32(sp.Client))
 	s.stripe.Store(sp.Stripe)
 	s.bytes.Store(sp.Bytes)
 	s.start.Store(sp.Start)
@@ -87,6 +93,9 @@ func (r *ring) drain() []Span {
 		sp := Span{
 			ID:     s.id.Load(),
 			Parent: s.parent.Load(),
+			Trace:  s.trace.Load(),
+			Remote: s.remote.Load(),
+			Client: int32(s.client.Load()),
 			Stripe: s.stripe.Load(),
 			Bytes:  s.bytes.Load(),
 			Start:  s.start.Load(),

@@ -76,13 +76,33 @@ func (o Op) String() string {
 	return "unknown"
 }
 
+// Link is a span's cross-process identity: the trace ID shared by every span
+// of one logical operation (end to end, across nodes) plus the span's own ID.
+// It is what travels on the wire in a blockserve trace extension and what
+// child spans use to attach to their parent. The zero Link means "no parent,
+// start a new trace".
+//
+// Span IDs are per-tracer tickets, so they are only unique within one node;
+// cross-node linking therefore always pairs the trace ID with the span ID
+// (see Span.Remote).
+type Link struct {
+	Trace uint64 `json:"trace"`
+	Span  uint64 `json:"span"`
+}
+
 // Span is one completed, timed unit of work. Disk and Stripe are -1 when the
 // span is not bound to a single column or stripe (e.g. a whole ReadAt).
 // Client is 0 unless the span was opened by the network block server on
-// behalf of a connected client (client IDs start at 1).
+// behalf of a connected client (client IDs start at 1). Trace is the
+// end-to-end trace ID; Remote is the span ID of a parent that lives in
+// another process (set only on wire-rooted serve spans, whose local Parent
+// is 0 — the merger matches (Trace, Remote) against the client node's
+// (Trace, ID) pairs).
 type Span struct {
 	ID     uint64 `json:"id"`
 	Parent uint64 `json:"parent,omitempty"`
+	Trace  uint64 `json:"trace,omitempty"`
+	Remote uint64 `json:"remote,omitempty"`
 	Op     Op     `json:"op"`
 	Disk   int32  `json:"disk"`
 	Stripe int64  `json:"stripe"`
@@ -100,6 +120,8 @@ type Span struct {
 type Ctx struct {
 	id     uint64
 	parent uint64
+	trace  uint64
+	remote uint64
 	start  int64
 	stripe int64
 	disk   int32
@@ -114,6 +136,15 @@ func (c Ctx) ID() uint64 {
 		return 0
 	}
 	return c.id
+}
+
+// Link returns the span's cross-process identity for parenting child spans,
+// locally or across the wire; the zero Link when inert.
+func (c Ctx) Link() Link {
+	if !c.ok {
+		return Link{}
+	}
+	return Link{Trace: c.trace, Span: c.id}
 }
 
 // Active reports whether the Ctx records into a tracer.
@@ -175,16 +206,45 @@ func (t *Tracer) SetSlowThreshold(d time.Duration) { t.slowNs.Store(int64(d)) }
 // SlowThreshold returns the current slow-op capture threshold.
 func (t *Tracer) SlowThreshold() time.Duration { return time.Duration(t.slowNs.Load()) }
 
+// traceIDs seeds per-process trace-ID generation. Sequential counters would
+// collide across nodes (every process starts at 1), so IDs are a splitmix64
+// stream over a clock-seeded counter — unique enough for ring-lifetime
+// observability data without coordination.
+var traceIDs atomic.Uint64
+
+func init() { traceIDs.Store(uint64(time.Now().UnixNano())) }
+
+// newTraceID returns a non-zero pseudo-random trace ID. Lock-free and
+// allocation-free: one atomic add plus splitmix64 finalization.
+func newTraceID() uint64 {
+	x := traceIDs.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	if x == 0 {
+		x = 1
+	}
+	return x
+}
+
 // Begin opens a span. Disabled tracers return an inert Ctx at the cost of
 // one atomic load and no allocation. disk and stripe may be -1 (not bound);
-// parent is the ID of the enclosing span or 0.
-func (t *Tracer) Begin(op Op, disk int32, stripe int64, parent uint64) Ctx {
+// parent is the Link of the enclosing span, or the zero Link to root a new
+// trace.
+func (t *Tracer) Begin(op Op, disk int32, stripe int64, parent Link) Ctx {
 	if !t.enabled.Load() {
 		return Ctx{}
 	}
+	tid := parent.Trace
+	if tid == 0 {
+		tid = newTraceID()
+	}
 	return Ctx{
 		id:     t.seq.Add(1),
-		parent: parent,
+		parent: parent.Span,
+		trace:  tid,
 		start:  time.Now().UnixNano(),
 		stripe: stripe,
 		disk:   disk,
@@ -193,12 +253,15 @@ func (t *Tracer) Begin(op Op, disk int32, stripe int64, parent uint64) Ctx {
 	}
 }
 
-// BeginClient opens a span tagged with the network client it serves. The
-// block server uses it so every request span carries which connection issued
-// it; disk and stripe are unbound (-1).
-func (t *Tracer) BeginClient(op Op, client int32, parent uint64) Ctx {
-	c := t.Begin(op, -1, -1, parent)
+// BeginClient opens a request span tagged with the network client it serves;
+// disk and stripe are unbound (-1). wire is the trace context the request
+// carried (the zero Link for an unstamped request): the span adopts its trace
+// ID and records the remote parent span under Span.Remote — the local Parent
+// stays 0, because the parent lives in another process.
+func (t *Tracer) BeginClient(op Op, client int32, wire Link) Ctx {
+	c := t.Begin(op, -1, -1, Link{Trace: wire.Trace})
 	c.client = client
+	c.remote = wire.Span
 	return c
 }
 
@@ -211,6 +274,8 @@ func (t *Tracer) End(c Ctx, bytes int64, failed bool) {
 	sp := Span{
 		ID:     c.id,
 		Parent: c.parent,
+		Trace:  c.trace,
+		Remote: c.remote,
 		Op:     c.op,
 		Disk:   c.disk,
 		Stripe: c.stripe,

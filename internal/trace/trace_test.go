@@ -9,11 +9,11 @@ import (
 func TestBeginEndRecords(t *testing.T) {
 	tr := New(16, 16)
 	tr.Enable()
-	c := tr.Begin(OpRead, -1, -1, 0)
+	c := tr.Begin(OpRead, -1, -1, Link{})
 	if !c.Active() || c.ID() == 0 {
 		t.Fatalf("enabled Begin returned inert Ctx %+v", c)
 	}
-	child := tr.Begin(OpDevRead, 3, 7, c.ID())
+	child := tr.Begin(OpDevRead, 3, 7, c.Link())
 	tr.End(child, 512, false)
 	tr.End(c, 4096, true)
 
@@ -40,7 +40,7 @@ func TestRingWrapKeepsNewest(t *testing.T) {
 	tr := New(8, 8)
 	tr.Enable()
 	for i := 0; i < 20; i++ {
-		tr.End(tr.Begin(OpDevWrite, int32(i), int64(i), 0), 0, false)
+		tr.End(tr.Begin(OpDevWrite, int32(i), int64(i), Link{}), 0, false)
 	}
 	spans := tr.Spans()
 	if len(spans) != 8 {
@@ -59,7 +59,7 @@ func TestRingWrapKeepsNewest(t *testing.T) {
 
 func TestDisabledAndNopAreInert(t *testing.T) {
 	tr := New(16, 16) // not enabled
-	if c := tr.Begin(OpRead, 0, 0, 0); c.Active() || c.ID() != 0 {
+	if c := tr.Begin(OpRead, 0, 0, Link{}); c.Active() || c.ID() != 0 {
 		t.Errorf("disabled Begin returned active Ctx %+v", c)
 	}
 	tr.End(Ctx{}, 0, false) // must not panic or record
@@ -71,7 +71,7 @@ func TestDisabledAndNopAreInert(t *testing.T) {
 	if Nop.Enabled() {
 		t.Error("Nop became enabled")
 	}
-	if c := Nop.Begin(OpRead, 0, 0, 0); c.Active() {
+	if c := Nop.Begin(OpRead, 0, 0, Link{}); c.Active() {
 		t.Error("Nop Begin returned active Ctx")
 	}
 	if spans := Nop.Spans(); spans != nil {
@@ -83,7 +83,7 @@ func TestDisabledPathAllocatesNothing(t *testing.T) {
 	tr := New(16, 16)
 	for name, tracer := range map[string]*Tracer{"disabled": tr, "nop": Nop} {
 		allocs := testing.AllocsPerRun(100, func() {
-			c := tracer.Begin(OpRead, -1, -1, 0)
+			c := tracer.Begin(OpRead, -1, -1, Link{})
 			tracer.End(c, 0, false)
 		})
 		if allocs != 0 {
@@ -97,7 +97,7 @@ func TestSlowCapture(t *testing.T) {
 	tr.Enable()
 
 	// No threshold: nothing lands in the slow ring.
-	tr.End(tr.Begin(OpRead, -1, -1, 0), 0, false)
+	tr.End(tr.Begin(OpRead, -1, -1, Link{}), 0, false)
 	if got := tr.SlowSpans(); len(got) != 0 {
 		t.Fatalf("captured %d slow spans with no threshold", len(got))
 	}
@@ -106,7 +106,7 @@ func TestSlowCapture(t *testing.T) {
 	if tr.SlowThreshold() != time.Nanosecond {
 		t.Fatalf("threshold %v", tr.SlowThreshold())
 	}
-	c := tr.Begin(OpScrub, -1, 5, 0)
+	c := tr.Begin(OpScrub, -1, 5, Link{})
 	time.Sleep(time.Millisecond) // guarantees Dur ≥ 1ns on any clock
 	tr.End(c, 0, false)
 	slow := tr.SlowSpans()
@@ -133,7 +133,7 @@ func TestConcurrentPutDrain(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < perWriter; i++ {
-				c := tr.Begin(OpDevRead, int32(w), int64(i), 0)
+				c := tr.Begin(OpDevRead, int32(w), int64(i), Link{})
 				tr.End(c, int64(i), i%97 == 0)
 			}
 		}(w)
